@@ -1,0 +1,69 @@
+//! Criterion benches: join operator implementations (merge vs hash vs
+//! nested loops) on sorted inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pyro_common::{KeySpec, Schema, Tuple, Value};
+use pyro_exec::join::{HashJoin, JoinKind, MergeJoin, NestedLoopsJoin};
+use pyro_exec::{collect, ExecMetrics, ValuesOp};
+
+fn rows(n: usize, dup: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| Tuple::new(vec![Value::Int((i / dup) as i64), Value::Int(i as i64)]))
+        .collect()
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let n = 10_000;
+    let left = rows(n, 2);
+    let right = rows(n, 2);
+    let schema_l = Schema::ints(&["a", "b"]);
+    let schema_r = Schema::ints(&["c", "d"]);
+    let key = KeySpec::new(vec![0]);
+
+    let mut group = c.benchmark_group("join_10k");
+    group.bench_with_input(BenchmarkId::from_parameter("merge"), &(), |b, _| {
+        b.iter(|| {
+            let op = MergeJoin::new(
+                Box::new(ValuesOp::new(schema_l.clone(), left.clone())),
+                Box::new(ValuesOp::new(schema_r.clone(), right.clone())),
+                key.clone(),
+                key.clone(),
+                JoinKind::Inner,
+                ExecMetrics::new(),
+            );
+            collect(Box::new(op)).unwrap().len()
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("hash"), &(), |b, _| {
+        b.iter(|| {
+            let op = HashJoin::new(
+                Box::new(ValuesOp::new(schema_l.clone(), left.clone())),
+                Box::new(ValuesOp::new(schema_r.clone(), right.clone())),
+                key.clone(),
+                key.clone(),
+                JoinKind::Inner,
+            );
+            collect(Box::new(op)).unwrap().len()
+        })
+    });
+    group.finish();
+
+    // Nested loops only at a smaller size (quadratic).
+    let left = rows(500, 2);
+    let right = rows(500, 2);
+    c.bench_function("join_500_nested_loops", |b| {
+        b.iter(|| {
+            let op = NestedLoopsJoin::new(
+                Box::new(ValuesOp::new(schema_l.clone(), left.clone())),
+                Box::new(ValuesOp::new(schema_r.clone(), right.clone())),
+                key.clone(),
+                key.clone(),
+                JoinKind::Inner,
+            );
+            collect(Box::new(op)).unwrap().len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

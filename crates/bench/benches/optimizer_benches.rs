@@ -1,0 +1,41 @@
+//! Criterion benches: end-to-end optimization latency per strategy (the
+//! micro version of Fig. 16 / §6.3 "optimization overheads").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pyro_bench::{sql_to_plan, QUERY3};
+use pyro_catalog::Catalog;
+use pyro_core::{Optimizer, Strategy};
+use pyro_datagen::tpch::{self, TpchConfig};
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut catalog = Catalog::new();
+    tpch::load(&mut catalog, TpchConfig::scaled(0.002)).unwrap();
+    let logical = sql_to_plan(&catalog, QUERY3).unwrap();
+
+    let mut group = c.benchmark_group("optimize_query3");
+    for strategy in [
+        Strategy::pyro(),
+        Strategy::pyro_p(),
+        Strategy::pyro_o(),
+        Strategy::pyro_o_minus(),
+        Strategy::pyro_e(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, s| {
+                b.iter(|| {
+                    Optimizer::new(&catalog)
+                        .with_strategy(*s)
+                        .optimize(&logical)
+                        .unwrap()
+                        .cost()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

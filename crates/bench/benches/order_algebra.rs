@@ -1,0 +1,31 @@
+//! Criterion micro-benches for the sort-order algebra — the `lcp`
+//! operations the paper's complexity analysis (§5.1.2) counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pyro_ordering::{AttrSet, SortOrder};
+
+fn orders(n: usize) -> (SortOrder, SortOrder, AttrSet) {
+    let a: SortOrder = (0..n).map(|i| format!("a{i:03}")).collect();
+    let mut names: Vec<String> = (0..n / 2).map(|i| format!("a{i:03}")).collect();
+    names.extend((0..n / 2).map(|i| format!("b{i:03}")));
+    let b = SortOrder::new(names.clone());
+    let s: AttrSet = names.into_iter().collect();
+    (a, b, s)
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let (a, b, s) = orders(32);
+    c.bench_function("lcp_32", |bch| bch.iter(|| a.lcp(&b).len()));
+    c.bench_function("lcp_with_set_32", |bch| bch.iter(|| a.lcp_with_set(&s).len()));
+    c.bench_function("concat_32", |bch| bch.iter(|| a.concat(&b).len()));
+    c.bench_function("extend_with_set_32", |bch| {
+        bch.iter(|| a.prefix(4).extend_with_set(&s).len())
+    });
+    c.bench_function("is_prefix_32", |bch| {
+        let p = a.prefix(16);
+        bch.iter(|| p.is_prefix_of(&a))
+    });
+}
+
+criterion_group!(benches, bench_algebra);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the §4.2 algorithms: the PathOrder DP and the
+//! tree 2-approximation (the paper reports < 6 ms at 31 nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pyro_ordering::{path_order, two_approx_tree_order, AttrSet, JoinTree};
+
+fn sets(n: usize, attrs: usize) -> Vec<AttrSet> {
+    let mut state = 42u64;
+    let mut next = move |m: usize| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % m
+    };
+    (0..n)
+        .map(|_| (0..attrs).map(|_| format!("a{:02}", next(20))).collect())
+        .collect()
+}
+
+fn tree(n: usize, attrs: usize) -> JoinTree {
+    let all = sets(n, attrs);
+    let mut t = JoinTree::new();
+    let mut ids = Vec::new();
+    for (i, s) in all.into_iter().enumerate() {
+        if i == 0 {
+            ids.push(t.add_root(s));
+        } else {
+            let parent = ids[(i - 1) / 2];
+            ids.push(t.add_child(parent, s));
+        }
+    }
+    t
+}
+
+fn bench_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_order");
+    for &n in &[8usize, 16, 31, 63] {
+        let s = sets(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter(|| path_order(s).benefit)
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_approx_tree");
+    for &n in &[15usize, 31, 63] {
+        let t = tree(n, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| two_approx_tree_order(t).benefit)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benches: SRS vs MRS across segment counts (the micro
+//! version of Experiments A1/A3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pyro_common::KeySpec;
+use pyro_datagen::rtables;
+use pyro_exec::sort::{PartialSort, SortBudget, StandardReplacementSort};
+use pyro_exec::{collect, ExecMetrics, ValuesOp};
+use pyro_storage::SimDevice;
+
+const ROWS: usize = 20_000;
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    for &segments in &[1usize, 10, 100, 1000] {
+        let (schema, rows) = rtables::generate(ROWS, segments, 0);
+        group.bench_with_input(BenchmarkId::new("srs", segments), &rows, |b, rows| {
+            b.iter(|| {
+                let dev = SimDevice::new();
+                let op = StandardReplacementSort::new(
+                    Box::new(ValuesOp::new(schema.clone(), rows.clone())),
+                    KeySpec::new(vec![0, 1]),
+                    dev,
+                    SortBudget::new(32, 4096),
+                    ExecMetrics::new(),
+                );
+                collect(Box::new(op)).unwrap().len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mrs", segments), &rows, |b, rows| {
+            b.iter(|| {
+                let dev = SimDevice::new();
+                let op = PartialSort::new(
+                    Box::new(ValuesOp::new(schema.clone(), rows.clone())),
+                    KeySpec::new(vec![0, 1]),
+                    1,
+                    dev,
+                    SortBudget::new(32, 4096),
+                    ExecMetrics::new(),
+                );
+                collect(Box::new(op)).unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_in_memory_reference(c: &mut Criterion) {
+    let (_, rows) = rtables::generate(ROWS, 100, 0);
+    c.bench_function("std_sort_reference", |b| {
+        b.iter(|| {
+            let mut v = rows.clone();
+            let key = KeySpec::new(vec![0, 1]);
+            v.sort_by(|a, b| key.compare(a, b));
+            v.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sorts, bench_in_memory_reference);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment A4: Query 2 (lineitems per (supplier, part)) — SRS vs MRS on
+//! the same merge-join plan.
+//!
+//! Paper: 63 s with SRS vs 25 s with MRS on PostgreSQL (2.5×), identical
+//! plan — a merge join of the two covering-index entry streams on
+//! (suppkey, partkey) followed by a group aggregate. We reproduce exactly
+//! that comparison via plan surgery: take the PYRO-O plan and degrade its
+//! partial sorts into full sorts.
+
+use pyro_bench::{banner, degrade_partial_sorts, plan_with, run_ops, sql_to_plan, QUERY2};
+use pyro_catalog::Catalog;
+use pyro_core::Strategy;
+use pyro_datagen::tpch::{self, TpchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Experiment A4: Query 2 with SRS vs MRS");
+    let mut catalog = Catalog::new();
+    catalog.set_sort_memory_blocks(64);
+    tpch::load(&mut catalog, TpchConfig::scaled(0.05))?;
+
+    let logical = sql_to_plan(&catalog, QUERY2)?;
+    let plan = plan_with(&catalog, &logical, Strategy::pyro_o(), false)?;
+    println!("\nplan (used by both runs, sort implementation swapped):\n{}", plan.explain());
+
+    let (op, metrics) = plan.compile(&catalog)?;
+    let mrs = run_ops(op, &metrics, &catalog)?;
+
+    let degraded = pyro_core::OptimizedPlan {
+        root: degrade_partial_sorts(&plan.root),
+        strategy: plan.strategy,
+    };
+    let (op, metrics) = degraded.compile(&catalog)?;
+    let srs = run_ops(op, &metrics, &catalog)?;
+
+    println!("             time(ms)   comparisons   spill pages   rows");
+    println!(
+        "  SRS        {:9.1}  {:>12}  {:>12}  {:>6}",
+        srs.ms(),
+        srs.comparisons,
+        srs.run_io,
+        srs.rows
+    );
+    println!(
+        "  MRS        {:9.1}  {:>12}  {:>12}  {:>6}",
+        mrs.ms(),
+        mrs.comparisons,
+        mrs.run_io,
+        mrs.rows
+    );
+    println!(
+        "\nspeedup: {:.2}x wall   (paper: 63 s / 25 s = 2.5x)",
+        srs.ms() / mrs.ms()
+    );
+    assert_eq!(srs.rows, mrs.rows);
+    Ok(())
+}

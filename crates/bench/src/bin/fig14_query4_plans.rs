@@ -1,0 +1,71 @@
+//! Figure 14 / Experiment B2: Query 4's two full outer joins — uncoordinated
+//! vs coordinated sort orders.
+//!
+//! Paper: SYS1 and PostgreSQL chose orders with **no common prefix**
+//! ((c3,c4,c5) then (c4,c5,c1), Fig. 14a), forcing a full re-sort between
+//! the joins; PYRO-O's phase-2 refinement aligns both joins on the shared
+//! prefix (c4, c5) so the upper join needs only a partial sort (Fig. 14b).
+
+use pyro_bench::{banner, plan_with, run_plan, sql_to_plan, QUERY4};
+use pyro_catalog::Catalog;
+use pyro_core::plan::PhysOp;
+use pyro_core::Strategy;
+use pyro_datagen::qtables;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Figure 14 / Experiment B2: Query 4 sort-order coordination");
+    let mut catalog = Catalog::new();
+    catalog.set_sort_memory_blocks(64);
+    qtables::load_q4(&mut catalog, 50_000)?; // paper: 100 K per table
+    let logical = sql_to_plan(&catalog, QUERY4)?;
+
+    let uncoordinated = plan_with(
+        &catalog,
+        &logical,
+        Strategy { refine: false, ..Strategy::pyro_o() },
+        false,
+    )?;
+    println!("\n--- Figure 14(a) analogue: phase-1 only (uncoordinated) ---");
+    println!("cost = {:.0}\n{}", uncoordinated.cost(), uncoordinated.explain());
+
+    let coordinated = plan_with(&catalog, &logical, Strategy::pyro_o(), false)?;
+    println!("--- Figure 14(b): PYRO-O with phase-2 refinement ---");
+    println!("cost = {:.0}\n{}", coordinated.cost(), coordinated.explain());
+
+    // Verify the headline property: shared 2-attribute prefix.
+    let mut orders = Vec::new();
+    coordinated.root.walk(&mut |n| {
+        if let PhysOp::MergeJoin { order, .. } = &n.op {
+            orders.push(order.clone());
+        }
+    });
+    let bare = |o: &pyro_ordering::SortOrder, i: usize| {
+        o.attrs()[i].rsplit('.').next().unwrap().to_string()
+    };
+    let shared = (0..2)
+        .take_while(|&i| bare(&orders[0], i) == bare(&orders[1], i))
+        .count();
+    println!(
+        "shared prefix between the two joins: {} attributes ({:?} vs {:?})",
+        shared, orders[0], orders[1]
+    );
+    assert_eq!(shared, 2);
+
+    let ru = run_plan(&uncoordinated, &catalog)?;
+    let rc = run_plan(&coordinated, &catalog)?;
+    println!("\nmeasured:");
+    println!(
+        "  uncoordinated: {:8.1} ms  {:>12} cmp  {:>8} spill pages",
+        ru.ms(),
+        ru.comparisons,
+        ru.run_io
+    );
+    println!(
+        "  coordinated  : {:8.1} ms  {:>12} cmp  {:>8} spill pages",
+        rc.ms(),
+        rc.comparisons,
+        rc.run_io
+    );
+    assert_eq!(ru.rows, rc.rows);
+    Ok(())
+}

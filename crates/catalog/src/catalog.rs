@@ -1,0 +1,251 @@
+//! The catalog: metadata plus owned storage handles.
+
+use crate::stats::TableStats;
+use crate::table::{IndexMeta, TableMeta};
+use pyro_common::{PyroError, Result, Schema, Tuple};
+use pyro_ordering::SortOrder;
+use pyro_storage::{write_file, DeviceRef, SimDevice, TupleFile};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A registered table: metadata, its heap file (in clustering order) and
+/// one entry file per secondary index.
+#[derive(Debug)]
+pub struct TableHandle {
+    /// Metadata and statistics.
+    pub meta: TableMeta,
+    /// The base heap file, physically ordered by `meta.clustering`.
+    pub heap: TupleFile,
+    /// Index entry files, keyed by index name, each sorted by its key and
+    /// containing `key + included` columns only.
+    pub index_files: BTreeMap<String, TupleFile>,
+}
+
+/// The catalog owns the device and every registered table.
+#[derive(Debug)]
+pub struct Catalog {
+    device: DeviceRef,
+    tables: BTreeMap<String, Rc<TableHandle>>,
+    /// Sort memory budget in blocks — the `M` of the cost model. Defaults
+    /// to 100 blocks.
+    sort_memory_blocks: u64,
+}
+
+impl Catalog {
+    /// Creates a catalog over a fresh default device (4 KB blocks).
+    pub fn new() -> Self {
+        Catalog::on_device(SimDevice::new())
+    }
+
+    /// Creates a catalog over an existing device.
+    pub fn on_device(device: DeviceRef) -> Self {
+        Catalog { device, tables: BTreeMap::new(), sort_memory_blocks: 100 }
+    }
+
+    /// The backing device.
+    pub fn device(&self) -> &DeviceRef {
+        &self.device
+    }
+
+    /// Sort memory budget in blocks (`M`).
+    pub fn sort_memory_blocks(&self) -> u64 {
+        self.sort_memory_blocks
+    }
+
+    /// Sets the sort memory budget in blocks.
+    pub fn set_sort_memory_blocks(&mut self, m: u64) {
+        self.sort_memory_blocks = m.max(3); // need ≥3 for external merge
+    }
+
+    /// Registers a table. `rows` must already be sorted by `clustering`
+    /// (generators produce them that way); debug builds verify.
+    pub fn register_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        clustering: SortOrder,
+        rows: &[Tuple],
+    ) -> Result<Rc<TableHandle>> {
+        if self.tables.contains_key(name) {
+            return Err(PyroError::Plan(format!("table {name} already registered")));
+        }
+        #[cfg(debug_assertions)]
+        if !clustering.is_empty() {
+            let cols: Vec<usize> = clustering
+                .attrs()
+                .iter()
+                .map(|a| schema.index_of(a))
+                .collect::<Result<_>>()?;
+            let key = pyro_common::KeySpec::new(cols);
+            debug_assert!(
+                rows.windows(2).all(|w| key.compare(&w[0], &w[1]) != std::cmp::Ordering::Greater),
+                "rows of {name} are not sorted by clustering order {clustering}"
+            );
+        }
+        let stats = TableStats::compute(&schema.names(), rows);
+        let heap = write_file(&self.device, rows)?;
+        let meta = TableMeta {
+            name: name.to_string(),
+            schema,
+            clustering,
+            indexes: Vec::new(),
+            stats,
+        };
+        let handle = Rc::new(TableHandle { meta, heap, index_files: BTreeMap::new() });
+        self.tables.insert(name.to_string(), handle.clone());
+        Ok(handle)
+    }
+
+    /// Builds a secondary index with included columns over an existing
+    /// table, materializing its sorted entry file.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        index_name: &str,
+        key: SortOrder,
+        included: &[&str],
+    ) -> Result<()> {
+        let handle = self
+            .tables
+            .get(table)
+            .ok_or_else(|| PyroError::UnknownTable(table.to_string()))?
+            .clone();
+        let idx = IndexMeta {
+            name: index_name.to_string(),
+            key: key.clone(),
+            included: included.iter().map(|s| s.to_string()).collect(),
+        };
+        // Materialize entries: project to entry columns, sort by key.
+        let entry_cols = idx.entry_columns();
+        let positions: Vec<usize> = entry_cols
+            .iter()
+            .map(|c| handle.meta.schema.index_of(c))
+            .collect::<Result<_>>()?;
+        let mut entries: Vec<Tuple> = handle
+            .heap
+            .scan()
+            .map(|r| r.map(|t| t.project(&positions)))
+            .collect::<Result<_>>()?;
+        // Key columns are the first |key| entry columns.
+        let key_positions: Vec<usize> = (0..key.len()).collect();
+        let spec = pyro_common::KeySpec::new(key_positions);
+        entries.sort_by(|a, b| spec.compare(a, b));
+        let file = write_file(&self.device, &entries)?;
+
+        // Re-insert an updated handle (Rc is immutable; rebuild).
+        let mut meta = handle.meta.clone();
+        meta.indexes.push(idx);
+        let mut index_files = handle.index_files.clone();
+        index_files.insert(index_name.to_string(), file);
+        let new_handle = Rc::new(TableHandle {
+            meta,
+            heap: handle.heap.clone(),
+            index_files,
+        });
+        self.tables.insert(table.to_string(), new_handle);
+        Ok(())
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<Rc<TableHandle>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PyroError::UnknownTable(name.to_string()))
+    }
+
+    /// All registered table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyro_common::{Column, DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ])
+    }
+
+    fn rows() -> Vec<Tuple> {
+        (0..10)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(100 - i)]))
+            .collect()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register_table("t", schema(), SortOrder::new(["k"]), &rows())
+            .unwrap();
+        let h = cat.table("t").unwrap();
+        assert_eq!(h.meta.stats.row_count, 10);
+        assert_eq!(h.heap.tuple_count(), 10);
+        assert!(cat.table("missing").is_err());
+        assert_eq!(cat.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut cat = Catalog::new();
+        cat.register_table("t", schema(), SortOrder::empty(), &rows())
+            .unwrap();
+        assert!(cat
+            .register_table("t", schema(), SortOrder::empty(), &rows())
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    #[cfg(debug_assertions)]
+    fn unsorted_clustering_detected() {
+        let mut cat = Catalog::new();
+        let mut r = rows();
+        r.reverse();
+        let _ = cat.register_table("t", schema(), SortOrder::new(["k"]), &r);
+    }
+
+    #[test]
+    fn index_entries_sorted_by_key() {
+        let mut cat = Catalog::new();
+        cat.register_table("t", schema(), SortOrder::new(["k"]), &rows())
+            .unwrap();
+        // index on v (descending data) with k included
+        cat.create_index("t", "t_v", SortOrder::new(["v"]), &["k"]).unwrap();
+        let h = cat.table("t").unwrap();
+        let idx_file = h.index_files.get("t_v").unwrap();
+        let entries: Vec<Tuple> = idx_file.scan().map(|r| r.unwrap()).collect();
+        assert_eq!(entries.len(), 10);
+        assert!(entries.windows(2).all(|w| w[0].get(0) <= w[1].get(0)));
+        // entry layout: (v, k)
+        assert_eq!(entries[0].arity(), 2);
+        let meta = &h.meta;
+        assert!(meta.index("t_v").is_some());
+    }
+
+    #[test]
+    fn index_on_missing_table_fails() {
+        let mut cat = Catalog::new();
+        assert!(cat.create_index("nope", "i", SortOrder::new(["k"]), &[]).is_err());
+    }
+
+    #[test]
+    fn sort_memory_floor() {
+        let mut cat = Catalog::new();
+        cat.set_sort_memory_blocks(1);
+        assert_eq!(cat.sort_memory_blocks(), 3);
+        cat.set_sort_memory_blocks(50);
+        assert_eq!(cat.sort_memory_blocks(), 50);
+    }
+}

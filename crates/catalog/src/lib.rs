@@ -1,0 +1,19 @@
+//! # pyro-catalog
+//!
+//! Table and index metadata plus the statistics the PYRO cost model needs:
+//! `N(e)` (row counts), `B(e)` (block counts), and `D(e, s)` (distinct value
+//! counts for attribute sets, §3.2 of the paper).
+//!
+//! The catalog owns the storage handles: registering a table writes its heap
+//! file in clustering order; registering a covering index writes a separate
+//! sorted entry file, which is what makes "covering index scan" a genuinely
+//! cheaper access path (fewer, narrower blocks) exactly as the paper
+//! exploits.
+
+pub mod catalog;
+pub mod stats;
+pub mod table;
+
+pub use catalog::{Catalog, TableHandle};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{IndexMeta, TableMeta};

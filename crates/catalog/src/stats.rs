@@ -1,0 +1,133 @@
+//! Statistics: the `N`, `B`, `D` of the paper's cost model (§3.2).
+
+use pyro_common::Tuple;
+use std::collections::{BTreeMap, HashSet};
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct values observed.
+    pub distinct: u64,
+}
+
+/// Per-table statistics, computed exactly at load time (the engine is a
+/// research vehicle; no sampling needed at these scales).
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// `N(R)`: number of rows.
+    pub row_count: u64,
+    /// Average encoded tuple size in bytes.
+    pub avg_tuple_bytes: f64,
+    /// Per-column stats, keyed by bare column name.
+    pub columns: BTreeMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Computes exact stats from data.
+    pub fn compute(column_names: &[String], rows: &[Tuple]) -> TableStats {
+        let mut sets: Vec<HashSet<&pyro_common::Value>> =
+            column_names.iter().map(|_| HashSet::new()).collect();
+        let mut bytes = 0u64;
+        for row in rows {
+            bytes += row.byte_size() as u64;
+            for (i, v) in row.values().iter().enumerate() {
+                if i < sets.len() {
+                    sets[i].insert(v);
+                }
+            }
+        }
+        let columns = column_names
+            .iter()
+            .zip(&sets)
+            .map(|(n, s)| (n.clone(), ColumnStats { distinct: s.len() as u64 }))
+            .collect();
+        TableStats {
+            row_count: rows.len() as u64,
+            avg_tuple_bytes: if rows.is_empty() {
+                0.0
+            } else {
+                bytes as f64 / rows.len() as f64
+            },
+            columns,
+        }
+    }
+
+    /// `D(R, {a})` for a single column; defaults to `row_count` (unique)
+    /// when the column is unknown — the conservative choice for sort-segment
+    /// estimation.
+    pub fn distinct(&self, column: &str) -> u64 {
+        self.columns
+            .get(column)
+            .map(|c| c.distinct)
+            .unwrap_or(self.row_count)
+            .max(1)
+    }
+
+    /// `D(R, s)` for an attribute set under the paper's uniform-independence
+    /// assumption: `min(N, Π distinct(a))`, saturating.
+    pub fn distinct_of_set<'a>(&self, columns: impl IntoIterator<Item = &'a str>) -> u64 {
+        let mut prod: u128 = 1;
+        let mut any = false;
+        for c in columns {
+            any = true;
+            prod = prod.saturating_mul(self.distinct(c) as u128);
+            if prod >= self.row_count as u128 {
+                return self.row_count.max(1);
+            }
+        }
+        if !any {
+            return 1; // D(e, ∅) = one segment: the whole input
+        }
+        (prod as u64).min(self.row_count).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyro_common::Value;
+
+    fn rows() -> Vec<Tuple> {
+        // a: 2 distinct, b: 4 distinct
+        (0..4)
+            .map(|i| Tuple::new(vec![Value::Int(i % 2), Value::Int(i)]))
+            .collect()
+    }
+
+    #[test]
+    fn compute_counts_distincts() {
+        let s = TableStats::compute(&["a".into(), "b".into()], &rows());
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.distinct("a"), 2);
+        assert_eq!(s.distinct("b"), 4);
+        assert!(s.avg_tuple_bytes > 0.0);
+    }
+
+    #[test]
+    fn unknown_column_defaults_to_row_count() {
+        let s = TableStats::compute(&["a".into()], &rows());
+        assert_eq!(s.distinct("zzz"), 4);
+    }
+
+    #[test]
+    fn set_distinct_caps_at_row_count() {
+        let s = TableStats::compute(&["a".into(), "b".into()], &rows());
+        // 2 * 4 = 8 > N = 4 → capped
+        assert_eq!(s.distinct_of_set(["a", "b"]), 4);
+        assert_eq!(s.distinct_of_set(["a"]), 2);
+    }
+
+    #[test]
+    fn empty_set_is_one_segment() {
+        let s = TableStats::compute(&["a".into()], &rows());
+        assert_eq!(s.distinct_of_set([]), 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let s = TableStats::compute(&["a".into()], &[]);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.avg_tuple_bytes, 0.0);
+        assert_eq!(s.distinct("a"), 1, "floor at 1 to avoid divide-by-zero");
+    }
+}

@@ -1,0 +1,132 @@
+//! Table and index metadata.
+
+use crate::stats::TableStats;
+use pyro_common::{Result, Schema};
+use pyro_ordering::{AttrSet, SortOrder};
+
+/// A secondary index with *included columns* — the paper's "query covering
+/// index": leaf entries carry `key + included`, so a query touching only
+/// those columns never visits the base table and inherits the key's sort
+/// order for free.
+#[derive(Debug, Clone)]
+pub struct IndexMeta {
+    /// Index name (unique per table).
+    pub name: String,
+    /// Key columns, in index order — this is the sort order an index scan
+    /// guarantees.
+    pub key: SortOrder,
+    /// Non-key columns stored in the leaves.
+    pub included: Vec<String>,
+}
+
+impl IndexMeta {
+    /// All columns materialized in the entry file: key first, then included.
+    pub fn entry_columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = self.key.attrs().to_vec();
+        for c in &self.included {
+            if !cols.contains(c) {
+                cols.push(c.clone());
+            }
+        }
+        cols
+    }
+
+    /// True iff the index *covers* a query needing `required` columns of the
+    /// table (paper footnote 1: contains all attributes of the relation used
+    /// in the query).
+    pub fn covers(&self, required: &AttrSet) -> bool {
+        let have: AttrSet = self.entry_columns().into_iter().collect();
+        required.is_subset(&have)
+    }
+}
+
+/// Metadata for one base table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// Table name.
+    pub name: String,
+    /// Schema with bare column names.
+    pub schema: Schema,
+    /// Physical clustering order of the heap file (`oR`); empty when the
+    /// table is an unordered heap.
+    pub clustering: SortOrder,
+    /// Secondary indices.
+    pub indexes: Vec<IndexMeta>,
+    /// Load-time statistics.
+    pub stats: TableStats,
+}
+
+impl TableMeta {
+    /// Resolves the bare names of `order` to column positions.
+    pub fn key_spec(&self, order: &SortOrder) -> Result<Vec<usize>> {
+        order.attrs().iter().map(|a| self.schema.index_of(a)).collect()
+    }
+
+    /// The index with the given name, if any.
+    pub fn index(&self, name: &str) -> Option<&IndexMeta> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+
+    /// All indices that cover `required` columns.
+    pub fn covering_indexes(&self, required: &AttrSet) -> Vec<&IndexMeta> {
+        self.indexes.iter().filter(|i| i.covers(required)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyro_common::{Column, DataType};
+
+    fn lineitem() -> TableMeta {
+        TableMeta {
+            name: "lineitem".into(),
+            schema: Schema::new(vec![
+                Column::new("l_suppkey", DataType::Int),
+                Column::new("l_partkey", DataType::Int),
+                Column::new("l_quantity", DataType::Double),
+            ]),
+            clustering: SortOrder::new(["l_suppkey"]),
+            indexes: vec![IndexMeta {
+                name: "idx_supp".into(),
+                key: SortOrder::new(["l_suppkey"]),
+                included: vec!["l_partkey".into()],
+            }],
+            stats: TableStats::default(),
+        }
+    }
+
+    #[test]
+    fn entry_columns_dedup() {
+        let idx = IndexMeta {
+            name: "i".into(),
+            key: SortOrder::new(["a", "b"]),
+            included: vec!["b".into(), "c".into()],
+        };
+        assert_eq!(idx.entry_columns(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn covering_check() {
+        let t = lineitem();
+        let need_two = AttrSet::from_iter(["l_suppkey", "l_partkey"]);
+        let need_three = AttrSet::from_iter(["l_suppkey", "l_partkey", "l_quantity"]);
+        assert_eq!(t.covering_indexes(&need_two).len(), 1);
+        assert!(t.covering_indexes(&need_three).is_empty());
+    }
+
+    #[test]
+    fn key_spec_resolution() {
+        let t = lineitem();
+        let ks = t.key_spec(&SortOrder::new(["l_partkey", "l_suppkey"])).unwrap();
+        assert_eq!(ks, vec![1, 0]);
+        assert!(t.key_spec(&SortOrder::new(["nope"])).is_err());
+    }
+
+    #[test]
+    fn index_lookup() {
+        let t = lineitem();
+        assert!(t.index("idx_supp").is_some());
+        assert!(t.index("missing").is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error handling shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, PyroError>;
+
+/// Every way a PYRO operation can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PyroError {
+    /// A column name did not resolve against a schema.
+    UnknownColumn(String),
+    /// A column suffix matched more than one qualified name.
+    AmbiguousColumn(String),
+    /// A table name did not resolve against the catalog.
+    UnknownTable(String),
+    /// Storage-layer failure (out-of-range page, corrupt encoding, ...).
+    Storage(String),
+    /// Executor failure (schema mismatch, unsupported expression, ...).
+    Exec(String),
+    /// Optimizer failure (no plan found, inconsistent properties, ...).
+    Plan(String),
+    /// SQL frontend failure with position information where available.
+    Sql(String),
+}
+
+impl fmt::Display for PyroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PyroError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            PyroError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            PyroError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            PyroError::Storage(m) => write!(f, "storage error: {m}"),
+            PyroError::Exec(m) => write!(f, "execution error: {m}"),
+            PyroError::Plan(m) => write!(f, "planning error: {m}"),
+            PyroError::Sql(m) => write!(f, "SQL error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PyroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PyroError::UnknownColumn("x".into());
+        assert!(e.to_string().contains("unknown column"));
+        let e = PyroError::Sql("expected FROM at offset 12".into());
+        assert!(e.to_string().contains("offset 12"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # pyro-common
+//!
+//! Shared foundation types for the PYRO order-optimization engine — the Rust
+//! reproduction of *"Reducing Order Enforcement Cost in Complex Query Plans"*
+//! (Guravannavar, Sudarshan, Diwan, Sobhan Babu; ICDE 2007).
+//!
+//! This crate deliberately contains no I/O and no policy: just the value
+//! model ([`Value`]), row model ([`Tuple`]), schema model ([`Schema`]) and the
+//! error type ([`PyroError`]) every other crate builds on.
+
+pub mod error;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{PyroError, Result};
+pub use schema::{Column, DataType, Schema};
+pub use tuple::{KeySpec, Tuple};
+pub use value::Value;

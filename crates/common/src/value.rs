@@ -1,0 +1,259 @@
+//! The scalar value model.
+//!
+//! PYRO is a sort-order research engine, so the one non-negotiable property
+//! of [`Value`] is a *total* order: external sorting, merge joins and
+//! replacement selection all rely on `Ord`. `Null` sorts **last** (like
+//! PostgreSQL's default for ascending order — and required so a merge full
+//! outer join can emit NULL-padded rows at the end of the stream without
+//! breaking its output-order guarantee), doubles are compared by
+//! `total_cmp`, and cross-type comparisons fall back to a fixed type rank so
+//! a heterogeneous heap can never panic.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed scalar stored in a [`crate::Tuple`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL. Sorts after every non-null value (NULLS LAST).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float, totally ordered via `f64::total_cmp`.
+    Double(f64),
+    /// Variable-length UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Type rank used to order values of different types
+    /// (Int/Double < Str < Null).
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Int(_) | Value::Double(_) => 0,
+            Value::Str(_) => 1,
+            Value::Null => 2,
+        }
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, widening integers, if numeric.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True iff this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// In-memory footprint estimate in bytes, used for sort-memory budgeting.
+    ///
+    /// The numbers are deliberately simple (tag + payload) — the paper's cost
+    /// model works in average tuple sizes, not exact allocator bytes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 9,
+            Value::Double(_) => 9,
+            Value::Str(s) => 1 + 4 + s.len(),
+        }
+    }
+
+    /// Arithmetic addition with SQL NULL propagation; numeric types widen to
+    /// `Double` when mixed.
+    pub fn add(&self, other: &Value) -> Value {
+        Value::numeric_binop(self, other, |a, b| a + b, |a, b| a.wrapping_add(b))
+    }
+
+    /// Arithmetic subtraction with NULL propagation.
+    pub fn sub(&self, other: &Value) -> Value {
+        Value::numeric_binop(self, other, |a, b| a - b, |a, b| a.wrapping_sub(b))
+    }
+
+    /// Arithmetic multiplication with NULL propagation.
+    pub fn mul(&self, other: &Value) -> Value {
+        Value::numeric_binop(self, other, |a, b| a * b, |a, b| a.wrapping_mul(b))
+    }
+
+    fn numeric_binop(
+        a: &Value,
+        b: &Value,
+        f_f: impl Fn(f64, f64) -> f64,
+        f_i: impl Fn(i64, i64) -> i64,
+    ) -> Value {
+        match (a, b) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Int(x), Value::Int(y)) => Value::Int(f_i(*x, *y)),
+            _ => match (a.as_double(), b.as_double()) {
+                (Some(x), Some(y)) => Value::Double(f_f(x, y)),
+                _ => Value::Null,
+            },
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Mixed numerics compare numerically so Int(2) == sort-adjacent to Double(2.0).
+            (Int(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Value::Double(v) => {
+                // Hash the bit pattern; consistent with total_cmp equality.
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_last() {
+        assert!(Value::Null > Value::Int(i64::MAX));
+        assert!(Value::Null > Value::Str("zzz".into()));
+        assert!(Value::Null > Value::Double(f64::INFINITY));
+        assert_eq!(Value::Null.cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn int_ordering() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert_eq!(Value::Int(5).cmp(&Value::Int(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn mixed_numeric_ordering() {
+        assert!(Value::Int(1) < Value::Double(1.5));
+        assert!(Value::Double(0.5) < Value::Int(1));
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert!(Value::Str("abc".into()) < Value::Str("abd".into()));
+    }
+
+    #[test]
+    fn numbers_sort_before_strings() {
+        assert!(Value::Int(999) < Value::Str("0".into()));
+    }
+
+    #[test]
+    fn double_total_order_handles_nan() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Double(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(Value::Int(2).mul(&Value::Int(3)), Value::Int(6));
+        assert_eq!(Value::Int(2).add(&Value::Double(0.5)), Value::Double(2.5));
+        assert_eq!(Value::Null.mul(&Value::Int(3)), Value::Null);
+        assert_eq!(Value::Int(7).sub(&Value::Int(2)), Value::Int(5));
+    }
+
+    #[test]
+    fn byte_size_accounts_for_strings() {
+        assert_eq!(Value::Str("abcd".into()).byte_size(), 1 + 4 + 4);
+        assert_eq!(Value::Int(0).byte_size(), 9);
+        assert_eq!(Value::Null.byte_size(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::Int(3).as_double(), Some(3.0));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+    }
+}

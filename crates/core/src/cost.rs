@@ -1,0 +1,206 @@
+//! The cost model (§3.2).
+//!
+//! Costs are expressed in block-I/O units; CPU work is translated into the
+//! same units via small configurable factors ("CPU cost is appropriately
+//! translated into I/O cost units", §3). The two formulas at the heart of
+//! the paper:
+//!
+//! ```text
+//! coe(e, ε, o)  = cpu_cost(e, o)                    if B(e) ≤ M
+//!               = B(e)·(2·⌈log_{M−1}(B(e)/M)⌉ + 1)  otherwise
+//!
+//! coe(e, o1, o2) = D(e, attrs(os)) · coe(e', ε, or)
+//!                  where os = o2 ∧ o1, or = o2 − os,
+//!                        N(e') = N(e)/D, B(e') = B(e)/D
+//! ```
+//!
+//! The second is what makes *partial* sort enforcement cheap: each of the
+//! `D` partial-sort segments is costed independently — usually in-memory.
+
+use crate::stats::NodeStats;
+use pyro_ordering::SortOrder;
+
+/// Tunable constants of the cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Block size in bytes (paper: 4 KB).
+    pub block_size: usize,
+    /// Sort memory in blocks — the `M` of the formulas (paper: 10 000
+    /// blocks = 40 MB; scaled deployments use less).
+    pub sort_mem_blocks: f64,
+    /// I/O-units per scalar key comparison.
+    pub cmp_io: f64,
+    /// I/O-units per tuple passed through an operator.
+    pub tuple_io: f64,
+    /// I/O-units per tuple hashed (build or probe).
+    pub hash_io: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            block_size: 4096,
+            sort_mem_blocks: 100.0,
+            cmp_io: 1e-5,
+            tuple_io: 5e-6,
+            // Hashing a key + bucket traversal costs several comparisons'
+            // worth of CPU per tuple.
+            hash_io: 5e-5,
+        }
+    }
+}
+
+impl CostParams {
+    /// CPU cost of sorting `n` tuples: `n·log2(n)` comparisons in I/O units.
+    pub fn cpu_sort(&self, rows: f64) -> f64 {
+        let n = rows.max(2.0);
+        self.cmp_io * n * n.log2()
+    }
+
+    /// `coe(e, ε, o)`: full-sort enforcement cost for an input of `rows`
+    /// tuples in `blocks` blocks.
+    pub fn coe_full(&self, rows: f64, blocks: f64) -> f64 {
+        let m = self.sort_mem_blocks;
+        if blocks <= m {
+            self.cpu_sort(rows)
+        } else {
+            let passes = ((blocks / m).log2() / (m - 1.0).log2()).ceil().max(1.0);
+            blocks * (2.0 * passes + 1.0)
+        }
+    }
+
+    /// `coe(e, o1, o2)` where the common prefix has already been factored
+    /// out by the caller into `segments = D(e, attrs(o2 ∧ o1))`; `rest_len`
+    /// is `|o2 − os|`. Returns 0 when nothing remains to sort.
+    pub fn coe_partial(&self, stats: &NodeStats, segments: f64, rest_len: usize) -> f64 {
+        if rest_len == 0 {
+            return 0.0;
+        }
+        let d = segments.max(1.0);
+        let seg_rows = (stats.rows / d).max(1.0);
+        let seg_blocks = (stats.blocks(self.block_size) / d).max(1.0);
+        d * self.coe_full(seg_rows, seg_blocks)
+    }
+
+    /// Enforcement cost from a known order `have` to target `need`, with
+    /// prefix matching decided by the caller-provided equivalence test.
+    /// Returns `(cost, matched_prefix_len)`.
+    pub fn coe_order(
+        &self,
+        stats: &NodeStats,
+        have: &SortOrder,
+        need: &SortOrder,
+        same: impl Fn(&str, &str) -> bool,
+    ) -> (f64, usize) {
+        let k = have
+            .attrs()
+            .iter()
+            .zip(need.attrs())
+            .take_while(|(h, n)| same(h, n))
+            .count();
+        let os_attrs: Vec<&str> = need.attrs()[..k].iter().map(String::as_str).collect();
+        let segments = stats.distinct_of(os_attrs.iter().copied());
+        let rest = need.len() - k;
+        (self.coe_partial(stats, segments, rest), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn stats(rows: f64, avg_bytes: f64, distinct: &[(&str, f64)]) -> NodeStats {
+        NodeStats {
+            rows,
+            avg_bytes,
+            distinct: distinct
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect::<HashMap<_, _>>(),
+        }
+    }
+
+    #[test]
+    fn in_memory_sorts_are_cpu_only() {
+        let p = CostParams::default();
+        // 100 blocks budget, tiny input
+        let c = p.coe_full(1000.0, 10.0);
+        assert!(c < 1.0, "in-memory sort should cost well under one I/O: {c}");
+    }
+
+    #[test]
+    fn external_sort_charges_passes() {
+        let p = CostParams::default();
+        let b = 1000.0; // 10× memory
+        let c = p.coe_full(100_000.0, b);
+        assert_eq!(c, b * 3.0, "one merge pass: read+write runs + final read");
+        // much larger input → more passes
+        let c2 = p.coe_full(10_000_000.0, 1_000_000.0);
+        assert!(c2 > c);
+    }
+
+    #[test]
+    fn partial_sort_much_cheaper_than_full() {
+        let p = CostParams::default();
+        let s = stats(2_000_000.0, 100.0, &[("y", 1000.0)]);
+        let b = s.blocks(4096);
+        assert!(b > p.sort_mem_blocks);
+        let full = p.coe_full(s.rows, b);
+        // 1000 segments of ~49 blocks each fit in the 100-block budget →
+        // every segment sorts in memory, so the partial sort is CPU-only.
+        let partial = p.coe_partial(&s, 1000.0, 3);
+        assert!(
+            partial < full / 10.0,
+            "partial {partial} should beat full {full} decisively"
+        );
+    }
+
+    #[test]
+    fn partial_sort_converges_to_full_when_segments_outgrow_memory() {
+        // Figure 9's right edge: one giant segment = plain external sort.
+        let p = CostParams::default();
+        let s = stats(2_000_000.0, 100.0, &[("y", 1.0)]);
+        let full = p.coe_full(s.rows, s.blocks(4096));
+        let partial = p.coe_partial(&s, 1.0, 3);
+        assert!((partial - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coe_order_matches_prefix_under_equivalence() {
+        let p = CostParams::default();
+        let s = stats(10_000.0, 50.0, &[("a", 50.0), ("b", 200.0)]);
+        let have = SortOrder::new(["a"]);
+        let need = SortOrder::new(["a", "b"]);
+        let (cost, k) = p.coe_order(&s, &have, &need, |x, y| x == y);
+        assert_eq!(k, 1);
+        assert!(cost > 0.0);
+        // exact match → zero
+        let (cost, k) = p.coe_order(&s, &need, &need, |x, y| x == y);
+        assert_eq!((cost, k), (0.0, 2));
+        // no overlap → full sort cost with D(∅)=1 segment
+        let (cost_none, k) = p.coe_order(&s, &SortOrder::new(["z"]), &need, |x, y| x == y);
+        assert_eq!(k, 0);
+        let full = p.coe_full(s.rows, s.blocks(4096));
+        assert!((cost_none - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coe_order_uses_equivalence() {
+        let p = CostParams::default();
+        let s = stats(1000.0, 50.0, &[("l.k", 100.0)]);
+        let have = SortOrder::new(["l.k"]);
+        let need = SortOrder::new(["r.k"]);
+        let (cost, k) = p.coe_order(&s, &have, &need, |_, _| true);
+        assert_eq!((cost, k), (0.0, 1));
+    }
+
+    #[test]
+    fn empty_need_is_free() {
+        let p = CostParams::default();
+        let s = stats(1000.0, 50.0, &[]);
+        let (cost, _) =
+            p.coe_order(&s, &SortOrder::empty(), &SortOrder::empty(), |x, y| x == y);
+        assert_eq!(cost, 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Column equivalence classes.
+//!
+//! Join predicates `l = r` make the two columns interchangeable for ordering
+//! purposes: a stream sorted on `ps_partkey` after `ps_partkey = l_partkey`
+//! is also sorted on `l_partkey`, and an `ORDER BY ps_partkey` above the
+//! join is satisfied either way. This is the small slice of Simmen et
+//! al.-style order inference the paper's techniques assume. Implemented as a
+//! union-find over qualified column names.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Union-find over column names.
+#[derive(Debug, Default)]
+pub struct EquivMap {
+    parent: RefCell<HashMap<String, String>>,
+}
+
+impl EquivMap {
+    /// Empty map: every column is its own class.
+    pub fn new() -> Self {
+        EquivMap::default()
+    }
+
+    fn find(&self, name: &str) -> String {
+        let mut parent = self.parent.borrow_mut();
+        let mut cur = name.to_string();
+        let mut path = Vec::new();
+        while let Some(p) = parent.get(&cur) {
+            if p == &cur {
+                break;
+            }
+            path.push(cur.clone());
+            cur = p.clone();
+        }
+        for n in path {
+            parent.insert(n, cur.clone());
+        }
+        cur
+    }
+
+    /// Representative of `name`'s class (deterministic: lexicographically
+    /// smallest member becomes root).
+    pub fn rep(&self, name: &str) -> String {
+        if self.parent.borrow().contains_key(name) {
+            self.find(name)
+        } else {
+            name.to_string()
+        }
+    }
+
+    /// Declares `a = b`.
+    pub fn union(&mut self, a: &str, b: &str) {
+        {
+            let mut parent = self.parent.borrow_mut();
+            parent.entry(a.to_string()).or_insert_with(|| a.to_string());
+            parent.entry(b.to_string()).or_insert_with(|| b.to_string());
+        }
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Smaller name becomes the root so reps are deterministic.
+            let (root, child) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.borrow_mut().insert(child, root);
+        }
+    }
+
+    /// True iff the two columns are known equal.
+    pub fn same(&self, a: &str, b: &str) -> bool {
+        self.rep(a) == self.rep(b)
+    }
+
+    /// All known members of `name`'s class (including `name` itself),
+    /// sorted. Columns never unioned have a singleton class.
+    pub fn class_members(&self, name: &str) -> Vec<String> {
+        let rep = self.rep(name);
+        let keys: Vec<String> = self.parent.borrow().keys().cloned().collect();
+        let mut members: Vec<String> =
+            keys.into_iter().filter(|k| self.rep(k) == rep).collect();
+        if !members.iter().any(|m| m == name) {
+            members.push(name.to_string());
+        }
+        members.sort();
+        members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflexive_by_default() {
+        let m = EquivMap::new();
+        assert_eq!(m.rep("x"), "x");
+        assert!(m.same("x", "x"));
+        assert!(!m.same("x", "y"));
+    }
+
+    #[test]
+    fn union_transitive() {
+        let mut m = EquivMap::new();
+        m.union("a.k", "b.k");
+        m.union("b.k", "c.k");
+        assert!(m.same("a.k", "c.k"));
+        assert_eq!(m.rep("c.k"), "a.k", "lexicographically smallest is root");
+    }
+
+    #[test]
+    fn separate_classes_stay_separate() {
+        let mut m = EquivMap::new();
+        m.union("a.x", "b.x");
+        m.union("a.y", "b.y");
+        assert!(!m.same("a.x", "a.y"));
+    }
+
+    #[test]
+    fn deterministic_rep_regardless_of_order() {
+        let mut m1 = EquivMap::new();
+        m1.union("z.c", "a.c");
+        let mut m2 = EquivMap::new();
+        m2.union("a.c", "z.c");
+        assert_eq!(m1.rep("z.c"), m2.rep("z.c"));
+    }
+}

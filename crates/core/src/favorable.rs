@@ -1,0 +1,343 @@
+//! Favorable orders — the `afm` (approximate minimal favorable-order set)
+//! computation of §5.1.2.
+//!
+//! `afm(e)` approximates "the sort orders obtainable on `e`'s result at less
+//! than full-sort cost": clustering orders, covering-index orders, and their
+//! propagation through selections, projections, joins and grouping. One
+//! bottom-up pass; the only non-trivial operation is the
+//! set-restricted longest-prefix `o ∧ s`, exactly as the paper analyzes.
+
+use crate::equiv::EquivMap;
+use crate::logical::{LogicalOp, LogicalPlan, NodeId};
+use pyro_catalog::Catalog;
+use pyro_common::Result;
+use pyro_ordering::{AttrSet, SortOrder};
+use std::collections::HashMap;
+
+/// Cap on the afm set size per node; the paper observes real sets are tiny
+/// (`m ≤ 2` for base relations), the cap only guards pathological schemas.
+const AFM_CAP: usize = 8;
+
+/// Computes `afm` for every node. Orders use qualified output-column names
+/// of the respective node; at joins, prefixes restricted to the join
+/// attribute set are expressed in equivalence-class representative names.
+pub fn compute_afm(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    equiv: &EquivMap,
+    referenced_by_alias: &HashMap<String, AttrSet>,
+) -> Result<Vec<Vec<SortOrder>>> {
+    let mut afm: Vec<Vec<SortOrder>> = vec![Vec::new(); plan.len()];
+    for id in 0..plan.len() {
+        afm[id] = node_afm(plan, id, catalog, equiv, referenced_by_alias, &afm)?;
+    }
+    Ok(afm)
+}
+
+/// `o ∧ s` under equivalence: the longest prefix of `o` whose attributes'
+/// representatives belong to `s` (which must itself hold representative
+/// names); the result is expressed in representative names.
+pub fn lcp_with_set_equiv(o: &SortOrder, s: &AttrSet, equiv: &EquivMap) -> SortOrder {
+    let mut out = Vec::new();
+    for a in o.attrs() {
+        let rep = equiv.rep(a);
+        if s.contains(&rep) && !out.contains(&rep) {
+            out.push(rep);
+        } else {
+            break;
+        }
+    }
+    SortOrder::new(out)
+}
+
+fn dedup_capped(mut orders: Vec<SortOrder>) -> Vec<SortOrder> {
+    orders.retain(|o| !o.is_empty());
+    orders.sort();
+    orders.dedup();
+    // Prefer longer orders when trimming to the cap (subsumption rule 3 of
+    // ford-min: a longer order at equal cost dominates its prefixes).
+    orders.sort_by_key(|o| std::cmp::Reverse(o.len()));
+    orders.truncate(AFM_CAP);
+    orders.sort();
+    orders
+}
+
+fn node_afm(
+    plan: &LogicalPlan,
+    id: NodeId,
+    catalog: &Catalog,
+    equiv: &EquivMap,
+    referenced_by_alias: &HashMap<String, AttrSet>,
+    done: &[Vec<SortOrder>],
+) -> Result<Vec<SortOrder>> {
+    Ok(match plan.node(id) {
+        // Rule 1: clustering order + covering secondary index orders.
+        LogicalOp::Scan { table, alias } => {
+            let handle = catalog.table(table)?;
+            let mut out = Vec::new();
+            if !handle.meta.clustering.is_empty() {
+                out.push(qualify_order(&handle.meta.clustering, alias));
+            }
+            let required = referenced_by_alias
+                .get(alias)
+                .cloned()
+                .unwrap_or_default();
+            // Strip the alias qualifier to compare with index metadata,
+            // which uses bare column names.
+            let bare_required: AttrSet = required
+                .iter()
+                .map(|c| c.rsplit('.').next().unwrap_or(c).to_string())
+                .collect();
+            for idx in &handle.meta.indexes {
+                if idx.covers(&bare_required) {
+                    out.push(qualify_order(&idx.key, alias));
+                }
+            }
+            dedup_capped(out)
+        }
+        // Rule 2: selections pass favorable orders through.
+        LogicalOp::Filter { input, .. } => done[*input].clone(),
+        // Rule 3: longest prefixes within the projected columns.
+        LogicalOp::Project { input, items } => {
+            let kept: AttrSet = items
+                .iter()
+                .filter(|it| matches!(&it.expr, crate::logical::NExpr::Col(c) if c == &it.name))
+                .map(|it| it.name.clone())
+                .collect();
+            dedup_capped(
+                done[*input]
+                    .iter()
+                    .map(|o| o.lcp_with_set(&kept))
+                    .collect(),
+            )
+        }
+        // Rule 4: input favorable orders survive (nested loops propagates
+        // the outer's order); additionally each input favorable prefix on
+        // the join attributes, extended by an arbitrary permutation of the
+        // remaining join attributes (merge join propagates the chosen join
+        // order).
+        LogicalOp::Join { left, right, pairs, .. } => {
+            let s: AttrSet = pairs.iter().map(|p| equiv.rep(&p.left)).collect();
+            let mut t: Vec<SortOrder> = done[*left]
+                .iter()
+                .chain(done[*right].iter())
+                .cloned()
+                .collect();
+            let mut extended: Vec<SortOrder> = Vec::new();
+            for o in t.iter().chain(std::iter::once(&SortOrder::empty())) {
+                let prefix = lcp_with_set_equiv(o, &s, equiv);
+                extended.push(prefix.extend_with_set(&s));
+            }
+            t.append(&mut extended);
+            dedup_capped(t)
+        }
+        // Rule 5: longest prefix within the group-by columns, extended by
+        // an arbitrary permutation of the rest.
+        LogicalOp::Aggregate { input, group_by, .. } => {
+            let l: AttrSet = group_by.iter().cloned().collect();
+            let mut out = Vec::new();
+            for o in done[*input]
+                .iter()
+                .chain(std::iter::once(&SortOrder::empty()))
+            {
+                out.push(o.lcp_with_set(&l).extend_with_set(&l));
+            }
+            dedup_capped(out)
+        }
+        LogicalOp::Sort { input, .. }
+        | LogicalOp::Distinct { input }
+        | LogicalOp::Limit { input, .. } => done[*input].clone(),
+    })
+}
+
+fn qualify_order(o: &SortOrder, alias: &str) -> SortOrder {
+    o.rename(|a| format!("{alias}.{a}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::JoinPair;
+    use pyro_common::{Schema, Tuple, Value};
+
+    /// catalog1-style setup: ct1 clustered on y, ct2 clustered on m, rt has
+    /// a covering index on m (with y, r included).
+    fn example1_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mk_rows = |key_col: usize| -> Vec<Tuple> {
+            let mut rows: Vec<Tuple> = (0..100)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int(i % 10),
+                        Value::Int(i % 7),
+                        Value::Int(i % 5),
+                        Value::Int(i % 3),
+                    ])
+                })
+                .collect();
+            rows.sort_by(|a, b| a.get(key_col).cmp(b.get(key_col)));
+            rows
+        };
+        cat.register_table(
+            "ct1",
+            Schema::ints(&["y", "m", "c", "co"]),
+            SortOrder::new(["y"]),
+            &mk_rows(0),
+        )
+        .unwrap();
+        cat.register_table(
+            "ct2",
+            Schema::ints(&["y", "m", "c", "co"]),
+            SortOrder::new(["m"]),
+            &mk_rows(1),
+        )
+        .unwrap();
+        cat.register_table(
+            "rt",
+            Schema::ints(&["m", "y", "r"]),
+            SortOrder::new(["m"]),
+            &mk_rows(0),
+        )
+        .unwrap();
+        cat.create_index("rt", "rt_m_cov", SortOrder::new(["m"]), &["y", "r"])
+            .unwrap();
+        cat
+    }
+
+    /// Builds the Example 1 join tree: (ct1 ⋈ ct2) ⋈ rt.
+    fn example1_plan() -> (LogicalPlan, EquivMap) {
+        let mut p = LogicalPlan::new();
+        let c1 = p.scan_as("ct1", "c1");
+        let c2 = p.scan_as("ct2", "c2");
+        let j1 = p.join(
+            c1,
+            c2,
+            vec![
+                JoinPair::new("c1.c", "c2.c"),
+                JoinPair::new("c1.m", "c2.m"),
+                JoinPair::new("c1.y", "c2.y"),
+                JoinPair::new("c1.co", "c2.co"),
+            ],
+        );
+        let rt = p.scan_as("rt", "r");
+        p.join(
+            j1,
+            rt,
+            vec![JoinPair::new("c1.m", "r.m"), JoinPair::new("c1.y", "r.y")],
+        );
+        let mut eq = EquivMap::new();
+        for id in 0..p.len() {
+            if let LogicalOp::Join { pairs, .. } = p.node(id) {
+                for pair in pairs {
+                    eq.union(&pair.left, &pair.right);
+                }
+            }
+        }
+        (p, eq)
+    }
+
+    fn referenced(plan: &LogicalPlan) -> HashMap<String, AttrSet> {
+        let mut m: HashMap<String, AttrSet> = HashMap::new();
+        for col in plan.referenced_columns() {
+            if let Some((alias, _)) = col.split_once('.') {
+                m.entry(alias.to_string()).or_default().insert(col.clone());
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn scan_afm_holds_clustering_and_covering_orders() {
+        let cat = example1_catalog();
+        let (plan, eq) = example1_plan();
+        let afm = compute_afm(&plan, &cat, &eq, &referenced(&plan)).unwrap();
+        // ct1 scan: clustering (y)
+        assert_eq!(afm[0], vec![SortOrder::new(["c1.y"])]);
+        // ct2 scan: clustering (m)
+        assert_eq!(afm[1], vec![SortOrder::new(["c2.m"])]);
+        // rt scan: clustering (m) + covering index (m); deduped by rep? The
+        // two orders differ in name: r.m for both → single entry.
+        assert_eq!(afm[3], vec![SortOrder::new(["r.m"])]);
+    }
+
+    #[test]
+    fn join_afm_extends_prefixes_like_paper_example() {
+        // Paper §5.2.1: afm(ct1 ⋈ ct2) = {(y, co, c, m), (m, co, c, y)}
+        // modulo the arbitrary suffix permutation (the paper writes
+        // (y, co, c, m); our canonical suffix is lexicographic).
+        let cat = example1_catalog();
+        let (plan, eq) = example1_plan();
+        let afm = compute_afm(&plan, &cat, &eq, &referenced(&plan)).unwrap();
+        let j1 = &afm[2];
+        // Must contain a 4-attr order starting with the rep of y and one
+        // starting with the rep of m.
+        let rep_y = eq.rep("c1.y");
+        let rep_m = eq.rep("c1.m");
+        assert!(
+            j1.iter().any(|o| o.len() == 4 && o.attrs()[0] == rep_y),
+            "want a y-led extension in {j1:?}"
+        );
+        assert!(
+            j1.iter().any(|o| o.len() == 4 && o.attrs()[0] == rep_m),
+            "want an m-led extension in {j1:?}"
+        );
+    }
+
+    #[test]
+    fn top_join_afm_projects_to_its_attrs() {
+        // Paper: afm((ct1 ⋈ ct2) ⋈ rt) = {(y, m), (m, y)}.
+        let cat = example1_catalog();
+        let (plan, eq) = example1_plan();
+        let afm = compute_afm(&plan, &cat, &eq, &referenced(&plan)).unwrap();
+        let top = &afm[4];
+        let rep_y = eq.rep("c1.y");
+        let rep_m = eq.rep("c1.m");
+        assert!(
+            top.iter()
+                .any(|o| o.len() == 2 && o.attrs()[0] == rep_y && o.attrs()[1] == rep_m),
+            "want (y, m) in {top:?}"
+        );
+        assert!(
+            top.iter()
+                .any(|o| o.len() == 2 && o.attrs()[0] == rep_m && o.attrs()[1] == rep_y),
+            "want (m, y) in {top:?}"
+        );
+    }
+
+    #[test]
+    fn aggregate_afm_restricts_to_group_cols() {
+        let cat = example1_catalog();
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("ct1", "c1");
+        p.aggregate(s, vec!["c1.y", "c1.m"], vec![]);
+        let eq = EquivMap::new();
+        let afm = compute_afm(&p, &cat, &eq, &referenced(&p)).unwrap();
+        // clustering (y) → prefix (y) extended with m → (y, m); plus the
+        // ε-extension ⟨{m,y}⟩ = (c1.m, c1.y).
+        assert!(afm[1].contains(&SortOrder::new(["c1.y", "c1.m"])));
+        assert!(afm[1].contains(&SortOrder::new(["c1.m", "c1.y"])));
+    }
+
+    #[test]
+    fn covering_check_respects_referenced_columns() {
+        let mut cat = Catalog::new();
+        let rows: Vec<Tuple> = (0..10)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i), Value::Int(i)]))
+            .collect();
+        cat.register_table("t", Schema::ints(&["a", "b", "c"]), SortOrder::new(["a"]), &rows)
+            .unwrap();
+        // Index on b includes a — does NOT cover queries touching c.
+        cat.create_index("t", "t_b", SortOrder::new(["b"]), &["a"]).unwrap();
+
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t", "t");
+        p.project(s, vec![crate::logical::ProjItem::col("t.c")]);
+        let eq = EquivMap::new();
+        let afm = compute_afm(&p, &cat, &eq, &referenced(&p)).unwrap();
+        assert_eq!(
+            afm[0],
+            vec![SortOrder::new(["t.a"])],
+            "index must not appear: it does not cover column c"
+        );
+    }
+}

@@ -1,0 +1,841 @@
+//! The Volcano-style search (§3.2 + §5.2.1).
+//!
+//! An optimization goal is a pair `(logical node, required output order)`.
+//! For each goal the optimizer enumerates the physical alternatives, adds a
+//! (partial) sort enforcer wherever an alternative's guaranteed order does
+//! not subsume the requirement, and memoizes the cheapest result. The
+//! interesting orders tried at merge joins and sort aggregates come from the
+//! configured [`Strategy`].
+
+use crate::cost::CostParams;
+use crate::equiv::EquivMap;
+use crate::favorable::{compute_afm, lcp_with_set_equiv};
+use crate::logical::{LogicalOp, LogicalPlan, NExpr, NodeId};
+use crate::plan::{PhysNode, PhysOp};
+use crate::stats::{derive_stats, NodeStats};
+use crate::strategy::Strategy;
+use pyro_catalog::Catalog;
+use pyro_common::{PyroError, Result, Schema, Tuple};
+use pyro_exec::CmpOp;
+use pyro_ordering::{AttrSet, SortOrder};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The optimizer facade.
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    strategy: Strategy,
+    params: CostParams,
+    enable_hash: bool,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer with the paper's full machinery (`PYRO-O`).
+    /// The sort-memory budget `M` is taken from the catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        let params = CostParams {
+            block_size: catalog.device().block_size(),
+            sort_mem_blocks: catalog.sort_memory_blocks() as f64,
+            ..CostParams::default()
+        };
+        Optimizer { catalog, strategy: Strategy::pyro_o(), params, enable_hash: true }
+    }
+
+    /// Selects a different interesting-order strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides cost-model constants.
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enables or disables hash join / hash aggregate alternatives.
+    ///
+    /// The paper's PYRO prototype explores sort-based plans (its Experiment
+    /// B3 gaps presume no hash fallback); benches reproducing Fig. 15 turn
+    /// hashing off, while the default keeps the modern full plan space.
+    pub fn with_hash(mut self, enable: bool) -> Self {
+        self.enable_hash = enable;
+        self
+    }
+
+    /// Optimizes a logical plan into a physical plan.
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<OptimizedPlan> {
+        let mut ctx =
+            Ctx::build(plan, self.catalog, self.strategy, self.params, HashMap::new())?;
+        ctx.enable_hash = self.enable_hash;
+        let ctx = ctx;
+        let mut best = best_plan(&ctx, plan.root(), &SortOrder::empty())?;
+        if self.strategy.refine {
+            if let Some(better) = crate::refine::refine(&ctx, self, plan, &best)? {
+                best = better;
+            }
+        }
+        Ok(OptimizedPlan { root: best, strategy: self.strategy })
+    }
+
+    /// Re-optimizes with specific merge-join orders pinned (phase-2 uses
+    /// this to apply reworked orders).
+    pub(crate) fn optimize_forced(
+        &self,
+        plan: &LogicalPlan,
+        forced: HashMap<NodeId, SortOrder>,
+    ) -> Result<OptimizedPlan> {
+        let mut ctx = Ctx::build(plan, self.catalog, self.strategy, self.params, forced)?;
+        ctx.enable_hash = self.enable_hash;
+        let best = best_plan(&ctx, plan.root(), &SortOrder::empty())?;
+        Ok(OptimizedPlan { root: best, strategy: self.strategy })
+    }
+}
+
+/// Result of optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// The chosen physical plan.
+    pub root: Rc<PhysNode>,
+    /// Strategy that produced it.
+    pub strategy: Strategy,
+}
+
+impl OptimizedPlan {
+    /// Total estimated cost in I/O units.
+    pub fn cost(&self) -> f64 {
+        self.root.cost
+    }
+
+    /// Pretty-printed plan tree.
+    pub fn explain(&self) -> String {
+        self.root.explain()
+    }
+
+    /// Compiles to a runnable operator pipeline.
+    pub fn compile(
+        &self,
+        catalog: &Catalog,
+    ) -> Result<(pyro_exec::BoxOp, pyro_exec::MetricsRef)> {
+        crate::compile::compile(&self.root, catalog)
+    }
+
+    /// Compiles and drains the pipeline; returns rows plus metrics.
+    pub fn execute(&self, catalog: &Catalog) -> Result<(Vec<Tuple>, pyro_exec::MetricsRef)> {
+        let (op, metrics) = self.compile(catalog)?;
+        Ok((pyro_exec::collect(op)?, metrics))
+    }
+}
+
+/// Everything a single optimization run needs.
+pub(crate) struct Ctx<'a> {
+    pub plan: &'a LogicalPlan,
+    pub catalog: &'a Catalog,
+    pub stats: Vec<NodeStats>,
+    pub schemas: Vec<Schema>,
+    pub afm: Vec<Vec<SortOrder>>,
+    pub equiv: EquivMap,
+    pub params: CostParams,
+    pub strategy: Strategy,
+    pub forced: HashMap<NodeId, SortOrder>,
+    pub enable_hash: bool,
+    memo: RefCell<Memo>,
+}
+
+/// Memo table: goal (node id, rep-normalized required order) → best plan.
+type Memo = HashMap<(NodeId, Vec<String>), Rc<PhysNode>>;
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn build(
+        plan: &'a LogicalPlan,
+        catalog: &'a Catalog,
+        strategy: Strategy,
+        params: CostParams,
+        forced: HashMap<NodeId, SortOrder>,
+    ) -> Result<Ctx<'a>> {
+        // Equivalences from join pairs and col=col equality filters.
+        let mut equiv = EquivMap::new();
+        for id in 0..plan.len() {
+            match plan.node(id) {
+                LogicalOp::Join { pairs, .. } => {
+                    for p in pairs {
+                        equiv.union(&p.left, &p.right);
+                    }
+                }
+                LogicalOp::Filter { predicate, .. } => collect_filter_equivs(predicate, &mut equiv),
+                _ => {}
+            }
+        }
+        // Columns referenced per alias (covering-index checks).
+        let mut referenced: HashMap<String, AttrSet> = HashMap::new();
+        for col in plan.referenced_columns() {
+            if let Some((alias, _)) = col.split_once('.') {
+                referenced.entry(alias.to_string()).or_default().insert(col.clone());
+            }
+        }
+        let stats = derive_stats(plan, catalog)?;
+        let resolver = |table: &str, alias: &str| -> Result<Schema> {
+            Ok(catalog.table(table)?.meta.schema.qualify(alias))
+        };
+        let schemas: Vec<Schema> = (0..plan.len())
+            .map(|id| plan.schema(id, &resolver))
+            .collect::<Result<_>>()?;
+        let afm = compute_afm(plan, catalog, &equiv, &referenced)?;
+        Ok(Ctx {
+            plan,
+            catalog,
+            stats,
+            schemas,
+            afm,
+            equiv,
+            params,
+            strategy,
+            forced,
+            enable_hash: true,
+            memo: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// True iff `have` guarantees `need` (prefix under equivalence).
+    pub(crate) fn satisfies(&self, have: &SortOrder, need: &SortOrder) -> bool {
+        need.len() <= have.len()
+            && need
+                .attrs()
+                .iter()
+                .zip(have.attrs())
+                .all(|(n, h)| self.equiv.same(n, h))
+    }
+
+    fn memo_key(&self, id: NodeId, required: &SortOrder) -> (NodeId, Vec<String>) {
+        (id, required.attrs().iter().map(|a| self.equiv.rep(a)).collect())
+    }
+}
+
+fn collect_filter_equivs(pred: &NExpr, equiv: &mut EquivMap) {
+    match pred {
+        NExpr::And(terms) => {
+            for t in terms {
+                collect_filter_equivs(t, equiv);
+            }
+        }
+        NExpr::Cmp(CmpOp::Eq, a, b) => {
+            if let (NExpr::Col(x), NExpr::Col(y)) = (a.as_ref(), b.as_ref()) {
+                equiv.union(x, y);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Maps an order into the name space of `names` (longest prefix whose
+/// attributes are equivalent to members of `names`, emitted as those
+/// members).
+fn project_order_to_names(order: &SortOrder, names: &AttrSet, equiv: &EquivMap) -> SortOrder {
+    let rep_to_name: HashMap<String, String> =
+        names.iter().map(|n| (equiv.rep(n), n.to_string())).collect();
+    let mut out: Vec<String> = Vec::new();
+    for a in order.attrs() {
+        match rep_to_name.get(&equiv.rep(a)) {
+            Some(n) if !out.contains(n) => out.push(n.clone()),
+            _ => break,
+        }
+    }
+    SortOrder::new(out)
+}
+
+/// The memoized goal solver: cheapest plan for `(id, required)`.
+pub(crate) fn best_plan(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Rc<PhysNode>> {
+    let key = ctx.memo_key(id, required);
+    if let Some(hit) = ctx.memo.borrow().get(&key) {
+        return Ok(hit.clone());
+    }
+    let candidates = gen_candidates(ctx, id, required)?;
+    let mut best: Option<Rc<PhysNode>> = None;
+    for cand in candidates {
+        let finished = enforce(ctx, id, cand, required);
+        if best.as_ref().is_none_or(|b| finished.cost < b.cost) {
+            best = Some(finished);
+        }
+    }
+    let best = best.ok_or_else(|| {
+        PyroError::Plan(format!("no physical plan for node {id} with order {required}"))
+    })?;
+    ctx.memo.borrow_mut().insert(key, best.clone());
+    Ok(best)
+}
+
+/// Adds a (partial) sort enforcer if the candidate does not already satisfy
+/// the requirement (§3.2).
+fn enforce(ctx: &Ctx, id: NodeId, cand: Rc<PhysNode>, required: &SortOrder) -> Rc<PhysNode> {
+    if required.is_empty() || ctx.satisfies(&cand.out_order, required) {
+        return cand;
+    }
+    let stats = &ctx.stats[id];
+    let have = if ctx.strategy.partial_enforcers {
+        cand.out_order.clone()
+    } else {
+        // Exact-match-only optimizers re-sort from scratch.
+        SortOrder::empty()
+    };
+    let (coe, k) = ctx
+        .params
+        .coe_order(stats, &have, required, |a, b| ctx.equiv.same(a, b));
+    let op = if k > 0 {
+        PhysOp::PartialSort { prefix_len: k, target: required.clone() }
+    } else {
+        PhysOp::Sort { target: required.clone() }
+    };
+    Rc::new(PhysNode {
+        op,
+        schema: cand.schema.clone(),
+        out_order: required.clone(),
+        cost: cand.cost + coe,
+        rows: cand.rows,
+        logical: id,
+        children: vec![cand],
+    })
+}
+
+/// Enumerates the physical alternatives for one logical node.
+fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<PhysNode>>> {
+    let stats = &ctx.stats[id];
+    let mut out: Vec<Rc<PhysNode>> = Vec::new();
+    match ctx.plan.node(id) {
+        LogicalOp::Scan { table, alias } => {
+            let handle = ctx.catalog.table(table)?;
+            let schema = handle.meta.schema.qualify(alias);
+            let heap_blocks = handle.heap.block_count().max(1) as f64;
+            if handle.meta.clustering.is_empty() {
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::TableScan { table: table.clone(), alias: alias.clone() },
+                    children: vec![],
+                    schema: schema.clone(),
+                    out_order: SortOrder::empty(),
+                    cost: heap_blocks,
+                    rows: stats.rows,
+                    logical: id,
+                }));
+            } else {
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::ClusteredIndexScan { table: table.clone(), alias: alias.clone() },
+                    children: vec![],
+                    schema: schema.clone(),
+                    out_order: handle.meta.clustering.rename(|a| format!("{alias}.{a}")),
+                    cost: heap_blocks,
+                    rows: stats.rows,
+                    logical: id,
+                }));
+            }
+            for idx in &handle.meta.indexes {
+                let Some(file) = handle.index_files.get(&idx.name) else { continue };
+                // Only indices that cover this alias's referenced columns
+                // were admitted to afm; for scan candidates we re-check
+                // against the full query's referenced set.
+                let entry_cols = idx.entry_columns();
+                let referenced: Vec<String> = ctx
+                    .plan
+                    .referenced_columns()
+                    .into_iter()
+                    .filter(|c| c.starts_with(&format!("{alias}.")))
+                    .map(|c| c.rsplit('.').next().unwrap_or(&c).to_string())
+                    .collect();
+                if !referenced.iter().all(|c| entry_cols.contains(c)) {
+                    continue;
+                }
+                let entry_schema = Schema::new(
+                    entry_cols
+                        .iter()
+                        .map(|c| {
+                            let i = handle.meta.schema.index_of(c)?;
+                            Ok(pyro_common::Column::new(
+                                format!("{alias}.{c}"),
+                                handle.meta.schema.column(i).ty,
+                            ))
+                        })
+                        .collect::<Result<Vec<_>>>()?,
+                );
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::CoveringIndexScan {
+                        table: table.clone(),
+                        alias: alias.clone(),
+                        index: idx.name.clone(),
+                    },
+                    children: vec![],
+                    schema: entry_schema,
+                    out_order: idx.key.rename(|a| format!("{alias}.{a}")),
+                    cost: file.block_count().max(1) as f64,
+                    rows: stats.rows,
+                    logical: id,
+                }));
+            }
+        }
+        LogicalOp::Filter { input, predicate } => {
+            for goal in child_goals(ctx, *input, required) {
+                let child = best_plan(ctx, *input, &goal)?;
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::Filter { predicate: predicate.clone() },
+                    schema: child.schema.clone(),
+                    out_order: child.out_order.clone(),
+                    cost: child.cost + ctx.params.tuple_io * ctx.stats[*input].rows,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![child],
+                }));
+            }
+        }
+        LogicalOp::Project { input, items } => {
+            // Pass-through column names survive the projection; an order is
+            // preserved up to its first dropped column.
+            let kept: AttrSet = items
+                .iter()
+                .filter(|it| matches!(&it.expr, NExpr::Col(c) if c == &it.name))
+                .map(|it| it.name.clone())
+                .collect();
+            for goal in child_goals(ctx, *input, &required.lcp_with_set(&kept)) {
+                let child = best_plan(ctx, *input, &goal)?;
+                let schema = Schema::new(
+                    items
+                        .iter()
+                        .map(|it| {
+                            pyro_common::Column::new(
+                                it.name.clone(),
+                                it.expr.data_type(&child.schema),
+                            )
+                        })
+                        .collect(),
+                );
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::Project { items: items.clone() },
+                    schema,
+                    out_order: child.out_order.lcp_with_set(&kept),
+                    cost: child.cost + ctx.params.tuple_io * ctx.stats[*input].rows,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![child],
+                }));
+            }
+        }
+        LogicalOp::Join { left, right, kind, pairs } => {
+            let s: AttrSet = pairs.iter().map(|p| ctx.equiv.rep(&p.left)).collect();
+            // Favorable prefixes: afm(el, S) ∪ afm(er, S) ∪ {o ∧ S}.
+            let mut prefixes: Vec<SortOrder> = ctx.afm[*left]
+                .iter()
+                .chain(ctx.afm[*right].iter())
+                .map(|o| lcp_with_set_equiv(o, &s, &ctx.equiv))
+                .filter(|o| !o.is_empty())
+                .collect();
+            let req_prefix = lcp_with_set_equiv(required, &s, &ctx.equiv);
+            if !req_prefix.is_empty() {
+                prefixes.push(req_prefix);
+            }
+            prefixes.sort();
+            prefixes.dedup();
+            let orders = match ctx.forced.get(&id) {
+                Some(o) => vec![o.clone()],
+                None => ctx.strategy.candidate_orders(&s, &prefixes),
+            };
+            // Map each representative attribute back to the concrete pair
+            // columns: goals are then guaranteed to resolve on both sides.
+            let rep_to_pair: HashMap<String, &crate::logical::JoinPair> =
+                pairs.iter().map(|pr| (ctx.equiv.rep(&pr.left), pr)).collect();
+            for p in orders {
+                let mut l_attrs = Vec::with_capacity(p.len());
+                let mut r_attrs = Vec::with_capacity(p.len());
+                let mut ok = true;
+                for a in p.attrs() {
+                    match rep_to_pair.get(a) {
+                        Some(pair) => {
+                            l_attrs.push(pair.left.clone());
+                            r_attrs.push(pair.right.clone());
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let l_goal = SortOrder::new(l_attrs);
+                let r_goal = SortOrder::new(r_attrs);
+                let lchild = best_plan(ctx, *left, &l_goal)?;
+                let rchild = best_plan(ctx, *right, &r_goal)?;
+                let cost = lchild.cost
+                    + rchild.cost
+                    + ctx.params.tuple_io * (ctx.stats[*left].rows + ctx.stats[*right].rows);
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::MergeJoin {
+                        kind: *kind,
+                        pairs: pairs.clone(),
+                        order: l_goal.clone(),
+                    },
+                    schema: lchild.schema.join(&rchild.schema),
+                    out_order: l_goal,
+                    cost,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![lchild, rchild],
+                }));
+            }
+            // Full outer joins are merge-only: none of the systems the
+            // paper measured implemented hash (or nested-loops) full outer
+            // joins — SYS2 had to rewrite FO joins as a union of two left
+            // outer joins — and the coordinated-order findings of
+            // Experiment B2 rest on that reality.
+            let hashable =
+                ctx.enable_hash && !matches!(kind, pyro_exec::join::JoinKind::FullOuter);
+            if !ctx.forced.contains_key(&id) && hashable {
+                // Hash join (build = left).
+                let lchild = best_plan(ctx, *left, &SortOrder::empty())?;
+                let rchild = best_plan(ctx, *right, &SortOrder::empty())?;
+                let (bl, br) = (
+                    ctx.stats[*left].blocks(ctx.params.block_size),
+                    ctx.stats[*right].blocks(ctx.params.block_size),
+                );
+                let mut cost = lchild.cost
+                    + rchild.cost
+                    + ctx.params.hash_io * (ctx.stats[*left].rows + ctx.stats[*right].rows);
+                if bl > ctx.params.sort_mem_blocks {
+                    cost += 2.0 * (bl + br); // grace partitioning round-trip
+                }
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::HashJoin { kind: *kind, pairs: pairs.clone() },
+                    schema: lchild.schema.join(&rchild.schema),
+                    out_order: SortOrder::empty(),
+                    cost,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![lchild, rchild],
+                }));
+                // Nested loops: propagates the outer (left) order — the
+                // property afm rule 4 relies on.
+                let lc = best_plan(ctx, *left, &SortOrder::empty())?;
+                let rc = best_plan(ctx, *right, &SortOrder::empty())?;
+                let nl_cost = lc.cost
+                    + rc.cost
+                    + ctx.params.cmp_io * ctx.stats[*left].rows * ctx.stats[*right].rows;
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::NestedLoopsJoin { kind: *kind, pairs: pairs.clone() },
+                    schema: lc.schema.join(&rc.schema),
+                    out_order: lc.out_order.clone(),
+                    cost: nl_cost,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![lc, rc],
+                }));
+            }
+        }
+        LogicalOp::Aggregate { input, group_by, aggs } => {
+            let l: AttrSet = group_by.iter().cloned().collect();
+            let mut prefixes: Vec<SortOrder> = ctx.afm[*input]
+                .iter()
+                .map(|o| project_order_to_names(o, &l, &ctx.equiv))
+                .filter(|o| !o.is_empty())
+                .collect();
+            let req_prefix = project_order_to_names(required, &l, &ctx.equiv);
+            if !req_prefix.is_empty() {
+                prefixes.push(req_prefix);
+            }
+            prefixes.sort();
+            prefixes.dedup();
+            for q in ctx.strategy.candidate_orders(&l, &prefixes) {
+                let child = best_plan(ctx, *input, &q)?;
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::SortAggregate { group_by: group_by.clone(), aggs: aggs.clone() },
+                    schema: ctx.schemas[id].clone(),
+                    out_order: q,
+                    cost: child.cost + ctx.params.tuple_io * ctx.stats[*input].rows,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![child],
+                }));
+            }
+            if ctx.enable_hash {
+                let child = best_plan(ctx, *input, &SortOrder::empty())?;
+                let b_in = ctx.stats[*input].blocks(ctx.params.block_size);
+                let mut cost =
+                    child.cost + ctx.params.hash_io * ctx.stats[*input].rows;
+                if b_in > ctx.params.sort_mem_blocks {
+                    cost += 2.0 * b_in;
+                }
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::HashAggregate { group_by: group_by.clone(), aggs: aggs.clone() },
+                    schema: ctx.schemas[id].clone(),
+                    out_order: SortOrder::empty(),
+                    cost,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![child],
+                }));
+            }
+        }
+        LogicalOp::Sort { input, order } => {
+            // The ORDER BY is itself a goal: delegate to the child with the
+            // target order; enforcement happens inside `best_plan`.
+            out.push(best_plan(ctx, *input, order)?);
+        }
+        LogicalOp::Distinct { input } => {
+            // DISTINCT over all columns: any permutation of the output
+            // columns works for the streaming implementation — the same
+            // factorial space as merge joins (paper §1).
+            let l: AttrSet = ctx.schemas[id].names().into_iter().collect();
+            let mut prefixes: Vec<SortOrder> = ctx.afm[*input]
+                .iter()
+                .map(|o| project_order_to_names(o, &l, &ctx.equiv))
+                .filter(|o| !o.is_empty())
+                .collect();
+            let req_prefix = project_order_to_names(required, &l, &ctx.equiv);
+            if !req_prefix.is_empty() {
+                prefixes.push(req_prefix);
+            }
+            prefixes.sort();
+            prefixes.dedup();
+            for q in ctx.strategy.candidate_orders(&l, &prefixes) {
+                let child = best_plan(ctx, *input, &q)?;
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::SortDistinct { order: q.clone() },
+                    schema: ctx.schemas[id].clone(),
+                    out_order: q,
+                    cost: child.cost + ctx.params.tuple_io * ctx.stats[*input].rows,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![child],
+                }));
+            }
+            if ctx.enable_hash {
+                let child = best_plan(ctx, *input, &SortOrder::empty())?;
+                let b_in = ctx.stats[*input].blocks(ctx.params.block_size);
+                let mut cost = child.cost + ctx.params.hash_io * ctx.stats[*input].rows;
+                if b_in > ctx.params.sort_mem_blocks {
+                    cost += 2.0 * b_in;
+                }
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::HashDistinct,
+                    schema: ctx.schemas[id].clone(),
+                    out_order: SortOrder::empty(),
+                    cost,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![child],
+                }));
+            }
+        }
+        LogicalOp::Limit { input, k } => {
+            // Order-preserving; the requirement flows through. A fully
+            // pipelined child would let LIMIT terminate early, but costing
+            // partial evaluation is out of scope — we keep the child's cost.
+            for goal in child_goals(ctx, *input, required) {
+                let child = best_plan(ctx, *input, &goal)?;
+                out.push(Rc::new(PhysNode {
+                    op: PhysOp::Limit { k: *k },
+                    schema: child.schema.clone(),
+                    out_order: child.out_order.clone(),
+                    cost: child.cost,
+                    rows: stats.rows,
+                    logical: id,
+                    children: vec![child],
+                }));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Goals worth trying for an order-preserving unary operator's child: the
+/// requirement itself, nothing, and each favorable order of the child
+/// (whose prefix a partial-sort enforcer above can exploit).
+fn child_goals(ctx: &Ctx, child: NodeId, required: &SortOrder) -> Vec<SortOrder> {
+    let mut goals = vec![SortOrder::empty()];
+    if !required.is_empty() {
+        goals.push(required.clone());
+    }
+    for o in &ctx.afm[child] {
+        goals.push(o.clone());
+    }
+    // Dedup under rep-normalization.
+    let mut seen = std::collections::HashSet::new();
+    goals.retain(|g| {
+        let key: Vec<String> = g.attrs().iter().map(|a| ctx.equiv.rep(a)).collect();
+        seen.insert(key)
+    });
+    goals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::JoinPair;
+    use pyro_common::Value;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let rows: Vec<Tuple> = (0..2000)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 50), Value::Int(i % 7)]))
+            .collect();
+        cat.register_table("t1", Schema::ints(&["a", "b", "c"]), SortOrder::new(["a"]), &rows)
+            .unwrap();
+        let mut by_b = rows.clone();
+        by_b.sort_by(|x, y| x.get(1).cmp(y.get(1)));
+        cat.register_table("t2", Schema::ints(&["a", "b", "c"]), SortOrder::new(["b"]), &by_b)
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn simple_scan_plan() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        p.scan_as("t1", "x");
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        assert!(matches!(plan.root.op, PhysOp::ClusteredIndexScan { .. }));
+        assert!(plan.cost() > 0.0);
+    }
+
+    #[test]
+    fn order_by_on_clustering_is_free() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t1", "x");
+        p.order_by(s, SortOrder::new(["x.a"]));
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        assert_eq!(
+            plan.root.count_nodes(&|n| matches!(
+                n.op,
+                PhysOp::Sort { .. } | PhysOp::PartialSort { .. }
+            )),
+            0,
+            "clustering satisfies the ORDER BY:\n{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn order_by_extension_uses_partial_sort() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t1", "x");
+        p.order_by(s, SortOrder::new(["x.a", "x.b"]));
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        assert_eq!(
+            plan.root
+                .count_nodes(&|n| matches!(n.op, PhysOp::PartialSort { prefix_len: 1, .. })),
+            1,
+            "{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn pyro_o_minus_never_partial_sorts() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t1", "x");
+        p.order_by(s, SortOrder::new(["x.a", "x.b"]));
+        let plan = Optimizer::new(&cat)
+            .with_strategy(Strategy::pyro_o_minus())
+            .optimize(&p)
+            .unwrap();
+        assert_eq!(
+            plan.root.count_nodes(&|n| matches!(n.op, PhysOp::PartialSort { .. })),
+            0
+        );
+        assert_eq!(
+            plan.root.count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn join_picks_merge_with_shared_order() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let l = p.scan_as("t1", "l");
+        let r = p.scan_as("t2", "r");
+        p.join(l, r, vec![JoinPair::new("l.a", "r.a")]);
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        // t1 clustered on a: merge join on (a) needs only the right side
+        // sorted. Whatever wins must beat a double-full-sort.
+        let has_join = plan.root.count_nodes(&|n| {
+            matches!(n.op, PhysOp::MergeJoin { .. } | PhysOp::HashJoin { .. })
+        });
+        assert_eq!(has_join, 1);
+    }
+
+    #[test]
+    fn strategies_cost_ordering() {
+        // PYRO-E explores a superset of candidates, so its plan can never
+        // cost more than the others'.
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let l = p.scan_as("t1", "l");
+        let r = p.scan_as("t2", "r");
+        let j = p.join(
+            l,
+            r,
+            vec![JoinPair::new("l.a", "r.a"), JoinPair::new("l.b", "r.b")],
+        );
+        p.order_by(j, SortOrder::new(["l.a", "l.b"]));
+
+        let cost = |s: Strategy| {
+            Optimizer::new(&cat)
+                .with_strategy(s)
+                .optimize(&p)
+                .unwrap()
+                .cost()
+        };
+        let e = cost(Strategy::pyro_e());
+        assert!(e <= cost(Strategy::pyro()) + 1e-6);
+        assert!(e <= cost(Strategy::pyro_p()) + 1e-6);
+        assert!(e <= cost(Strategy::pyro_o()) + 1e-6);
+        assert!(e <= cost(Strategy::pyro_o_minus()) + 1e-6);
+    }
+
+    #[test]
+    fn aggregate_chooses_sort_agg_on_clustered_input() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t1", "x");
+        p.aggregate(
+            s,
+            vec!["x.a"],
+            vec![crate::logical::AggSpec {
+                func: pyro_exec::agg::AggFunc::Count,
+                arg: NExpr::col("x.b"),
+                name: "cnt".into(),
+            }],
+        );
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        assert_eq!(
+            plan.root.count_nodes(&|n| matches!(n.op, PhysOp::SortAggregate { .. })),
+            1,
+            "clustered input makes the sort aggregate free:\n{}",
+            plan.explain()
+        );
+        assert_eq!(
+            plan.root.count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. })),
+            0
+        );
+    }
+
+    #[test]
+    fn memo_is_consulted() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let l = p.scan_as("t1", "l");
+        let r = p.scan_as("t1", "r");
+        p.join(
+            l,
+            r,
+            vec![JoinPair::new("l.a", "r.a"), JoinPair::new("l.b", "r.b"), JoinPair::new("l.c", "r.c")],
+        );
+        // Exhaustive on 3 attrs = 6 orders; should still be fast and
+        // produce a valid plan.
+        let plan = Optimizer::new(&cat)
+            .with_strategy(Strategy::pyro_e())
+            .optimize(&p)
+            .unwrap();
+        assert!(plan.cost() > 0.0);
+    }
+}

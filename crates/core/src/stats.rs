@@ -1,0 +1,274 @@
+//! Logical-node statistics: `N(e)`, `B(e)`, `D(e, s)` derived bottom-up.
+
+use crate::logical::{LogicalOp, LogicalPlan, NExpr, NodeId};
+use pyro_catalog::Catalog;
+use pyro_common::Result;
+use pyro_exec::CmpOp;
+use std::collections::HashMap;
+
+/// Estimated statistics for one logical node's output.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// `N(e)`: estimated row count.
+    pub rows: f64,
+    /// Average tuple width in bytes.
+    pub avg_bytes: f64,
+    /// Per-column distinct estimates (qualified names).
+    pub distinct: HashMap<String, f64>,
+}
+
+impl NodeStats {
+    /// `B(e)`: blocks at the given block size.
+    pub fn blocks(&self, block_size: usize) -> f64 {
+        (self.rows * self.avg_bytes / block_size as f64).max(1.0)
+    }
+
+    /// `D(e, s)` for an attribute list under independence, capped by `N`.
+    pub fn distinct_of<'a>(&self, attrs: impl IntoIterator<Item = &'a str>) -> f64 {
+        let mut prod = 1.0f64;
+        let mut any = false;
+        for a in attrs {
+            any = true;
+            prod *= self.distinct.get(a).copied().unwrap_or(self.rows.max(1.0));
+            if prod >= self.rows {
+                return self.rows.max(1.0);
+            }
+        }
+        if !any {
+            return 1.0;
+        }
+        prod.clamp(1.0, self.rows.max(1.0))
+    }
+}
+
+/// Default equality selectivity when the column is unknown.
+const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Selectivity of range comparisons.
+const RANGE_SEL: f64 = 1.0 / 3.0;
+
+/// Derives stats for all nodes of a logical plan.
+pub fn derive_stats(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<NodeStats>> {
+    let mut out: Vec<NodeStats> = vec![NodeStats::default(); plan.len()];
+    for id in 0..plan.len() {
+        out[id] = node_stats(plan, id, catalog, &out)?;
+    }
+    Ok(out)
+}
+
+fn node_stats(
+    plan: &LogicalPlan,
+    id: NodeId,
+    catalog: &Catalog,
+    done: &[NodeStats],
+) -> Result<NodeStats> {
+    Ok(match plan.node(id) {
+        LogicalOp::Scan { table, alias } => {
+            let handle = catalog.table(table)?;
+            let stats = &handle.meta.stats;
+            let mut distinct = HashMap::new();
+            for col in handle.meta.schema.columns() {
+                distinct.insert(
+                    format!("{alias}.{}", col.name),
+                    stats.distinct(&col.name) as f64,
+                );
+            }
+            NodeStats {
+                rows: stats.row_count as f64,
+                avg_bytes: stats.avg_tuple_bytes.max(1.0),
+                distinct,
+            }
+        }
+        LogicalOp::Filter { input, predicate } => {
+            let inner = &done[*input];
+            let sel = selectivity(predicate, inner);
+            scale(inner, sel)
+        }
+        LogicalOp::Project { input, items } => {
+            let inner = &done[*input];
+            let mut distinct = HashMap::new();
+            for it in items {
+                if let NExpr::Col(c) = &it.expr {
+                    if let Some(d) = inner.distinct.get(c) {
+                        distinct.insert(it.name.clone(), *d);
+                    }
+                }
+            }
+            // Width estimate: proportional share of the input width, floor 8.
+            let frac = items.len() as f64
+                / (inner.distinct.len().max(items.len()).max(1)) as f64;
+            NodeStats {
+                rows: inner.rows,
+                avg_bytes: (inner.avg_bytes * frac).max(8.0),
+                distinct,
+            }
+        }
+        LogicalOp::Join { left, right, pairs, kind } => {
+            let (l, r) = (&done[*left], &done[*right]);
+            // Exponential backoff over the per-pair selectivities (largest
+            // first, each subsequent factor dampened by a square root):
+            // multi-attribute join predicates are usually correlated —
+            // catastrophically so for the paper's data-consolidation
+            // workload, where both catalogs describe the same entities —
+            // and plain independence would starve every operator above the
+            // join of rows.
+            let mut factors: Vec<f64> = pairs
+                .iter()
+                .map(|p| {
+                    let dl = l.distinct.get(&p.left).copied().unwrap_or(l.rows.max(1.0));
+                    let dr = r.distinct.get(&p.right).copied().unwrap_or(r.rows.max(1.0));
+                    dl.max(dr).max(1.0)
+                })
+                .collect();
+            factors.sort_by(|a, b| b.total_cmp(a));
+            let mut denom = 1.0f64;
+            let mut exponent = 1.0f64;
+            for f in factors {
+                denom *= f.powf(exponent);
+                exponent /= 2.0;
+            }
+            let mut rows = (l.rows * r.rows / denom).max(1.0);
+            if matches!(kind, pyro_exec::join::JoinKind::FullOuter) {
+                // Outer joins keep unmatched rows as well.
+                rows = rows.max(l.rows).max(r.rows);
+            }
+            let mut distinct = l.distinct.clone();
+            distinct.extend(r.distinct.iter().map(|(k, v)| (k.clone(), *v)));
+            for d in distinct.values_mut() {
+                *d = d.min(rows);
+            }
+            NodeStats { rows, avg_bytes: l.avg_bytes + r.avg_bytes, distinct }
+        }
+        LogicalOp::Aggregate { input, group_by, aggs } => {
+            let inner = &done[*input];
+            let groups = inner.distinct_of(group_by.iter().map(String::as_str));
+            let mut distinct = HashMap::new();
+            for g in group_by {
+                distinct.insert(
+                    g.clone(),
+                    inner.distinct.get(g).copied().unwrap_or(groups).min(groups),
+                );
+            }
+            for a in aggs {
+                distinct.insert(a.name.clone(), groups);
+            }
+            NodeStats {
+                rows: groups,
+                avg_bytes: 9.0 * (group_by.len() + aggs.len()) as f64 + 16.0,
+                distinct,
+            }
+        }
+        LogicalOp::Sort { input, .. } => done[*input].clone(),
+        LogicalOp::Distinct { input } => {
+            let inner = &done[*input];
+            let cols: Vec<String> = inner.distinct.keys().cloned().collect();
+            let rows = inner.distinct_of(cols.iter().map(String::as_str));
+            scale(inner, rows / inner.rows.max(1.0))
+        }
+        LogicalOp::Limit { input, k } => {
+            let inner = &done[*input];
+            scale(inner, (*k as f64 / inner.rows.max(1.0)).min(1.0))
+        }
+    })
+}
+
+fn scale(s: &NodeStats, sel: f64) -> NodeStats {
+    let rows = (s.rows * sel).max(1.0);
+    let mut distinct = s.distinct.clone();
+    for d in distinct.values_mut() {
+        *d = d.min(rows);
+    }
+    NodeStats { rows, avg_bytes: s.avg_bytes, distinct }
+}
+
+/// Textbook selectivity estimation.
+fn selectivity(pred: &NExpr, input: &NodeStats) -> f64 {
+    match pred {
+        NExpr::And(terms) => terms.iter().map(|t| selectivity(t, input)).product(),
+        NExpr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+            (NExpr::Col(c), NExpr::Lit(_)) | (NExpr::Lit(_), NExpr::Col(c)) => {
+                1.0 / input.distinct.get(c).copied().unwrap_or(1.0 / DEFAULT_EQ_SEL).max(1.0)
+            }
+            (NExpr::Col(c1), NExpr::Col(c2)) => {
+                let d1 = input.distinct.get(c1).copied().unwrap_or(10.0);
+                let d2 = input.distinct.get(c2).copied().unwrap_or(10.0);
+                1.0 / d1.max(d2).max(1.0)
+            }
+            _ => DEFAULT_EQ_SEL,
+        },
+        NExpr::Cmp(_, _, _) => RANGE_SEL,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::JoinPair;
+    use pyro_common::{Schema, Tuple, Value};
+    use pyro_ordering::SortOrder;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let rows: Vec<Tuple> = (0..1000)
+            .map(|i| Tuple::new(vec![Value::Int(i % 10), Value::Int(i)]))
+            .collect();
+        let mut sorted = rows.clone();
+        sorted.sort();
+        cat.register_table("t", Schema::ints(&["g", "u"]), SortOrder::new(["g"]), &sorted)
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn scan_stats_from_catalog() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        p.scan_as("t", "x");
+        let stats = derive_stats(&p, &cat).unwrap();
+        assert_eq!(stats[0].rows, 1000.0);
+        assert_eq!(stats[0].distinct["x.g"], 10.0);
+        assert!(stats[0].blocks(4096) >= 1.0);
+    }
+
+    #[test]
+    fn filter_scales_by_selectivity() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t", "x");
+        p.filter(s, NExpr::col_eq_lit("x.g", 3i64));
+        let stats = derive_stats(&p, &cat).unwrap();
+        assert!((stats[1].rows - 100.0).abs() < 1.0, "1000/10 = 100, got {}", stats[1].rows);
+    }
+
+    #[test]
+    fn join_estimates() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let a = p.scan_as("t", "a");
+        let b = p.scan_as("t", "b");
+        p.join(a, b, vec![JoinPair::new("a.u", "b.u")]);
+        let stats = derive_stats(&p, &cat).unwrap();
+        // unique join key: N ≈ 1000
+        assert!((stats[2].rows - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn aggregate_rows_are_group_count() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t", "x");
+        p.aggregate(s, vec!["x.g"], vec![]);
+        let stats = derive_stats(&p, &cat).unwrap();
+        assert_eq!(stats[1].rows, 10.0);
+    }
+
+    #[test]
+    fn distinct_of_set_capped() {
+        let cat = catalog();
+        let mut p = LogicalPlan::new();
+        p.scan_as("t", "x");
+        let stats = derive_stats(&p, &cat).unwrap();
+        assert_eq!(stats[0].distinct_of(["x.g", "x.u"]), 1000.0);
+        assert_eq!(stats[0].distinct_of([]), 1.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Aggregation: sort-based (streaming groups) and hash-based.
+//!
+//! The sort-based [`GroupAggregate`] requires its input ordered on (a
+//! permutation of) the grouping columns — which is exactly why grouping
+//! participates in the paper's interesting-order machinery. The
+//! [`HashAggregate`] needs no order but materializes its table, the
+//! trade-off the optimizer prices (Postgres's hash-aggregate pick for
+//! Query 3 is the paper's example of getting this wrong).
+
+use crate::expr::Expr;
+use crate::op::{BoxOp, Operator};
+use pyro_common::{Column, DataType, KeySpec, Result, Schema, Tuple, Value};
+use std::collections::HashMap;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// COUNT(expr): non-null count.
+    Count,
+    /// SUM(expr).
+    Sum,
+    /// MIN(expr).
+    Min,
+    /// MAX(expr).
+    Max,
+    /// AVG(expr).
+    Avg,
+}
+
+/// One aggregate output: a function over an argument expression.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument evaluated per input row.
+    pub arg: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggExpr {
+    /// Convenience constructor.
+    pub fn new(func: AggFunc, arg: Expr, name: impl Into<String>) -> Self {
+        AggExpr { func, arg, name: name.into() }
+    }
+
+    fn output_type(&self) -> DataType {
+        match self.func {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Double,
+            // SUM/MIN/MAX inherit the argument type; Int is the common case
+            // and Double values still flow through (schema types are
+            // advisory in this engine).
+            _ => DataType::Int,
+        }
+    }
+}
+
+/// Running accumulator for one (group, aggregate) pair.
+#[derive(Debug, Clone)]
+enum AccState {
+    Count(i64),
+    Sum(Value),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: i64, any: bool },
+}
+
+impl AccState {
+    fn new(func: AggFunc) -> AccState {
+        match func {
+            AggFunc::Count => AccState::Count(0),
+            AggFunc::Sum => AccState::Sum(Value::Null),
+            AggFunc::Min => AccState::Min(None),
+            AggFunc::Max => AccState::Max(None),
+            AggFunc::Avg => AccState::Avg { sum: 0.0, n: 0, any: false },
+        }
+    }
+
+    fn update(&mut self, v: Value) {
+        if v.is_null() {
+            return; // SQL aggregates ignore NULLs
+        }
+        match self {
+            AccState::Count(c) => *c += 1,
+            AccState::Sum(acc) => {
+                *acc = if acc.is_null() { v } else { acc.add(&v) };
+            }
+            AccState::Min(m) => {
+                if m.as_ref().is_none_or(|cur| v < *cur) {
+                    *m = Some(v);
+                }
+            }
+            AccState::Max(m) => {
+                if m.as_ref().is_none_or(|cur| v > *cur) {
+                    *m = Some(v);
+                }
+            }
+            AccState::Avg { sum, n, any } => {
+                if let Some(x) = v.as_double() {
+                    *sum += x;
+                    *n += 1;
+                    *any = true;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AccState::Count(c) => Value::Int(c),
+            AccState::Sum(v) => v,
+            AccState::Min(m) => m.unwrap_or(Value::Null),
+            AccState::Max(m) => m.unwrap_or(Value::Null),
+            AccState::Avg { sum, n, any } => {
+                if any {
+                    Value::Double(sum / n as f64)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+fn output_schema(child: &Schema, group_cols: &[usize], aggs: &[AggExpr]) -> Schema {
+    let mut cols: Vec<Column> = group_cols
+        .iter()
+        .map(|&i| child.column(i).clone())
+        .collect();
+    for a in aggs {
+        cols.push(Column::new(a.name.clone(), a.output_type()));
+    }
+    Schema::new(cols)
+}
+
+/// Streaming aggregate over an input sorted by the grouping columns.
+pub struct GroupAggregate {
+    child: BoxOp,
+    group_key: KeySpec,
+    aggs: Vec<AggExpr>,
+    schema: Schema,
+    current: Option<(Tuple, Vec<AccState>)>,
+    done: bool,
+}
+
+impl GroupAggregate {
+    /// Builds a sort-based aggregate; `group_cols` are positions in the
+    /// child's schema, and the child **must** be sorted on them (any
+    /// permutation works — only group adjacency matters).
+    pub fn new(child: BoxOp, group_cols: Vec<usize>, aggs: Vec<AggExpr>) -> Self {
+        let schema = output_schema(child.schema(), &group_cols, &aggs);
+        GroupAggregate {
+            child,
+            group_key: KeySpec::new(group_cols),
+            aggs,
+            schema,
+            current: None,
+            done: false,
+        }
+    }
+
+    fn finish_group(&self, rep: Tuple, states: Vec<AccState>) -> Tuple {
+        let mut values = rep.key(self.group_key.cols());
+        values.extend(states.into_iter().map(AccState::finish));
+        Tuple::new(values)
+    }
+}
+
+impl Operator for GroupAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            match self.child.next()? {
+                Some(t) => {
+                    let same = match &self.current {
+                        Some((rep, _)) => self.group_key.eq_on(rep, &t),
+                        None => false,
+                    };
+                    if same {
+                        let (_, states) = self.current.as_mut().expect("same group");
+                        for (agg, st) in self.aggs.iter().zip(states.iter_mut()) {
+                            st.update(agg.arg.eval(&t)?);
+                        }
+                    } else {
+                        let finished = self.current.take();
+                        let mut states: Vec<AccState> =
+                            self.aggs.iter().map(|a| AccState::new(a.func)).collect();
+                        for (agg, st) in self.aggs.iter().zip(states.iter_mut()) {
+                            st.update(agg.arg.eval(&t)?);
+                        }
+                        self.current = Some((t, states));
+                        if let Some((rep, sts)) = finished {
+                            return Ok(Some(self.finish_group(rep, sts)));
+                        }
+                    }
+                }
+                None => {
+                    self.done = true;
+                    return Ok(self
+                        .current
+                        .take()
+                        .map(|(rep, sts)| self.finish_group(rep, sts)));
+                }
+            }
+        }
+    }
+}
+
+/// Hash aggregate: no input-order requirement; emits groups in an arbitrary
+/// but deterministic (sorted-by-group-key) order once the input is drained.
+pub struct HashAggregate {
+    child: BoxOp,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    schema: Schema,
+    output: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl HashAggregate {
+    /// Builds a hash aggregate over `group_cols`.
+    pub fn new(child: BoxOp, group_cols: Vec<usize>, aggs: Vec<AggExpr>) -> Self {
+        let schema = output_schema(child.schema(), &group_cols, &aggs);
+        HashAggregate { child, group_cols, aggs, schema, output: None }
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.output.is_none() {
+            let mut table: HashMap<Vec<Value>, Vec<AccState>> = HashMap::new();
+            while let Some(t) = self.child.next()? {
+                let key = t.key(&self.group_cols);
+                let states = table
+                    .entry(key)
+                    .or_insert_with(|| self.aggs.iter().map(|a| AccState::new(a.func)).collect());
+                for (agg, st) in self.aggs.iter().zip(states.iter_mut()) {
+                    st.update(agg.arg.eval(&t)?);
+                }
+            }
+            let mut rows: Vec<Tuple> = table
+                .into_iter()
+                .map(|(key, states)| {
+                    let mut values = key;
+                    values.extend(states.into_iter().map(AccState::finish));
+                    Tuple::new(values)
+                })
+                .collect();
+            rows.sort();
+            self.output = Some(rows.into_iter());
+        }
+        Ok(self.output.as_mut().expect("materialized").next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, ValuesOp};
+
+    fn rows(vals: &[(i64, i64)]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|&(g, v)| Tuple::new(vec![Value::Int(g), Value::Int(v)]))
+            .collect()
+    }
+
+    fn sorted_input() -> Vec<Tuple> {
+        rows(&[(1, 10), (1, 20), (2, 5), (3, 1), (3, 2), (3, 3)])
+    }
+
+    fn aggs() -> Vec<AggExpr> {
+        vec![
+            AggExpr::new(AggFunc::Count, Expr::col(1), "cnt"),
+            AggExpr::new(AggFunc::Sum, Expr::col(1), "total"),
+            AggExpr::new(AggFunc::Min, Expr::col(1), "lo"),
+            AggExpr::new(AggFunc::Max, Expr::col(1), "hi"),
+            AggExpr::new(AggFunc::Avg, Expr::col(1), "mean"),
+        ]
+    }
+
+    #[test]
+    fn group_aggregate_streams_groups() {
+        let src = ValuesOp::new(Schema::ints(&["g", "v"]), sorted_input());
+        let op = GroupAggregate::new(Box::new(src), vec![0], aggs());
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.len(), 3);
+        // group 3: count 3, sum 6, min 1, max 3, avg 2.0
+        assert_eq!(
+            out[2],
+            Tuple::new(vec![
+                Value::Int(3),
+                Value::Int(3),
+                Value::Int(6),
+                Value::Int(1),
+                Value::Int(3),
+                Value::Double(2.0)
+            ])
+        );
+    }
+
+    #[test]
+    fn hash_aggregate_matches_group_aggregate() {
+        let mut shuffled = sorted_input();
+        shuffled.reverse();
+        let src = ValuesOp::new(Schema::ints(&["g", "v"]), shuffled);
+        let op = HashAggregate::new(Box::new(src), vec![0], aggs());
+        let hash_out = collect(Box::new(op)).unwrap();
+
+        let src = ValuesOp::new(Schema::ints(&["g", "v"]), sorted_input());
+        let op = GroupAggregate::new(Box::new(src), vec![0], aggs());
+        let sort_out = collect(Box::new(op)).unwrap();
+        assert_eq!(hash_out, sort_out);
+    }
+
+    #[test]
+    fn nulls_ignored_by_aggregates() {
+        let data = vec![
+            Tuple::new(vec![Value::Int(1), Value::Null]),
+            Tuple::new(vec![Value::Int(1), Value::Int(5)]),
+        ];
+        let src = ValuesOp::new(Schema::ints(&["g", "v"]), data);
+        let op = GroupAggregate::new(Box::new(src), vec![0], aggs());
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out[0].get(1), &Value::Int(1), "count skips null");
+        assert_eq!(out[0].get(2), &Value::Int(5));
+    }
+
+    #[test]
+    fn empty_input_no_groups() {
+        let src = ValuesOp::new(Schema::ints(&["g", "v"]), vec![]);
+        let op = GroupAggregate::new(Box::new(src), vec![0], aggs());
+        assert!(collect(Box::new(op)).unwrap().is_empty());
+        let src = ValuesOp::new(Schema::ints(&["g", "v"]), vec![]);
+        let op = HashAggregate::new(Box::new(src), vec![0], aggs());
+        assert!(collect(Box::new(op)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn no_group_columns_single_group() {
+        let src = ValuesOp::new(Schema::ints(&["g", "v"]), sorted_input());
+        let op = GroupAggregate::new(
+            Box::new(src),
+            vec![],
+            vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+        );
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out, vec![Tuple::new(vec![Value::Int(41)])]);
+    }
+
+    #[test]
+    fn output_schema_names() {
+        let src = ValuesOp::new(Schema::ints(&["g", "v"]), vec![]);
+        let op = GroupAggregate::new(
+            Box::new(src),
+            vec![0],
+            vec![AggExpr::new(AggFunc::Avg, Expr::col(1), "mean")],
+        );
+        assert_eq!(op.schema().names(), vec!["g", "mean"]);
+        assert_eq!(op.schema().column(1).ty, DataType::Double);
+    }
+}

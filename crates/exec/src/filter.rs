@@ -1,0 +1,68 @@
+//! Selection.
+
+use crate::expr::Expr;
+use crate::op::{BoxOp, Operator};
+use pyro_common::{Result, Schema, Tuple};
+
+/// Emits child tuples satisfying a predicate. Order-preserving.
+pub struct Filter {
+    child: BoxOp,
+    predicate: Expr,
+}
+
+impl Filter {
+    /// Wraps `child` with `predicate`.
+    pub fn new(child: BoxOp, predicate: Expr) -> Self {
+        Filter { child, predicate }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.child.next()? {
+            if self.predicate.eval_bool(&t)? {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::op::{collect, ValuesOp};
+    use pyro_common::Value;
+
+    #[test]
+    fn filters_rows() {
+        let rows: Vec<Tuple> = (0..10).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
+        let src = ValuesOp::new(Schema::ints(&["a"]), rows);
+        let f = Filter::new(
+            Box::new(src),
+            Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(7i64)),
+        );
+        let out = collect(Box::new(f)).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get(0), &Value::Int(7));
+    }
+
+    #[test]
+    fn null_predicate_rows_dropped() {
+        let rows = vec![
+            Tuple::new(vec![Value::Null]),
+            Tuple::new(vec![Value::Int(1)]),
+        ];
+        let src = ValuesOp::new(Schema::ints(&["a"]), rows);
+        let f = Filter::new(
+            Box::new(src),
+            Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit(1i64)),
+        );
+        assert_eq!(collect(Box::new(f)).unwrap().len(), 1);
+    }
+}

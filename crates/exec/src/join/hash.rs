@@ -1,0 +1,214 @@
+//! In-memory hash join (build/probe).
+//!
+//! The cost-model counterpart the optimizer weighs against merge joins; also
+//! the plan shape SYS1 chose for Query 3 (paper Fig. 11a). Build side is
+//! materialized into a hash table; NULL keys never match (and are emitted
+//! padded by the outer variants).
+
+use super::JoinKind;
+use crate::op::{BoxOp, Operator};
+use pyro_common::{KeySpec, Result, Schema, Tuple, Value};
+use std::collections::HashMap;
+
+/// Hash join; the **left** input is the build side.
+pub struct HashJoin {
+    right: BoxOp,
+    left_schema_len: usize,
+    right_schema_len: usize,
+    left_key: KeySpec,
+    right_key: KeySpec,
+    kind: JoinKind,
+    schema: Schema,
+    state: Option<BuildState>,
+    build_input: Option<BoxOp>,
+    pending: std::vec::IntoIter<Tuple>,
+    /// Full-outer only: after probe ends, emit unmatched build rows.
+    drain_unmatched: bool,
+}
+
+struct BuildState {
+    table: HashMap<Vec<Value>, Vec<(Tuple, std::cell::Cell<bool>)>>,
+    /// Build rows with NULL keys (never match; emitted by FULL OUTER).
+    null_rows: Vec<Tuple>,
+}
+
+impl HashJoin {
+    /// Builds a hash join of `left ⋈ right` on the positional keys.
+    pub fn new(
+        left: BoxOp,
+        right: BoxOp,
+        left_key: KeySpec,
+        right_key: KeySpec,
+        kind: JoinKind,
+    ) -> Self {
+        assert_eq!(left_key.len(), right_key.len());
+        let schema = left.schema().join(right.schema());
+        HashJoin {
+            left_schema_len: left.schema().len(),
+            right_schema_len: right.schema().len(),
+            right,
+            left_key,
+            right_key,
+            kind,
+            schema,
+            state: None,
+            build_input: Some(left),
+            pending: Vec::new().into_iter(),
+            drain_unmatched: false,
+        }
+    }
+
+    fn build(&mut self) -> Result<BuildState> {
+        let mut input = self.build_input.take().expect("build once");
+        let mut table: HashMap<Vec<Value>, Vec<(Tuple, std::cell::Cell<bool>)>> = HashMap::new();
+        let mut null_rows = Vec::new();
+        while let Some(t) = input.next()? {
+            let key = t.key(self.left_key.cols());
+            if key.iter().any(Value::is_null) {
+                null_rows.push(t);
+            } else {
+                table.entry(key).or_default().push((t, std::cell::Cell::new(false)));
+            }
+        }
+        Ok(BuildState { table, null_rows })
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.next() {
+                return Ok(Some(t));
+            }
+            if self.state.is_none() {
+                self.state = Some(self.build()?);
+            }
+            if self.drain_unmatched {
+                return Ok(None);
+            }
+            match self.right.next()? {
+                Some(probe) => {
+                    let key = probe.key(self.right_key.cols());
+                    let state = self.state.as_ref().expect("built");
+                    let mut out = Vec::new();
+                    if !key.iter().any(Value::is_null) {
+                        if let Some(matches) = state.table.get(&key) {
+                            for (l, seen) in matches {
+                                seen.set(true);
+                                out.push(l.concat(&probe));
+                            }
+                        }
+                    }
+                    if out.is_empty() && matches!(self.kind, JoinKind::FullOuter) {
+                        // Right row without partner.
+                        out.push(Tuple::nulls(self.left_schema_len).concat(&probe));
+                    }
+                    if !out.is_empty() {
+                        self.pending = out.into_iter();
+                    }
+                }
+                None => {
+                    // Probe exhausted. Left/Full outer: emit unmatched build
+                    // rows once.
+                    self.drain_unmatched = true;
+                    if matches!(self.kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
+                        let state = self.state.as_ref().expect("built");
+                        let pad = Tuple::nulls(self.right_schema_len);
+                        let mut out: Vec<Tuple> = Vec::new();
+                        for bucket in state.table.values() {
+                            for (l, seen) in bucket {
+                                if !seen.get() {
+                                    out.push(l.concat(&pad));
+                                }
+                            }
+                        }
+                        for l in &state.null_rows {
+                            out.push(l.concat(&pad));
+                        }
+                        // Deterministic order for tests.
+                        out.sort();
+                        self.pending = out.into_iter();
+                    }
+                    if self.pending.len() == 0 {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, ValuesOp};
+
+    fn rows(vals: &[(i64, i64)]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|&(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+            .collect()
+    }
+
+    fn join(l: &[(i64, i64)], r: &[(i64, i64)], kind: JoinKind) -> Vec<Tuple> {
+        let left = ValuesOp::new(Schema::ints(&["a", "b"]), rows(l));
+        let right = ValuesOp::new(Schema::ints(&["c", "d"]), rows(r));
+        let op = HashJoin::new(
+            Box::new(left),
+            Box::new(right),
+            KeySpec::new(vec![0]),
+            KeySpec::new(vec![0]),
+            kind,
+        );
+        collect(Box::new(op)).unwrap()
+    }
+
+    #[test]
+    fn inner_matches_merge_join_semantics() {
+        let out = join(&[(1, 10), (2, 20), (4, 40)], &[(2, 200), (4, 400), (9, 900)], JoinKind::Inner);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn full_outer_emits_all() {
+        let out = join(&[(1, 10), (2, 20)], &[(2, 200), (3, 300)], JoinKind::FullOuter);
+        // match on 2, unmatched 1 (left), unmatched 3 (right)
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn left_outer() {
+        let out = join(&[(1, 10), (2, 20)], &[(2, 200)], JoinKind::LeftOuter);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn null_build_keys_dont_match() {
+        let left = ValuesOp::new(
+            Schema::ints(&["a", "b"]),
+            vec![Tuple::new(vec![Value::Null, Value::Int(1)])],
+        );
+        let right = ValuesOp::new(
+            Schema::ints(&["c", "d"]),
+            vec![Tuple::new(vec![Value::Null, Value::Int(2)])],
+        );
+        let op = HashJoin::new(
+            Box::new(left),
+            Box::new(right),
+            KeySpec::new(vec![0]),
+            KeySpec::new(vec![0]),
+            JoinKind::FullOuter,
+        );
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.len(), 2, "both NULL rows padded, no match");
+    }
+
+    #[test]
+    fn duplicate_keys_cross() {
+        let out = join(&[(1, 1), (1, 2)], &[(1, 3), (1, 4)], JoinKind::Inner);
+        assert_eq!(out.len(), 4);
+    }
+}

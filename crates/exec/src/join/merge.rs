@@ -1,0 +1,451 @@
+//! Sort-merge join with group buffering.
+//!
+//! Both inputs must arrive sorted on their join keys under the *same*
+//! permutation — the requirement that makes interesting-order choice matter
+//! (the paper's whole subject). The operator consumes one *group* (maximal
+//! run of equal-key tuples) from each side at a time and emits the cross
+//! product of matching groups; outer variants emit NULL-padded rows for
+//! groups without a partner.
+//!
+//! Like the paper (and SQL), rows whose join key contains NULL match
+//! nothing — they are emitted only by the outer variants.
+//!
+//! **Output order.** Inner and left-outer output is sorted on the left key
+//! columns by construction. For FULL OUTER joins, unmatched *right* rows are
+//! NULL on every left column; emitting them in stream position would
+//! interleave NULL keys into the output and silently break the order the
+//! optimizer propagates (the paper's Fig. 14 plans depend on that order for
+//! the partial sort between the two joins). They are therefore *deferred*
+//! and emitted at the end of the stream — exactly where rows with NULL left
+//! keys belong under NULLS-LAST ordering, so the guarantee stays truthful.
+
+use super::JoinKind;
+use crate::metrics::MetricsRef;
+use crate::op::{BoxOp, Operator};
+use crate::sort::compare_counted;
+use pyro_common::{KeySpec, Result, Schema, Tuple};
+use std::cmp::Ordering;
+
+/// Merge join over key-sorted inputs.
+pub struct MergeJoin {
+    left: BoxOp,
+    right: BoxOp,
+    left_key: KeySpec,
+    right_key: KeySpec,
+    kind: JoinKind,
+    schema: Schema,
+    metrics: MetricsRef,
+    left_group: Vec<Tuple>,
+    right_group: Vec<Tuple>,
+    left_next: Option<Tuple>,
+    right_next: Option<Tuple>,
+    started: bool,
+    /// Pending output rows from the current group pairing.
+    pending: std::vec::IntoIter<Tuple>,
+    /// FULL OUTER only: right-padded rows held back until end-of-stream so
+    /// the output stays sorted on the left key columns (NULLS LAST).
+    deferred_right: Vec<Tuple>,
+    deferred_flushed: bool,
+}
+
+impl MergeJoin {
+    /// Builds a merge join; `left_key`/`right_key` are positional keys of
+    /// equal length giving the shared sort order.
+    pub fn new(
+        left: BoxOp,
+        right: BoxOp,
+        left_key: KeySpec,
+        right_key: KeySpec,
+        kind: JoinKind,
+        metrics: MetricsRef,
+    ) -> Self {
+        assert_eq!(left_key.len(), right_key.len(), "join keys must align");
+        let schema = left.schema().join(right.schema());
+        MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+            schema,
+            metrics,
+            left_group: Vec::new(),
+            right_group: Vec::new(),
+            left_next: None,
+            right_next: None,
+            started: false,
+            pending: Vec::new().into_iter(),
+            deferred_right: Vec::new(),
+            deferred_flushed: false,
+        }
+    }
+
+    /// Reads the next maximal equal-key group from one side.
+    fn read_group(
+        source: &mut BoxOp,
+        key: &KeySpec,
+        head: &mut Option<Tuple>,
+        metrics: &MetricsRef,
+    ) -> Result<Vec<Tuple>> {
+        let Some(first) = head.take() else { return Ok(Vec::new()) };
+        let mut group = vec![first];
+        loop {
+            match source.next()? {
+                None => break,
+                Some(t) => {
+                    let same = compare_counted(key, &group[0], &t, metrics) == Ordering::Equal;
+                    if same {
+                        group.push(t);
+                    } else {
+                        *head = Some(t);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(group)
+    }
+
+    fn key_has_null(&self, t: &Tuple, key: &KeySpec) -> bool {
+        key.cols().iter().any(|&c| t.get(c).is_null())
+    }
+
+    /// Compares the current group keys across sides.
+    fn cross_compare(&self, l: &Tuple, r: &Tuple) -> Ordering {
+        let mut n = 0;
+        let mut ord = Ordering::Equal;
+        for (&lc, &rc) in self.left_key.cols().iter().zip(self.right_key.cols()) {
+            n += 1;
+            ord = l.get(lc).cmp(r.get(rc));
+            if ord != Ordering::Equal {
+                break;
+            }
+        }
+        self.metrics.add_comparisons(n);
+        ord
+    }
+
+    fn emit_left_unmatched(&self, group: Vec<Tuple>, out: &mut Vec<Tuple>) {
+        if matches!(self.kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
+            let pad = Tuple::nulls(self.right.schema().len());
+            out.extend(group.into_iter().map(|l| l.concat(&pad)));
+        }
+    }
+
+    fn emit_right_unmatched(&mut self, group: Vec<Tuple>) {
+        if matches!(self.kind, JoinKind::FullOuter) {
+            let pad = Tuple::nulls(self.left.schema().len());
+            self.deferred_right
+                .extend(group.into_iter().map(|r| pad.concat(&r)));
+        }
+    }
+
+    /// Advances group state and produces the next batch of output rows.
+    fn advance(&mut self) -> Result<Vec<Tuple>> {
+        if !self.started {
+            self.started = true;
+            self.left_next = self.left.next()?;
+            self.right_next = self.right.next()?;
+            self.left_group = Self::read_group(
+                &mut self.left,
+                &self.left_key,
+                &mut self.left_next,
+                &self.metrics,
+            )?;
+            self.right_group = Self::read_group(
+                &mut self.right,
+                &self.right_key,
+                &mut self.right_next,
+                &self.metrics,
+            )?;
+        }
+        let mut out = Vec::new();
+        while out.is_empty() {
+            match (self.left_group.is_empty(), self.right_group.is_empty()) {
+                (true, true) => return Ok(out), // both exhausted
+                (false, true) => {
+                    let g = std::mem::take(&mut self.left_group);
+                    self.emit_left_unmatched(g, &mut out);
+                    self.left_group = Self::read_group(
+                        &mut self.left,
+                        &self.left_key,
+                        &mut self.left_next,
+                        &self.metrics,
+                    )?;
+                    if out.is_empty() && self.left_group.is_empty() {
+                        return Ok(out);
+                    }
+                    continue;
+                }
+                (true, false) => {
+                    let g = std::mem::take(&mut self.right_group);
+                    self.emit_right_unmatched(g);
+                    self.right_group = Self::read_group(
+                        &mut self.right,
+                        &self.right_key,
+                        &mut self.right_next,
+                        &self.metrics,
+                    )?;
+                    if out.is_empty() && self.right_group.is_empty() {
+                        return Ok(out);
+                    }
+                    continue;
+                }
+                (false, false) => {}
+            }
+            let lnull = self.key_has_null(&self.left_group[0], &self.left_key);
+            let rnull = self.key_has_null(&self.right_group[0], &self.right_key);
+            let ord = if lnull || rnull {
+                // NULL keys never match; drain the NULL-keyed side(s) as
+                // unmatched. NULLs sort last, so these groups surface after
+                // all joinable keys on their side.
+                self.cross_compare(&self.left_group[0], &self.right_group[0])
+            } else {
+                self.cross_compare(&self.left_group[0], &self.right_group[0])
+            };
+            match ord {
+                Ordering::Less => {
+                    let g = std::mem::take(&mut self.left_group);
+                    self.emit_left_unmatched(g, &mut out);
+                    self.left_group = Self::read_group(
+                        &mut self.left,
+                        &self.left_key,
+                        &mut self.left_next,
+                        &self.metrics,
+                    )?;
+                }
+                Ordering::Greater => {
+                    let g = std::mem::take(&mut self.right_group);
+                    self.emit_right_unmatched(g);
+                    self.right_group = Self::read_group(
+                        &mut self.right,
+                        &self.right_key,
+                        &mut self.right_next,
+                        &self.metrics,
+                    )?;
+                }
+                Ordering::Equal if lnull || rnull => {
+                    // Equal but NULL-keyed: both groups are unmatched.
+                    let gl = std::mem::take(&mut self.left_group);
+                    let gr = std::mem::take(&mut self.right_group);
+                    self.emit_left_unmatched(gl, &mut out);
+                    self.emit_right_unmatched(gr);
+                    self.left_group = Self::read_group(
+                        &mut self.left,
+                        &self.left_key,
+                        &mut self.left_next,
+                        &self.metrics,
+                    )?;
+                    self.right_group = Self::read_group(
+                        &mut self.right,
+                        &self.right_key,
+                        &mut self.right_next,
+                        &self.metrics,
+                    )?;
+                }
+                Ordering::Equal => {
+                    let gl = std::mem::take(&mut self.left_group);
+                    let gr = std::mem::take(&mut self.right_group);
+                    out.reserve(gl.len() * gr.len());
+                    for l in &gl {
+                        for r in &gr {
+                            out.push(l.concat(r));
+                        }
+                    }
+                    self.left_group = Self::read_group(
+                        &mut self.left,
+                        &self.left_key,
+                        &mut self.left_next,
+                        &self.metrics,
+                    )?;
+                    self.right_group = Self::read_group(
+                        &mut self.right,
+                        &self.right_key,
+                        &mut self.right_next,
+                        &self.metrics,
+                    )?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Operator for MergeJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.next() {
+                return Ok(Some(t));
+            }
+            let batch = self.advance()?;
+            if batch.is_empty() {
+                // End of the merged stream: release the deferred
+                // right-padded rows (NULL left keys sort last).
+                if !self.deferred_flushed {
+                    self.deferred_flushed = true;
+                    if !self.deferred_right.is_empty() {
+                        self.pending =
+                            std::mem::take(&mut self.deferred_right).into_iter();
+                        continue;
+                    }
+                }
+                return Ok(None);
+            }
+            self.pending = batch.into_iter();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ExecMetrics;
+    use crate::op::{collect, ValuesOp};
+    use pyro_common::Value;
+
+    fn rows(vals: &[(i64, i64)]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|&(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+            .collect()
+    }
+
+    fn join(
+        l: &[(i64, i64)],
+        r: &[(i64, i64)],
+        kind: JoinKind,
+    ) -> Vec<Vec<Option<i64>>> {
+        let m = ExecMetrics::new();
+        let left = ValuesOp::new(Schema::ints(&["a", "b"]), rows(l));
+        let right = ValuesOp::new(Schema::ints(&["c", "d"]), rows(r));
+        let op = MergeJoin::new(
+            Box::new(left),
+            Box::new(right),
+            KeySpec::new(vec![0]),
+            KeySpec::new(vec![0]),
+            kind,
+            m,
+        );
+        collect(Box::new(op))
+            .unwrap()
+            .iter()
+            .map(|t| t.values().iter().map(|v| v.as_int()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn inner_join_basic() {
+        let out = join(&[(1, 10), (2, 20), (4, 40)], &[(2, 200), (3, 300), (4, 400)], JoinKind::Inner);
+        assert_eq!(
+            out,
+            vec![
+                vec![Some(2), Some(20), Some(2), Some(200)],
+                vec![Some(4), Some(40), Some(4), Some(400)],
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicates_cross_product() {
+        let out = join(&[(1, 1), (1, 2)], &[(1, 3), (1, 4)], JoinKind::Inner);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn left_outer_pads() {
+        let out = join(&[(1, 10), (2, 20)], &[(2, 200)], JoinKind::LeftOuter);
+        assert_eq!(
+            out,
+            vec![
+                vec![Some(1), Some(10), None, None],
+                vec![Some(2), Some(20), Some(2), Some(200)],
+            ]
+        );
+    }
+
+    #[test]
+    fn full_outer_pads_both() {
+        let out = join(&[(1, 10)], &[(2, 200)], JoinKind::FullOuter);
+        assert_eq!(
+            out,
+            vec![
+                vec![Some(1), Some(10), None, None],
+                vec![None, None, Some(2), Some(200)],
+            ]
+        );
+    }
+
+    #[test]
+    fn full_outer_with_matches_and_tails() {
+        let out = join(
+            &[(1, 1), (3, 3), (5, 5)],
+            &[(3, 30), (5, 50), (7, 70)],
+            JoinKind::FullOuter,
+        );
+        assert_eq!(out.len(), 4); // 1 unmatched, 3 match, 5 match, 7 unmatched
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(join(&[], &[], JoinKind::Inner).is_empty());
+        assert_eq!(join(&[(1, 1)], &[], JoinKind::FullOuter).len(), 1);
+        assert_eq!(join(&[], &[(1, 1)], JoinKind::FullOuter).len(), 1);
+        assert!(join(&[(1, 1)], &[], JoinKind::Inner).is_empty());
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let m = ExecMetrics::new();
+        let left = ValuesOp::new(
+            Schema::ints(&["a", "b"]),
+            vec![
+                Tuple::new(vec![Value::Null, Value::Int(1)]),
+                Tuple::new(vec![Value::Int(1), Value::Int(2)]),
+            ],
+        );
+        let right = ValuesOp::new(
+            Schema::ints(&["c", "d"]),
+            vec![
+                Tuple::new(vec![Value::Null, Value::Int(3)]),
+                Tuple::new(vec![Value::Int(1), Value::Int(4)]),
+            ],
+        );
+        let op = MergeJoin::new(
+            Box::new(left),
+            Box::new(right),
+            KeySpec::new(vec![0]),
+            KeySpec::new(vec![0]),
+            JoinKind::FullOuter,
+            m,
+        );
+        let out = collect(Box::new(op)).unwrap();
+        // NULL left row padded, NULL right row padded, 1-1 match = 3 rows.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn multi_column_join_keys() {
+        let m = ExecMetrics::new();
+        let left = ValuesOp::new(
+            Schema::ints(&["a", "b"]),
+            rows(&[(1, 1), (1, 2), (2, 1)]),
+        );
+        let right = ValuesOp::new(
+            Schema::ints(&["c", "d"]),
+            rows(&[(1, 1), (1, 3), (2, 1)]),
+        );
+        let op = MergeJoin::new(
+            Box::new(left),
+            Box::new(right),
+            KeySpec::new(vec![0, 1]),
+            KeySpec::new(vec![0, 1]),
+            JoinKind::Inner,
+            m,
+        );
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out.len(), 2); // (1,1) and (2,1)
+    }
+}

@@ -1,0 +1,21 @@
+//! Join operators: sort-merge (inner / left / full outer), hash, and block
+//! nested loops.
+
+mod hash;
+mod merge;
+mod nl;
+
+pub use hash::HashJoin;
+pub use merge::MergeJoin;
+pub use nl::NestedLoopsJoin;
+
+/// Join type. The paper's Query 4 requires FULL OUTER; the rest are inner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Matching pairs only.
+    Inner,
+    /// All left rows; unmatched padded with NULLs on the right.
+    LeftOuter,
+    /// All rows from both sides; unmatched padded with NULLs.
+    FullOuter,
+}

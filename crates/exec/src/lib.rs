@@ -1,0 +1,36 @@
+//! # pyro-exec
+//!
+//! A Volcano-style (pull-based iterator) execution engine, built to make the
+//! paper's §3 claims observable:
+//!
+//! * [`sort::StandardReplacementSort`] (SRS) — classical replacement
+//!   selection with run spilling and multi-pass merging; falls back to a
+//!   pure in-memory sort when the input fits in the budget.
+//! * [`sort::PartialSort`] (MRS) — the paper's modified replacement
+//!   selection: given that the input is already sorted on a *prefix* of the
+//!   requested key, it sorts each partial-sort segment independently,
+//!   producing tuples early, comparing only suffix columns, and doing **zero
+//!   run I/O** whenever a segment fits in memory.
+//!
+//! Joins ([`join`]), aggregation ([`agg`]), set operations ([`union`]) and
+//! the relational plumbing ([`scan`], [`filter`], [`project`], [`limit`])
+//! complete the operator set needed by every query in the paper's
+//! evaluation. All operators share an [`ExecMetrics`] counter block so
+//! experiments can report comparisons and run I/O exactly.
+
+pub mod agg;
+pub mod dedup;
+pub mod expr;
+pub mod filter;
+pub mod join;
+pub mod limit;
+pub mod metrics;
+pub mod op;
+pub mod project;
+pub mod scan;
+pub mod sort;
+pub mod union;
+
+pub use expr::{CmpOp, Expr};
+pub use metrics::{ExecMetrics, MetricsRef};
+pub use op::{collect, BoxOp, Operator, ValuesOp};

@@ -1,0 +1,73 @@
+//! LIMIT / Top-K.
+//!
+//! Over an order-producing child this is Top-K; the paper's §3.1 notes MRS's
+//! early output has "immense benefits for Top-K queries" because the
+//! pipeline stops after the first segments instead of sorting everything —
+//! the `fig08` bench demonstrates exactly that.
+
+use crate::op::{BoxOp, Operator};
+use pyro_common::{Result, Schema, Tuple};
+
+/// Emits at most `k` child tuples, then stops pulling.
+pub struct Limit {
+    child: BoxOp,
+    remaining: u64,
+}
+
+impl Limit {
+    /// Wraps `child`, keeping the first `k` rows.
+    pub fn new(child: BoxOp, k: u64) -> Self {
+        Limit { child, remaining: k }
+    }
+}
+
+impl Operator for Limit {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.child.next()? {
+            Some(t) => {
+                self.remaining -= 1;
+                Ok(Some(t))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, ValuesOp};
+    use pyro_common::Value;
+
+    #[test]
+    fn truncates() {
+        let rows: Vec<Tuple> = (0..10).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
+        let src = ValuesOp::new(Schema::ints(&["a"]), rows);
+        let op = Limit::new(Box::new(src), 3);
+        assert_eq!(collect(Box::new(op)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn zero_limit() {
+        let src = ValuesOp::new(Schema::ints(&["a"]), vec![Tuple::new(vec![Value::Int(1)])]);
+        let op = Limit::new(Box::new(src), 0);
+        assert!(collect(Box::new(op)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn limit_larger_than_input() {
+        let src = ValuesOp::new(Schema::ints(&["a"]), vec![Tuple::new(vec![Value::Int(1)])]);
+        let op = Limit::new(Box::new(src), 100);
+        assert_eq!(collect(Box::new(op)).unwrap().len(), 1);
+    }
+}

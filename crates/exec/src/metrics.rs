@@ -1,0 +1,103 @@
+//! Shared execution counters.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Counters every operator in a pipeline shares.
+///
+/// `comparisons` counts scalar key comparisons (the quantity the paper's
+/// Experiment A arguments are about); `run_pages_written` / `run_pages_read`
+/// count *sort-spill* I/O only — base-table I/O is tracked by the storage
+/// device, so "MRS avoids run generation I/O completely" is the assertion
+/// `run_pages_written == 0 && run_pages_read == 0`.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    comparisons: Cell<u64>,
+    run_pages_written: Cell<u64>,
+    run_pages_read: Cell<u64>,
+    runs_created: Cell<u64>,
+}
+
+/// Shared handle to pipeline metrics.
+pub type MetricsRef = Rc<ExecMetrics>;
+
+impl ExecMetrics {
+    /// Fresh, zeroed counters.
+    pub fn new() -> MetricsRef {
+        Rc::new(ExecMetrics::default())
+    }
+
+    /// Adds `n` scalar comparisons.
+    pub fn add_comparisons(&self, n: u64) {
+        self.comparisons.set(self.comparisons.get() + n);
+    }
+
+    /// Adds `n` spill pages written.
+    pub fn add_run_pages_written(&self, n: u64) {
+        self.run_pages_written.set(self.run_pages_written.get() + n);
+    }
+
+    /// Adds `n` spill pages read.
+    pub fn add_run_pages_read(&self, n: u64) {
+        self.run_pages_read.set(self.run_pages_read.get() + n);
+    }
+
+    /// Records creation of one spill run.
+    pub fn add_run(&self) {
+        self.runs_created.set(self.runs_created.get() + 1);
+    }
+
+    /// Total scalar comparisons so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons.get()
+    }
+
+    /// Spill pages written so far.
+    pub fn run_pages_written(&self) -> u64 {
+        self.run_pages_written.get()
+    }
+
+    /// Spill pages read so far.
+    pub fn run_pages_read(&self) -> u64 {
+        self.run_pages_read.get()
+    }
+
+    /// Spill runs created so far.
+    pub fn runs_created(&self) -> u64 {
+        self.runs_created.get()
+    }
+
+    /// Total spill I/O (pages read + written).
+    pub fn run_io(&self) -> u64 {
+        self.run_pages_written.get() + self.run_pages_read.get()
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.comparisons.set(0);
+        self.run_pages_written.set(0);
+        self.run_pages_read.set(0);
+        self.runs_created.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = ExecMetrics::new();
+        m.add_comparisons(5);
+        m.add_comparisons(2);
+        m.add_run_pages_written(3);
+        m.add_run_pages_read(1);
+        m.add_run();
+        assert_eq!(m.comparisons(), 7);
+        assert_eq!(m.run_io(), 4);
+        assert_eq!(m.runs_created(), 1);
+        m.reset();
+        assert_eq!(m.comparisons(), 0);
+        assert_eq!(m.run_io(), 0);
+    }
+}

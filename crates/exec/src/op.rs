@@ -1,0 +1,64 @@
+//! The Volcano operator interface.
+
+use pyro_common::{Result, Schema, Tuple};
+
+/// A pull-based iterator operator. `next` returns `Ok(None)` at end of
+/// stream; operators are single-use.
+pub trait Operator {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+
+    /// Pulls the next output tuple.
+    fn next(&mut self) -> Result<Option<Tuple>>;
+}
+
+/// Boxed operator, the uniform child type.
+pub type BoxOp = Box<dyn Operator>;
+
+/// Drains an operator into a vector (tests and leaf consumers).
+pub fn collect(mut op: BoxOp) -> Result<Vec<Tuple>> {
+    let mut out = Vec::new();
+    while let Some(t) = op.next()? {
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// An operator yielding a fixed in-memory tuple list — the standard test
+/// source and the bridge for pre-materialized inputs.
+pub struct ValuesOp {
+    schema: Schema,
+    rows: std::vec::IntoIter<Tuple>,
+}
+
+impl ValuesOp {
+    /// Builds from a schema and rows.
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Self {
+        ValuesOp { schema, rows: rows.into_iter() }
+    }
+}
+
+impl Operator for ValuesOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        Ok(self.rows.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyro_common::Value;
+
+    #[test]
+    fn values_roundtrip() {
+        let schema = Schema::ints(&["a"]);
+        let rows: Vec<Tuple> = (0..3).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
+        let op = ValuesOp::new(schema.clone(), rows.clone());
+        assert_eq!(op.schema(), &schema);
+        assert_eq!(collect(Box::new(op)).unwrap(), rows);
+    }
+}

@@ -1,0 +1,78 @@
+//! Projection (with computed columns).
+
+use crate::expr::Expr;
+use crate::op::{BoxOp, Operator};
+use pyro_common::{Result, Schema, Tuple};
+
+/// Evaluates one expression per output column.
+pub struct Project {
+    child: BoxOp,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl Project {
+    /// Builds a projection with explicit output schema (names/types of the
+    /// computed columns).
+    pub fn new(child: BoxOp, exprs: Vec<Expr>, schema: Schema) -> Self {
+        debug_assert_eq!(exprs.len(), schema.len());
+        Project { child, exprs, schema }
+    }
+
+    /// Convenience: keep the columns at `indices`, preserving names.
+    pub fn keep(child: BoxOp, indices: &[usize]) -> Self {
+        let schema = child.schema().project(indices);
+        let exprs = indices.iter().map(|&i| Expr::Col(i)).collect();
+        Project { child, exprs, schema }
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.child.next()? {
+            None => Ok(None),
+            Some(t) => {
+                let values = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval(&t))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Some(Tuple::new(values)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, ValuesOp};
+    use pyro_common::{Column, DataType, Value};
+
+    #[test]
+    fn keep_projects_columns() {
+        let rows = vec![Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)])];
+        let src = ValuesOp::new(Schema::ints(&["a", "b", "c"]), rows);
+        let p = Project::keep(Box::new(src), &[2, 0]);
+        assert_eq!(p.schema().names(), vec!["c", "a"]);
+        let out = collect(Box::new(p)).unwrap();
+        assert_eq!(out[0], Tuple::new(vec![Value::Int(3), Value::Int(1)]));
+    }
+
+    #[test]
+    fn computed_columns() {
+        let rows = vec![Tuple::new(vec![Value::Int(3), Value::Int(4)])];
+        let src = ValuesOp::new(Schema::ints(&["q", "p"]), rows);
+        let p = Project::new(
+            Box::new(src),
+            vec![Expr::mul(Expr::col(0), Expr::col(1))],
+            Schema::new(vec![Column::new("value", DataType::Int)]),
+        );
+        let out = collect(Box::new(p)).unwrap();
+        assert_eq!(out[0], Tuple::new(vec![Value::Int(12)]));
+    }
+}

@@ -1,0 +1,64 @@
+//! External sorting: standard replacement selection (SRS) and the paper's
+//! modified replacement selection (MRS, [`PartialSort`]).
+//!
+//! Both operators share the spill-run machinery in the `runs` module: runs are
+//! [`pyro_storage::TupleFile`]s whose page writes/reads are charged to the
+//! pipeline's [`crate::ExecMetrics`] as *run I/O* — the quantity the paper's
+//! Experiments A1–A4 measure.
+
+mod heap;
+mod mrs;
+mod runs;
+mod srs;
+
+pub use mrs::PartialSort;
+pub use runs::{InMemorySortStream, MergeStream};
+pub use srs::StandardReplacementSort;
+
+use crate::metrics::MetricsRef;
+use pyro_common::{KeySpec, Tuple};
+use std::cmp::Ordering;
+
+/// Memory budget for a sort, expressed like the paper: `M` blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct SortBudget {
+    /// Number of memory blocks available.
+    pub blocks: u64,
+    /// Block size in bytes.
+    pub block_size: usize,
+}
+
+impl SortBudget {
+    /// Budget of `blocks` blocks of `block_size` bytes.
+    pub fn new(blocks: u64, block_size: usize) -> Self {
+        SortBudget { blocks: blocks.max(3), block_size }
+    }
+
+    /// Total bytes available for buffered tuples.
+    pub fn bytes(&self) -> usize {
+        (self.blocks as usize).saturating_mul(self.block_size)
+    }
+
+    /// Merge fan-in (`M − 1` input buffers, one output buffer).
+    pub fn fan_in(&self) -> usize {
+        (self.blocks as usize - 1).max(2)
+    }
+}
+
+/// Sorts a buffer by `key`, charging one comparison count per scalar
+/// comparison performed.
+pub(crate) fn sort_buffer(buf: &mut [Tuple], key: &KeySpec, metrics: &MetricsRef) {
+    buf.sort_by(|a, b| compare_counted(key, a, b, metrics));
+}
+
+/// Key comparison that charges the metrics counter.
+pub(crate) fn compare_counted(
+    key: &KeySpec,
+    a: &Tuple,
+    b: &Tuple,
+    metrics: &MetricsRef,
+) -> Ordering {
+    let (ord, n) = key.compare_counting(a, b);
+    metrics.add_comparisons(n);
+    ord
+}

@@ -1,0 +1,200 @@
+//! Exact optimum for the tree sort-order problem, by dynamic programming
+//! over permutations.
+//!
+//! The problem is NP-hard in general (Theorem 4.1 — hardness grows with the
+//! attribute-set sizes, which drive the `k!` state space per node), but for
+//! the small instances used in tests and ablations an exact answer is
+//! tractable: for each node we enumerate all permutations of its attribute
+//! set and solve bottom-up:
+//!
+//! `best(v, p) = Σ_{c ∈ children(v)} max_q [ best(c, q) + |p ∧ q| ]`
+//!
+//! Complexity `O(Σ_v |children| · k!² · k)` for max set size `k` — fine for
+//! `k ≤ 5` on trees of any realistic size.
+
+use crate::order::{all_permutations, SortOrder};
+use crate::tree::JoinTree;
+
+/// Result of [`exhaustive_tree_order`].
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// Optimal permutation per node id.
+    pub orders: Vec<SortOrder>,
+    /// The optimal benefit.
+    pub benefit: u64,
+}
+
+/// Computes the exact optimum. Panics if any attribute set exceeds
+/// `max_set_len` (default guard 8) to protect against factorial blow-up.
+pub fn exhaustive_tree_order(tree: &JoinTree) -> ExactSolution {
+    exhaustive_tree_order_guarded(tree, 8)
+}
+
+/// Like [`exhaustive_tree_order`] with an explicit safety bound on the
+/// attribute-set size.
+pub fn exhaustive_tree_order_guarded(tree: &JoinTree, max_set_len: usize) -> ExactSolution {
+    let n = tree.len();
+    if n == 0 {
+        return ExactSolution { orders: vec![], benefit: 0 };
+    }
+    for v in 0..n {
+        assert!(
+            tree.attrs(v).len() <= max_set_len,
+            "attribute set of node {v} has {} attrs; exhaustive search capped at {max_set_len}",
+            tree.attrs(v).len()
+        );
+    }
+    let root = tree.root().expect("non-empty tree must have a root");
+
+    // Per node: candidate permutations and, per candidate, the best benefit
+    // of its subtree when the node uses that candidate.
+    let mut perms: Vec<Vec<SortOrder>> = (0..n)
+        .map(|v| {
+            let p = all_permutations(tree.attrs(v));
+            if p.is_empty() {
+                vec![SortOrder::empty()]
+            } else {
+                p
+            }
+        })
+        .collect();
+    let mut best: Vec<Vec<u64>> = perms.iter().map(|p| vec![0; p.len()]).collect();
+    // For plan reconstruction: chosen child permutation index per (node,
+    // perm, child-slot).
+    let mut choice: Vec<Vec<Vec<usize>>> = (0..n)
+        .map(|v| vec![vec![0; tree.children(v).len()]; perms[v].len()])
+        .collect();
+
+    // Post-order traversal.
+    let order = post_order(tree, root);
+    for &v in &order {
+        let children: Vec<usize> = tree.children(v).to_vec();
+        for pi in 0..perms[v].len() {
+            let mut total = 0;
+            for (slot, &c) in children.iter().enumerate() {
+                let mut best_c = 0;
+                let mut best_qi = 0;
+                for qi in 0..perms[c].len() {
+                    let val = best[c][qi] + perms[v][pi].lcp(&perms[c][qi]).len() as u64;
+                    if val > best_c {
+                        best_c = val;
+                        best_qi = qi;
+                    }
+                }
+                total += best_c;
+                choice[v][pi][slot] = best_qi;
+            }
+            best[v][pi] = total;
+        }
+    }
+
+    // Pick the best root permutation and walk choices down.
+    let (root_pi, &benefit) = best[root]
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &b)| b)
+        .expect("root has at least one candidate");
+    let mut orders = vec![SortOrder::empty(); n];
+    let mut stack = vec![(root, root_pi)];
+    while let Some((v, pi)) = stack.pop() {
+        orders[v] = perms[v][pi].clone();
+        for (slot, &c) in tree.children(v).iter().enumerate() {
+            stack.push((c, choice[v][pi][slot]));
+        }
+    }
+    // Free the big tables before returning (not strictly needed; explicit).
+    perms.clear();
+    best.clear();
+    choice.clear();
+    ExactSolution { orders, benefit }
+}
+
+fn post_order(tree: &JoinTree, root: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(tree.len());
+    let mut stack = vec![(root, false)];
+    while let Some((v, expanded)) = stack.pop() {
+        if expanded {
+            out.push(v);
+        } else {
+            stack.push((v, true));
+            for &c in tree.children(v) {
+                stack.push((c, false));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::AttrSet;
+    use crate::tree::{benefit_of, two_approx_tree_order};
+
+    fn s(attrs: &[&str]) -> AttrSet {
+        AttrSet::from_iter(attrs.iter().copied())
+    }
+
+    fn figure3_tree() -> JoinTree {
+        let mut t = JoinTree::new();
+        let root = t.add_root(s(&["a", "b", "c", "d", "e"]));
+        let l = t.add_child(root, s(&["a", "b", "c", "k"]));
+        let r = t.add_child(root, s(&["c", "d", "h", "n"]));
+        t.add_child(l, s(&["c", "e", "i", "j"]));
+        t.add_child(l, s(&["c", "k", "l", "m"]));
+        t.add_child(r, s(&["c", "d"]));
+        t.add_child(r, s(&["f", "g", "p", "q"]));
+        t
+    }
+
+    #[test]
+    fn figure3_optimum_is_eight() {
+        // The paper's Figure 3 caption: "Total benefit of the optimal
+        // solution = 8".
+        let t = figure3_tree();
+        let sol = exhaustive_tree_order(&t);
+        assert_eq!(sol.benefit, 8);
+        assert_eq!(benefit_of(&t, &sol.orders), 8);
+    }
+
+    #[test]
+    fn optimum_on_identical_path() {
+        let mut t = JoinTree::new();
+        let mut cur = t.add_root(s(&["a", "b"]));
+        for _ in 0..3 {
+            cur = t.add_child(cur, s(&["a", "b"]));
+        }
+        let sol = exhaustive_tree_order(&t);
+        assert_eq!(sol.benefit, 6); // 3 edges × 2 shared attrs
+    }
+
+    #[test]
+    fn two_approx_bound_holds_on_figure3() {
+        let t = figure3_tree();
+        let exact = exhaustive_tree_order(&t);
+        let approx = two_approx_tree_order(&t);
+        assert!(
+            2 * approx.benefit >= exact.benefit,
+            "2·{} < {}",
+            approx.benefit,
+            exact.benefit
+        );
+    }
+
+    #[test]
+    fn guard_panics_on_large_sets() {
+        let mut t = JoinTree::new();
+        t.add_root(AttrSet::from_iter((0..9).map(|i| format!("a{i}"))));
+        let r = std::panic::catch_unwind(|| exhaustive_tree_order(&t));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_attr_set_nodes_are_fine() {
+        let mut t = JoinTree::new();
+        let root = t.add_root(AttrSet::new());
+        t.add_child(root, s(&["a"]));
+        let sol = exhaustive_tree_order(&t);
+        assert_eq!(sol.benefit, 0);
+    }
+}

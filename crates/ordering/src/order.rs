@@ -1,0 +1,381 @@
+//! Sort orders and attribute sets — the paper's §3 notation, executable.
+//!
+//! A sort order `o` is a sequence of attribute names `(a1, a2, ..., an)`.
+//! Sort direction is ignored throughout, exactly as in the paper ("our
+//! techniques are applicable independent of the sort direction").
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of attributes with deterministic (sorted) iteration order.
+///
+/// Determinism matters: the paper's algorithms call `apermute(s)` — "an
+/// arbitrary permutation of attribute set s" — and both `PathOrder` and the
+/// afm computation rely on *the same* arbitrary permutation being chosen for
+/// the same set on adjacent nodes, otherwise the common prefix they engineer
+/// is silently destroyed. Backing the set with a `BTreeSet` makes
+/// [`AttrSet::arbitrary_order`] canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct AttrSet {
+    attrs: BTreeSet<String>,
+}
+
+impl AttrSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        AttrSet::default()
+    }
+
+    /// Builds from any iterator of names.
+    #[allow(clippy::should_implement_trait)] // FromIterator is also implemented
+    pub fn from_iter<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        AttrSet { attrs: iter.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: &str) -> bool {
+        self.attrs.contains(a)
+    }
+
+    /// Inserts an attribute.
+    pub fn insert(&mut self, a: impl Into<String>) {
+        self.attrs.insert(a.into());
+    }
+
+    /// Removes an attribute, returning whether it was present.
+    pub fn remove(&mut self, a: &str) -> bool {
+        self.attrs.remove(a)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &AttrSet) -> AttrSet {
+        AttrSet { attrs: self.attrs.intersection(&other.attrs).cloned().collect() }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        AttrSet { attrs: self.attrs.union(&other.attrs).cloned().collect() }
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        AttrSet { attrs: self.attrs.difference(&other.attrs).cloned().collect() }
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.attrs.is_subset(&other.attrs)
+    }
+
+    /// Deterministic iteration in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(String::as_str)
+    }
+
+    /// `apermute(s)`: the canonical "arbitrary" permutation of this set —
+    /// its attributes in lexicographic order.
+    pub fn arbitrary_order(&self) -> SortOrder {
+        SortOrder::new(self.attrs.iter().cloned().collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        AttrSet::from_iter(iter)
+    }
+}
+
+/// A sort order: a duplicate-free sequence of attribute names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct SortOrder {
+    attrs: Vec<String>,
+}
+
+impl SortOrder {
+    /// The empty order `ε`.
+    pub fn empty() -> Self {
+        SortOrder::default()
+    }
+
+    /// Builds an order from a sequence of names. Debug builds assert
+    /// duplicate-freedom.
+    pub fn new<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        debug_assert!(
+            {
+                let mut s: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                s.sort_unstable();
+                s.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate attribute in sort order {attrs:?}"
+        );
+        SortOrder { attrs }
+    }
+
+    /// `|o|`: number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True iff this is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attribute sequence.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// `attrs(o)`: the set of attributes in the order.
+    pub fn attr_set(&self) -> AttrSet {
+        AttrSet::from_iter(self.attrs.iter().cloned())
+    }
+
+    /// `o1 ≤ o2` with `self` as `o1`: true iff `self` is a prefix of `other`
+    /// (so `other` *subsumes* `self`).
+    pub fn is_prefix_of(&self, other: &SortOrder) -> bool {
+        self.len() <= other.len() && self.attrs[..] == other.attrs[..self.len()]
+    }
+
+    /// `o1 < o2`: strict prefix.
+    pub fn is_strict_prefix_of(&self, other: &SortOrder) -> bool {
+        self.len() < other.len() && self.is_prefix_of(other)
+    }
+
+    /// `o1 ∧ o2`: longest common prefix.
+    pub fn lcp(&self, other: &SortOrder) -> SortOrder {
+        let n = self
+            .attrs
+            .iter()
+            .zip(&other.attrs)
+            .take_while(|(a, b)| a == b)
+            .count();
+        SortOrder { attrs: self.attrs[..n].to_vec() }
+    }
+
+    /// `o1 + o2`: concatenation. Attributes of `other` already present in
+    /// `self` are skipped (they are functionally redundant as minor keys —
+    /// the run is already unique on them within the prefix).
+    pub fn concat(&self, other: &SortOrder) -> SortOrder {
+        let mut attrs = self.attrs.clone();
+        for a in &other.attrs {
+            if !attrs.contains(a) {
+                attrs.push(a.clone());
+            }
+        }
+        SortOrder { attrs }
+    }
+
+    /// `o1 − o2`: the order `o'` with `o2 + o' = o1`. Defined only when
+    /// `o2 ≤ o1`; returns `None` otherwise.
+    pub fn minus(&self, prefix: &SortOrder) -> Option<SortOrder> {
+        if prefix.is_prefix_of(self) {
+            Some(SortOrder { attrs: self.attrs[prefix.len()..].to_vec() })
+        } else {
+            None
+        }
+    }
+
+    /// `o ∧ s`: longest *prefix* of `o` whose attributes all belong to `s`.
+    pub fn lcp_with_set(&self, s: &AttrSet) -> SortOrder {
+        let n = self.attrs.iter().take_while(|a| s.contains(a)).count();
+        SortOrder { attrs: self.attrs[..n].to_vec() }
+    }
+
+    /// Extends this order with an arbitrary (canonical) permutation of the
+    /// attributes in `s` not already present: `o + ⟨s − attrs(o)⟩`.
+    pub fn extend_with_set(&self, s: &AttrSet) -> SortOrder {
+        self.concat(&s.difference(&self.attr_set()).arbitrary_order())
+    }
+
+    /// Truncates to the first `n` attributes.
+    pub fn prefix(&self, n: usize) -> SortOrder {
+        SortOrder { attrs: self.attrs[..n.min(self.attrs.len())].to_vec() }
+    }
+
+    /// Applies a renaming function to every attribute (used to map orders
+    /// through column equivalences at joins).
+    pub fn rename(&self, f: impl Fn(&str) -> String) -> SortOrder {
+        SortOrder { attrs: self.attrs.iter().map(|a| f(a)).collect() }
+    }
+}
+
+impl fmt::Display for SortOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "ε");
+        }
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for SortOrder {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        SortOrder::new(iter.into_iter().map(Into::into).collect::<Vec<_>>())
+    }
+}
+
+/// All `n!` permutations of an attribute set, in a deterministic order —
+/// `P(s)` from the paper. Used by the exhaustive strategy (PYRO-E) and by
+/// tests; callers must keep `s` small.
+pub fn all_permutations(s: &AttrSet) -> Vec<SortOrder> {
+    let items: Vec<String> = s.iter().map(str::to_string).collect();
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(items.len());
+    let mut used = vec![false; items.len()];
+    permute_rec(&items, &mut used, &mut current, &mut out);
+    out
+}
+
+fn permute_rec(
+    items: &[String],
+    used: &mut [bool],
+    current: &mut Vec<String>,
+    out: &mut Vec<SortOrder>,
+) {
+    if current.len() == items.len() {
+        out.push(SortOrder::new(current.clone()));
+        return;
+    }
+    for i in 0..items.len() {
+        if !used[i] {
+            used[i] = true;
+            current.push(items[i].clone());
+            permute_rec(items, used, current, out);
+            current.pop();
+            used[i] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(attrs: &[&str]) -> SortOrder {
+        SortOrder::new(attrs.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn lcp_basic() {
+        assert_eq!(o(&["y", "m", "c"]).lcp(&o(&["y", "m", "k"])), o(&["y", "m"]));
+        assert_eq!(o(&["a"]).lcp(&o(&["b"])), SortOrder::empty());
+        assert_eq!(o(&["a", "b"]).lcp(&o(&["a", "b"])), o(&["a", "b"]));
+    }
+
+    #[test]
+    fn prefix_relations() {
+        assert!(o(&["a"]).is_prefix_of(&o(&["a", "b"])));
+        assert!(o(&["a"]).is_strict_prefix_of(&o(&["a", "b"])));
+        assert!(!o(&["a", "b"]).is_strict_prefix_of(&o(&["a", "b"])));
+        assert!(SortOrder::empty().is_prefix_of(&o(&["a"])));
+        assert!(!o(&["b"]).is_prefix_of(&o(&["a", "b"])));
+    }
+
+    #[test]
+    fn concat_skips_duplicates() {
+        assert_eq!(o(&["a", "b"]).concat(&o(&["b", "c"])), o(&["a", "b", "c"]));
+    }
+
+    #[test]
+    fn minus_inverts_concat() {
+        let o1 = o(&["a", "b"]);
+        let o2 = o(&["c", "d"]);
+        let whole = o1.concat(&o2);
+        assert_eq!(whole.minus(&o1), Some(o2));
+        assert_eq!(whole.minus(&o(&["x"])), None);
+    }
+
+    #[test]
+    fn lcp_with_set_stops_at_foreign_attr() {
+        let s = AttrSet::from_iter(["m", "y"]);
+        assert_eq!(o(&["y", "m", "c"]).lcp_with_set(&s), o(&["y", "m"]));
+        assert_eq!(o(&["c", "y"]).lcp_with_set(&s), SortOrder::empty());
+    }
+
+    #[test]
+    fn extend_with_set_appends_missing() {
+        let s = AttrSet::from_iter(["c", "a", "b"]);
+        assert_eq!(o(&["b"]).extend_with_set(&s), o(&["b", "a", "c"]));
+        // deterministic "arbitrary" permutation
+        assert_eq!(
+            SortOrder::empty().extend_with_set(&s),
+            o(&["a", "b", "c"])
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(o(&["a", "b"]).to_string(), "(a, b)");
+        assert_eq!(SortOrder::empty().to_string(), "ε");
+        assert_eq!(AttrSet::from_iter(["b", "a"]).to_string(), "{a, b}");
+    }
+
+    #[test]
+    fn permutations_count() {
+        let s = AttrSet::from_iter(["a", "b", "c"]);
+        let perms = all_permutations(&s);
+        assert_eq!(perms.len(), 6);
+        // all distinct
+        let mut seen = std::collections::HashSet::new();
+        for p in &perms {
+            assert!(seen.insert(p.clone()));
+            assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn rename_maps_attrs() {
+        let r = o(&["x", "y"]).rename(|a| format!("t.{a}"));
+        assert_eq!(r, o(&["t.x", "t.y"]));
+    }
+
+    #[test]
+    fn attr_set_ops() {
+        let a = AttrSet::from_iter(["a", "b", "c"]);
+        let b = AttrSet::from_iter(["b", "c", "d"]);
+        assert_eq!(a.intersect(&b), AttrSet::from_iter(["b", "c"]));
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.difference(&b), AttrSet::from_iter(["a"]));
+        assert!(AttrSet::from_iter(["b"]).is_subset(&a));
+    }
+}

@@ -1,0 +1,86 @@
+//! The (small) SQL AST.
+
+use pyro_common::Value;
+use pyro_exec::agg::AggFunc;
+use pyro_exec::CmpOp;
+
+/// A scalar or boolean SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference, possibly qualified (`alias.col`).
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Aggregate call (only legal in SELECT / HAVING).
+    Agg(AggFunc, Box<SqlExpr>),
+    /// `COUNT(*)`.
+    CountStar,
+    /// Binary comparison.
+    Cmp(CmpOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Conjunction.
+    And(Vec<SqlExpr>),
+    /// Multiplication.
+    Mul(Box<SqlExpr>, Box<SqlExpr>),
+    /// Addition.
+    Add(Box<SqlExpr>, Box<SqlExpr>),
+    /// Subtraction.
+    Sub(Box<SqlExpr>, Box<SqlExpr>),
+}
+
+impl SqlExpr {
+    /// True iff the expression contains an aggregate call.
+    pub fn has_agg(&self) -> bool {
+        match self {
+            SqlExpr::Agg(..) | SqlExpr::CountStar => true,
+            SqlExpr::Col(_) | SqlExpr::Lit(_) => false,
+            SqlExpr::Cmp(_, a, b)
+            | SqlExpr::Mul(a, b)
+            | SqlExpr::Add(a, b)
+            | SqlExpr::Sub(a, b) => a.has_agg() || b.has_agg(),
+            SqlExpr::And(terms) => terms.iter().any(SqlExpr::has_agg),
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// Expression with optional alias.
+    Expr(SqlExpr, Option<String>),
+}
+
+/// One table in FROM, with optional alias and, for explicit joins, the ON
+/// condition linking it to everything before it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+    /// `Some(cond)` for `FULL OUTER JOIN ... ON cond`; `None` for
+    /// comma-listed tables (joined via WHERE equalities).
+    pub full_outer_on: Option<SqlExpr>,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT DISTINCT?
+    pub distinct: bool,
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM tables, in join order.
+    pub from: Vec<TableRef>,
+    /// WHERE conjunction, flattened.
+    pub where_conjuncts: Vec<SqlExpr>,
+    /// GROUP BY column names.
+    pub group_by: Vec<String>,
+    /// HAVING condition.
+    pub having: Option<SqlExpr>,
+    /// ORDER BY column names (direction ignored, as in the paper).
+    pub order_by: Vec<String>,
+    /// LIMIT, if present.
+    pub limit: Option<u64>,
+}

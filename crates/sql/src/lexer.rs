@@ -1,0 +1,133 @@
+//! SQL tokenizer.
+
+use pyro_common::{PyroError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched
+    /// case-insensitively by the parser; identifiers keep original case
+    /// lowered).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single quotes).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(String),
+}
+
+/// Tokenizes SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token::Ident(chars[start..i].iter().collect::<String>().to_lowercase()));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                if chars[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float {
+                out.push(Token::Float(text.parse().map_err(|e| {
+                    PyroError::Sql(format!("bad float {text}: {e}"))
+                })?));
+            } else {
+                out.push(Token::Int(text.parse().map_err(|e| {
+                    PyroError::Sql(format!("bad int {text}: {e}"))
+                })?));
+            }
+            continue;
+        }
+        if c == '\'' {
+            let start = i + 1;
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(PyroError::Sql("unterminated string literal".into()));
+            }
+            out.push(Token::Str(chars[start..i].iter().collect()));
+            i += 1;
+            continue;
+        }
+        // multi-char operators
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        if ["<=", ">=", "<>", "!="].contains(&two.as_str()) {
+            out.push(Token::Symbol(if two == "!=" { "<>".into() } else { two }));
+            i += 2;
+            continue;
+        }
+        if "(),.*=<>+-/".contains(c) {
+            out.push(Token::Symbol(c.to_string()));
+            i += 1;
+            continue;
+        }
+        return Err(PyroError::Sql(format!("unexpected character {c:?} at offset {i}")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("SELECT a, b FROM t WHERE x = 'O' AND y >= 4.5").unwrap();
+        assert_eq!(t[0], Token::Ident("select".into()));
+        assert!(t.contains(&Token::Str("O".into())));
+        assert!(t.contains(&Token::Symbol(">=".into())));
+        assert!(t.contains(&Token::Float(4.5)));
+    }
+
+    #[test]
+    fn qualified_names_split_on_dot() {
+        let t = tokenize("t1.c4").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("t1".into()),
+                Token::Symbol(".".into()),
+                Token::Ident("c4".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn not_equal_normalized() {
+        let t = tokenize("a != b").unwrap();
+        assert!(t.contains(&Token::Symbol("<>".into())));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn weird_chars_error() {
+        assert!(tokenize("a ; b").is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # pyro-sql
+//!
+//! A minimal SQL frontend covering the paper's query shapes: `SELECT` with
+//! expressions and aggregates, comma-joins and `FULL OUTER JOIN ... ON`,
+//! conjunctive `WHERE` (equi-join predicates and column/literal filters),
+//! `GROUP BY`, `HAVING`, `ORDER BY`. Queries lower to
+//! [`pyro_core::LogicalPlan`]s with left-deep join trees in `FROM` order —
+//! matching the paper's fixed-join-shape setting.
+//!
+//! ```
+//! # use pyro_sql::parse_query;
+//! let q = parse_query(
+//!     "SELECT ps_suppkey, count(l_partkey) AS n \
+//!      FROM partsupp, lineitem \
+//!      WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
+//!      GROUP BY ps_suppkey ORDER BY ps_suppkey",
+//! ).unwrap();
+//! assert_eq!(q.order_by, vec!["ps_suppkey"]);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{Query, SelectItem, SqlExpr, TableRef};
+pub use lower::lower;
+pub use parser::parse_query;

@@ -1,0 +1,490 @@
+//! AST → logical plan lowering.
+//!
+//! Joins are built left-deep in `FROM` order (the paper's fixed-join-shape
+//! setting); comma-joined tables take their equality pairs from `WHERE`,
+//! explicit `FULL OUTER JOIN`s from their `ON` clauses. Single-table filters
+//! are pushed below the joins. All column references are fully qualified
+//! against the catalog so the optimizer's equivalence and favorable-order
+//! machinery sees one consistent name space.
+
+use crate::ast::{Query, SelectItem, SqlExpr, TableRef};
+use pyro_catalog::Catalog;
+use pyro_common::{PyroError, Result};
+use pyro_core::{AggSpec, JoinPair, LogicalPlan, NExpr, NodeId, ProjItem};
+use pyro_exec::agg::AggFunc;
+use pyro_exec::join::JoinKind;
+use pyro_exec::CmpOp;
+use pyro_ordering::SortOrder;
+use std::collections::BTreeMap;
+
+/// Lowers a parsed query against a catalog.
+pub fn lower(q: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
+    Lowerer::new(catalog)?.lower(q)
+}
+
+struct Lowerer<'a> {
+    catalog: &'a Catalog,
+    /// alias → bare column names, in scope order.
+    scopes: BTreeMap<String, Vec<String>>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(catalog: &'a Catalog) -> Result<Self> {
+        Ok(Lowerer { catalog, scopes: BTreeMap::new() })
+    }
+
+    /// Qualifies a possibly-bare column name against the aliases in scope.
+    fn qualify(&self, name: &str) -> Result<String> {
+        if let Some((alias, bare)) = name.split_once('.') {
+            if self
+                .scopes
+                .get(alias)
+                .is_some_and(|cols| cols.iter().any(|c| c == bare))
+            {
+                return Ok(format!("{alias}.{bare}"));
+            }
+            return Err(PyroError::UnknownColumn(name.to_string()));
+        }
+        let hits: Vec<String> = self
+            .scopes
+            .iter()
+            .filter(|(_, cols)| cols.iter().any(|c| c == name))
+            .map(|(alias, _)| format!("{alias}.{name}"))
+            .collect();
+        match hits.as_slice() {
+            [one] => Ok(one.clone()),
+            [] => Err(PyroError::UnknownColumn(name.to_string())),
+            _ => Err(PyroError::AmbiguousColumn(name.to_string())),
+        }
+    }
+
+    /// True iff the qualified column belongs to `alias`.
+    fn belongs_to(col: &str, alias: &str) -> bool {
+        col.split_once('.').is_some_and(|(a, _)| a == alias)
+    }
+
+    fn lower(mut self, q: &Query) -> Result<LogicalPlan> {
+        if q.from.is_empty() {
+            return Err(PyroError::Sql("FROM clause required".into()));
+        }
+        // Register scopes up front so WHERE names can be qualified.
+        for t in &q.from {
+            let handle = self.catalog.table(&t.table)?;
+            self.scopes.insert(
+                t.alias.clone(),
+                handle.meta.schema.names(),
+            );
+        }
+
+        // Split WHERE into join pairs (col = col across tables),
+        // single-table filters, and residual conditions.
+        let mut join_equalities: Vec<(String, String)> = Vec::new();
+        let mut table_filters: BTreeMap<String, Vec<NExpr>> = BTreeMap::new();
+        let mut residual: Vec<NExpr> = Vec::new();
+        for conj in &q.where_conjuncts {
+            match conj {
+                SqlExpr::Cmp(CmpOp::Eq, a, b) => {
+                    if let (SqlExpr::Col(ca), SqlExpr::Col(cb)) = (a.as_ref(), b.as_ref()) {
+                        let (qa, qb) = (self.qualify(ca)?, self.qualify(cb)?);
+                        let (aa, ab) = (
+                            qa.split_once('.').expect("qualified").0.to_string(),
+                            qb.split_once('.').expect("qualified").0.to_string(),
+                        );
+                        if aa != ab {
+                            join_equalities.push((qa, qb));
+                            continue;
+                        }
+                    }
+                    self.classify_filter(conj, &mut table_filters, &mut residual)?;
+                }
+                _ => self.classify_filter(conj, &mut table_filters, &mut residual)?,
+            }
+        }
+
+        // Build scans with pushed-down filters, then join left-deep.
+        let mut plan = LogicalPlan::new();
+        let mut current: Option<(NodeId, Vec<String>)> = None; // (node, aliases in scope)
+        for t in &q.from {
+            let mut node = plan.scan_as(&t.table, &t.alias);
+            if let Some(filters) = table_filters.remove(&t.alias) {
+                node = plan.filter(node, NExpr::And(filters));
+            }
+            current = Some(match current {
+                None => (node, vec![t.alias.clone()]),
+                Some((left, mut aliases)) => {
+                    let (kind, pairs) = self.join_spec(t, &aliases, &mut join_equalities)?;
+                    if pairs.is_empty() {
+                        return Err(PyroError::Sql(format!(
+                            "no join condition links table {} to the preceding tables",
+                            t.alias
+                        )));
+                    }
+                    let j = plan.join_kind(left, node, kind, pairs);
+                    aliases.push(t.alias.clone());
+                    (j, aliases)
+                }
+            });
+        }
+        let (mut node, _) = current.expect("at least one table");
+        if !join_equalities.is_empty() {
+            return Err(PyroError::Sql(format!(
+                "unplaced join equalities: {join_equalities:?}"
+            )));
+        }
+        if !residual.is_empty() {
+            node = plan.filter(node, NExpr::And(residual));
+        }
+
+        // Aggregation.
+        let select_has_agg = q
+            .select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Expr(e, _) if e.has_agg()));
+        let mut agg_specs: Vec<AggSpec> = Vec::new();
+        let mut select_items: Vec<ProjItem> = Vec::new();
+        if !q.group_by.is_empty() || select_has_agg {
+            // Collect aggregates from SELECT and HAVING.
+            for (i, item) in q.select.iter().enumerate() {
+                match item {
+                    SelectItem::Star => {
+                        return Err(PyroError::Sql(
+                            "SELECT * cannot be combined with GROUP BY".into(),
+                        ))
+                    }
+                    SelectItem::Expr(e, alias) => {
+                        let lowered =
+                            self.lower_scalar(e, &mut agg_specs, alias.as_deref())?;
+                        // Pass-through columns keep their qualified names so
+                        // sort orders survive the projection; aggregates use
+                        // their (possibly synthesized) output name.
+                        let name = match (&lowered, alias) {
+                            (_, Some(a)) => a.clone(),
+                            (NExpr::Col(c), None) => c.clone(),
+                            (_, None) => format!("expr{i}"),
+                        };
+                        select_items.push(ProjItem { expr: lowered, name });
+                    }
+                }
+            }
+            let group_cols: Vec<String> = q
+                .group_by
+                .iter()
+                .map(|g| self.qualify(g))
+                .collect::<Result<_>>()?;
+            let mut having_expr = None;
+            if let Some(h) = &q.having {
+                having_expr = Some(self.lower_scalar(h, &mut agg_specs, None)?);
+            }
+            node = plan.aggregate(node, group_cols, agg_specs);
+            if let Some(h) = having_expr {
+                node = plan.filter(node, h);
+            }
+            node = plan.project(node, select_items);
+        } else {
+            // Plain projection (or SELECT *).
+            let star = q.select.iter().any(|s| matches!(s, SelectItem::Star));
+            if !star {
+                for (i, item) in q.select.iter().enumerate() {
+                    if let SelectItem::Expr(e, alias) = item {
+                        let mut no_aggs = Vec::new();
+                        let lowered = self.lower_scalar(e, &mut no_aggs, None)?;
+                        if !no_aggs.is_empty() {
+                            return Err(PyroError::Sql(
+                                "aggregate without GROUP BY not supported".into(),
+                            ));
+                        }
+                        // Preserve qualified names for pass-through columns
+                        // so sort orders survive the projection.
+                        let name = match (&lowered, alias) {
+                            (_, Some(a)) => a.clone(),
+                            (NExpr::Col(c), None) => c.clone(),
+                            (_, None) => format!("expr{i}"),
+                        };
+                        select_items.push(ProjItem { expr: lowered, name });
+                    }
+                }
+                node = plan.project(node, select_items);
+            }
+        }
+
+        // DISTINCT applies to the projected output.
+        if q.distinct {
+            node = plan.distinct(node);
+        }
+
+        // ORDER BY.
+        if !q.order_by.is_empty() {
+            let attrs: Vec<String> = q
+                .order_by
+                .iter()
+                .map(|c| {
+                    // agg/select aliases take precedence over base columns
+                    self.qualify(c).or_else(|_| Ok(c.clone()))
+                })
+                .collect::<Result<_>>()?;
+            node = plan.order_by(node, SortOrder::new(attrs));
+        }
+        if let Some(k) = q.limit {
+            node = plan.limit(node, k);
+        }
+        plan.set_root(node);
+        Ok(plan)
+    }
+
+    fn classify_filter(
+        &self,
+        conj: &SqlExpr,
+        table_filters: &mut BTreeMap<String, Vec<NExpr>>,
+        residual: &mut Vec<NExpr>,
+    ) -> Result<()> {
+        let mut aggs = Vec::new();
+        let lowered = self.lower_scalar(conj, &mut aggs, None)?;
+        if !aggs.is_empty() {
+            return Err(PyroError::Sql("aggregate in WHERE".into()));
+        }
+        let mut cols = Vec::new();
+        lowered.columns(&mut cols);
+        let mut aliases: Vec<&str> =
+            cols.iter().filter_map(|c| c.split('.').next()).collect();
+        aliases.sort_unstable();
+        aliases.dedup();
+        match aliases.as_slice() {
+            [one] => table_filters.entry(one.to_string()).or_default().push(lowered),
+            _ => residual.push(lowered),
+        }
+        Ok(())
+    }
+
+    /// Lowers a scalar expression; aggregate calls are pulled out into
+    /// `agg_specs` and replaced by column references to their outputs.
+    fn lower_scalar(
+        &self,
+        e: &SqlExpr,
+        agg_specs: &mut Vec<AggSpec>,
+        preferred_name: Option<&str>,
+    ) -> Result<NExpr> {
+        Ok(match e {
+            SqlExpr::Col(c) => match self.qualify(c) {
+                Ok(q) => NExpr::Col(q),
+                // HAVING/ORDER BY may reference a SELECT aggregate alias.
+                Err(e) if agg_specs.iter().any(|a| &a.name == c) => {
+                    let _ = e;
+                    NExpr::Col(c.clone())
+                }
+                Err(e) => return Err(e),
+            },
+            SqlExpr::Lit(v) => NExpr::Lit(v.clone()),
+            SqlExpr::CountStar => {
+                self.register_agg(AggFunc::Count, NExpr::lit(1i64), agg_specs, preferred_name)
+            }
+            SqlExpr::Agg(f, arg) => {
+                let mut inner_aggs = Vec::new();
+                let arg = self.lower_scalar(arg, &mut inner_aggs, None)?;
+                if !inner_aggs.is_empty() {
+                    return Err(PyroError::Sql("nested aggregates".into()));
+                }
+                self.register_agg(*f, arg, agg_specs, preferred_name)
+            }
+            SqlExpr::Cmp(op, a, b) => NExpr::Cmp(
+                *op,
+                Box::new(self.lower_scalar(a, agg_specs, None)?),
+                Box::new(self.lower_scalar(b, agg_specs, None)?),
+            ),
+            SqlExpr::And(terms) => NExpr::And(
+                terms
+                    .iter()
+                    .map(|t| self.lower_scalar(t, agg_specs, None))
+                    .collect::<Result<_>>()?,
+            ),
+            SqlExpr::Mul(a, b) => NExpr::Mul(
+                Box::new(self.lower_scalar(a, agg_specs, None)?),
+                Box::new(self.lower_scalar(b, agg_specs, None)?),
+            ),
+            SqlExpr::Add(a, b) => NExpr::Add(
+                Box::new(self.lower_scalar(a, agg_specs, None)?),
+                Box::new(self.lower_scalar(b, agg_specs, None)?),
+            ),
+            SqlExpr::Sub(a, b) => NExpr::Sub(
+                Box::new(self.lower_scalar(a, agg_specs, None)?),
+                Box::new(self.lower_scalar(b, agg_specs, None)?),
+            ),
+        })
+    }
+
+    fn register_agg(
+        &self,
+        func: AggFunc,
+        arg: NExpr,
+        agg_specs: &mut Vec<AggSpec>,
+        preferred_name: Option<&str>,
+    ) -> NExpr {
+        // Reuse a structurally identical aggregate (HAVING referencing the
+        // same sum as SELECT).
+        if let Some(existing) = agg_specs
+            .iter()
+            .find(|a| a.func == func && a.arg == arg)
+        {
+            return NExpr::Col(existing.name.clone());
+        }
+        let name = preferred_name
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("agg{}", agg_specs.len()));
+        agg_specs.push(AggSpec { func, arg, name: name.clone() });
+        NExpr::Col(name)
+    }
+
+    /// Consumes the join condition linking `t` to the tables in
+    /// `left_aliases`.
+    fn join_spec(
+        &self,
+        t: &TableRef,
+        left_aliases: &[String],
+        pool: &mut Vec<(String, String)>,
+    ) -> Result<(JoinKind, Vec<JoinPair>)> {
+        let mut pairs = Vec::new();
+        if let Some(on) = &t.full_outer_on {
+            for conj in flatten(on) {
+                let SqlExpr::Cmp(CmpOp::Eq, a, b) = conj else {
+                    return Err(PyroError::Sql("ON clause must be equality conjuncts".into()));
+                };
+                let (SqlExpr::Col(ca), SqlExpr::Col(cb)) = (a.as_ref(), b.as_ref()) else {
+                    return Err(PyroError::Sql("ON clause must compare columns".into()));
+                };
+                let (qa, qb) = (self.qualify(ca)?, self.qualify(cb)?);
+                // Normalize sides: left column first.
+                if Self::belongs_to(&qa, &t.alias) {
+                    pairs.push(JoinPair::new(qb, qa));
+                } else {
+                    pairs.push(JoinPair::new(qa, qb));
+                }
+            }
+            return Ok((JoinKind::FullOuter, pairs));
+        }
+        // Comma join: take matching equalities from the WHERE pool.
+        pool.retain(|(qa, qb)| {
+            let a_new = Self::belongs_to(qa, &t.alias);
+            let b_new = Self::belongs_to(qb, &t.alias);
+            let a_old = left_aliases.iter().any(|al| Self::belongs_to(qa, al));
+            let b_old = left_aliases.iter().any(|al| Self::belongs_to(qb, al));
+            if a_old && b_new {
+                pairs.push(JoinPair::new(qa.clone(), qb.clone()));
+                false
+            } else if b_old && a_new {
+                pairs.push(JoinPair::new(qb.clone(), qa.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        Ok((JoinKind::Inner, pairs))
+    }
+}
+
+fn flatten(e: &SqlExpr) -> Vec<&SqlExpr> {
+    match e {
+        SqlExpr::And(terms) => terms.iter().flat_map(flatten).collect(),
+        other => vec![other],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use pyro_common::{Schema, Tuple, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let rows: Vec<Tuple> = (0..100)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 10), Value::Int(i % 3)]))
+            .collect();
+        cat.register_table("t1", Schema::ints(&["a", "b", "c"]), SortOrder::new(["a"]), &rows)
+            .unwrap();
+        cat.register_table("t2", Schema::ints(&["a", "d", "e"]), SortOrder::new(["a"]), &rows)
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn lowers_simple_select() {
+        let cat = catalog();
+        let q = parse_query("SELECT a, b FROM t1 ORDER BY a").unwrap();
+        let plan = lower(&q, &cat).unwrap();
+        assert!(plan.len() >= 3); // scan, project, sort
+    }
+
+    #[test]
+    fn lowers_join_from_where() {
+        let cat = catalog();
+        let q = parse_query("SELECT * FROM t1, t2 WHERE t1.a = t2.a AND b > 3").unwrap();
+        let plan = lower(&q, &cat).unwrap();
+        // scan t1, filter (b>3 pushed), scan t2, join
+        let mut has_join = false;
+        for id in 0..plan.len() {
+            if matches!(plan.node(id), pyro_core::logical::LogicalOp::Join { pairs, .. } if pairs.len() == 1)
+            {
+                has_join = true;
+            }
+        }
+        assert!(has_join);
+    }
+
+    #[test]
+    fn lowers_aggregate_with_having() {
+        let cat = catalog();
+        let q = parse_query(
+            "SELECT b, sum(a) AS total FROM t1 GROUP BY b HAVING sum(a) > 100 ORDER BY b",
+        )
+        .unwrap();
+        let plan = lower(&q, &cat).unwrap();
+        // HAVING's sum(a) reuses SELECT's aggregate.
+        let mut agg_count = 0;
+        for id in 0..plan.len() {
+            if let pyro_core::logical::LogicalOp::Aggregate { aggs, .. } = plan.node(id) {
+                agg_count = aggs.len();
+            }
+        }
+        assert_eq!(agg_count, 1, "HAVING must reuse the SELECT aggregate");
+    }
+
+    #[test]
+    fn missing_join_condition_rejected() {
+        let cat = catalog();
+        let q = parse_query("SELECT * FROM t1, t2").unwrap();
+        assert!(lower(&q, &cat).is_err());
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let cat = catalog();
+        let q = parse_query("SELECT zz FROM t1").unwrap();
+        assert!(lower(&q, &cat).is_err());
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let cat = catalog();
+        let q = parse_query("SELECT a FROM t1, t2 WHERE t1.a = t2.a").unwrap();
+        assert!(matches!(lower(&q, &cat), Err(PyroError::AmbiguousColumn(_))));
+    }
+
+    #[test]
+    fn full_outer_join_lowering() {
+        let cat = catalog();
+        let q = parse_query(
+            "SELECT * FROM t1 FULL OUTER JOIN t2 ON (t1.a = t2.a AND t1.b = t2.d)",
+        )
+        .unwrap();
+        let plan = lower(&q, &cat).unwrap();
+        let mut found = false;
+        for id in 0..plan.len() {
+            if let pyro_core::logical::LogicalOp::Join { kind, pairs, .. } = plan.node(id) {
+                assert_eq!(*kind, JoinKind::FullOuter);
+                assert_eq!(pairs.len(), 2);
+                assert!(pairs.iter().all(|p| p.left.starts_with("t1.")));
+                found = true;
+            }
+        }
+        assert!(found);
+    }
+}

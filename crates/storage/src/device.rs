@@ -1,0 +1,220 @@
+//! The simulated block device.
+
+use pyro_common::{PyroError, Result};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Identifier of a page on a [`SimDevice`].
+pub type PageId = u64;
+
+/// Default block size: 4 KB, as in the paper's experimental setup.
+pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+/// Snapshot of device I/O counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Block reads since construction (or the reference snapshot).
+    pub reads: u64,
+    /// Block writes since construction (or the reference snapshot).
+    pub writes: u64,
+}
+
+impl IoSnapshot {
+    /// Total I/O operations.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Counter delta `self − earlier`.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+/// An in-memory block device with exact I/O accounting.
+///
+/// Pages are allocated, written, read and freed through this interface; the
+/// device counts every operation. Single-threaded by design (the engine is a
+/// single-threaded iterator pipeline, like the paper's), hence `Rc` +
+/// interior mutability rather than locks.
+#[derive(Debug)]
+pub struct SimDevice {
+    block_size: usize,
+    pages: RefCell<Vec<Option<Box<[u8]>>>>,
+    free_list: RefCell<Vec<PageId>>,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+/// Shared handle to a device.
+pub type DeviceRef = Rc<SimDevice>;
+
+impl SimDevice {
+    /// Creates a device with the default 4 KB block size.
+    pub fn new() -> DeviceRef {
+        Self::with_block_size(DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Creates a device with a custom block size (min 64 bytes).
+    pub fn with_block_size(block_size: usize) -> DeviceRef {
+        assert!(block_size >= 64, "block size too small: {block_size}");
+        Rc::new(SimDevice {
+            block_size,
+            pages: RefCell::new(Vec::new()),
+            free_list: RefCell::new(Vec::new()),
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+        })
+    }
+
+    /// The device's block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Allocates a page id (no I/O counted until it is written).
+    pub fn alloc_page(&self) -> PageId {
+        if let Some(id) = self.free_list.borrow_mut().pop() {
+            return id;
+        }
+        let mut pages = self.pages.borrow_mut();
+        pages.push(None);
+        (pages.len() - 1) as PageId
+    }
+
+    /// Writes a block. `data` must not exceed the block size. Counts one
+    /// write.
+    pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        if data.len() > self.block_size {
+            return Err(PyroError::Storage(format!(
+                "page overflow: {} > block size {}",
+                data.len(),
+                self.block_size
+            )));
+        }
+        let mut pages = self.pages.borrow_mut();
+        let slot = pages
+            .get_mut(id as usize)
+            .ok_or_else(|| PyroError::Storage(format!("write to unallocated page {id}")))?;
+        *slot = Some(data.to_vec().into_boxed_slice());
+        self.writes.set(self.writes.get() + 1);
+        Ok(())
+    }
+
+    /// Reads a block. Counts one read.
+    pub fn read_page(&self, id: PageId) -> Result<Vec<u8>> {
+        let pages = self.pages.borrow();
+        let slot = pages
+            .get(id as usize)
+            .ok_or_else(|| PyroError::Storage(format!("read of unallocated page {id}")))?;
+        let data = slot
+            .as_ref()
+            .ok_or_else(|| PyroError::Storage(format!("read of never-written page {id}")))?;
+        self.reads.set(self.reads.get() + 1);
+        Ok(data.to_vec())
+    }
+
+    /// Releases a page back to the free list (no I/O counted).
+    pub fn free_page(&self, id: PageId) {
+        let mut pages = self.pages.borrow_mut();
+        if let Some(slot) = pages.get_mut(id as usize) {
+            *slot = None;
+            self.free_list.borrow_mut().push(id);
+        }
+    }
+
+    /// Current I/O counters.
+    pub fn io(&self) -> IoSnapshot {
+        IoSnapshot { reads: self.reads.get(), writes: self.writes.get() }
+    }
+
+    /// Resets I/O counters to zero (between experiment phases).
+    pub fn reset_io(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+    }
+
+    /// Number of currently allocated (non-freed) pages.
+    pub fn live_pages(&self) -> usize {
+        self.pages.borrow().iter().filter(|p| p.is_some()).count()
+    }
+}
+
+impl Default for SimDevice {
+    fn default() -> Self {
+        SimDevice {
+            block_size: DEFAULT_BLOCK_SIZE,
+            pages: RefCell::new(Vec::new()),
+            free_list: RefCell::new(Vec::new()),
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let dev = SimDevice::with_block_size(128);
+        let id = dev.alloc_page();
+        dev.write_page(id, b"hello").unwrap();
+        assert_eq!(dev.read_page(id).unwrap(), b"hello");
+        assert_eq!(dev.io(), IoSnapshot { reads: 1, writes: 1 });
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let dev = SimDevice::with_block_size(64);
+        let id = dev.alloc_page();
+        assert!(dev.write_page(id, &[0u8; 65]).is_err());
+        // failed write not counted
+        assert_eq!(dev.io().writes, 0);
+    }
+
+    #[test]
+    fn read_of_unwritten_page_fails() {
+        let dev = SimDevice::new();
+        let id = dev.alloc_page();
+        assert!(dev.read_page(id).is_err());
+        assert!(dev.read_page(999).is_err());
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let dev = SimDevice::new();
+        let a = dev.alloc_page();
+        dev.write_page(a, b"x").unwrap();
+        dev.free_page(a);
+        assert_eq!(dev.live_pages(), 0);
+        let b = dev.alloc_page();
+        assert_eq!(a, b, "freed page id should be reused");
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let dev = SimDevice::new();
+        let id = dev.alloc_page();
+        dev.write_page(id, b"1").unwrap();
+        let before = dev.io();
+        dev.read_page(id).unwrap();
+        dev.read_page(id).unwrap();
+        let delta = dev.io().since(&before);
+        assert_eq!(delta, IoSnapshot { reads: 2, writes: 0 });
+        assert_eq!(delta.total(), 2);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let dev = SimDevice::new();
+        let id = dev.alloc_page();
+        dev.write_page(id, b"1").unwrap();
+        dev.reset_io();
+        assert_eq!(dev.io().total(), 0);
+    }
+}

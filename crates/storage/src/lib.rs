@@ -1,0 +1,23 @@
+//! # pyro-storage
+//!
+//! A block-accounted storage substrate for the PYRO engine.
+//!
+//! The paper's experiments run on PostgreSQL with 4 KB blocks and a bounded
+//! sort memory; their headline claims ("MRS avoids run generation I/O
+//! completely", Fig. 9's crossover when a partial-sort segment outgrows
+//! memory) are claims about **block I/O counts**. This crate therefore
+//! provides a simulated block device ([`SimDevice`]) that stores pages in
+//! memory but counts every block read and write exactly, so tests can assert
+//! `run_io == 0` instead of eyeballing timings. Real byte-level tuple
+//! encoding ([`page`]) keeps CPU work honest.
+//!
+//! On top of the device sit [`TupleFile`]s (ordered page sequences used for
+//! base tables, covering-index entry files and sort spill runs).
+
+pub mod device;
+pub mod file;
+pub mod page;
+
+pub use device::{DeviceRef, IoSnapshot, PageId, SimDevice};
+pub use file::{write_file, TupleFile, TupleFileScan, TupleFileWriter};
+pub use page::{decode_page, encoded_len, PageBuilder};

@@ -1,0 +1,17 @@
+//! # pyro — facade crate
+//!
+//! One-stop re-export of the PYRO workspace: a Rust reproduction of
+//! *"Reducing Order Enforcement Cost in Complex Query Plans"*
+//! (Guravannavar, Sudarshan, Diwan, Sobhan Babu; ICDE 2007).
+//!
+//! See the `examples/` directory for runnable entry points and `DESIGN.md`
+//! for the system inventory.
+
+pub use pyro_catalog as catalog;
+pub use pyro_common as common;
+pub use pyro_core as core;
+pub use pyro_datagen as datagen;
+pub use pyro_exec as exec;
+pub use pyro_ordering as ordering;
+pub use pyro_sql as sql;
+pub use pyro_storage as storage;

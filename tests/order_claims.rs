@@ -1,0 +1,233 @@
+//! Order-claim verification: every sort order the optimizer *claims* on the
+//! root of a plan must actually hold on the produced stream, for every
+//! strategy and query. This is the invariant that separates "the plan looks
+//! like the paper's figure" from "the plan is correct" — and the test
+//! pattern that exposed the merge-full-outer-join NULL-ordering bug during
+//! development.
+
+use pyro::catalog::Catalog;
+use pyro::common::Value;
+use pyro::core::{Optimizer, Strategy};
+use pyro::datagen::{consolidation, qtables, tpch};
+use pyro::sql::{lower, parse_query};
+
+/// Executes `sql` under every strategy/hash combination and asserts the
+/// stream is sorted by the root's claimed output order.
+fn assert_order_claims(catalog: &Catalog, sql: &str) {
+    let logical = lower(&parse_query(sql).unwrap(), catalog).unwrap();
+    for strategy in [
+        Strategy::pyro(),
+        Strategy::pyro_o_minus(),
+        Strategy::pyro_p(),
+        Strategy::pyro_o(),
+        Strategy::pyro_e(),
+    ] {
+        for hash in [true, false] {
+            let plan = Optimizer::new(catalog)
+                .with_strategy(strategy)
+                .with_hash(hash)
+                .optimize(&logical)
+                .unwrap();
+            let claimed = plan.root.out_order.clone();
+            let schema = plan.root.schema.clone();
+            let (rows, _) = plan.execute(catalog).unwrap();
+            if claimed.is_empty() {
+                continue;
+            }
+            let cols: Vec<usize> = claimed
+                .attrs()
+                .iter()
+                .map(|a| {
+                    schema
+                        .index_of(a)
+                        .unwrap_or_else(|_| panic!("claimed order attr {a} not in schema"))
+                })
+                .collect();
+            let key = |t: &pyro::common::Tuple| -> Vec<Value> {
+                cols.iter().map(|&c| t.get(c).clone()).collect()
+            };
+            for w in rows.windows(2) {
+                assert!(
+                    key(&w[0]) <= key(&w[1]),
+                    "{} (hash={hash}) claimed {claimed} but stream violates it:\n{}\n vs\n{}\nplan:\n{}",
+                    strategy.name(),
+                    w[0],
+                    w[1],
+                    plan.explain()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn claims_hold_on_simple_order_by() {
+    let mut catalog = Catalog::new();
+    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.002)).unwrap();
+    assert_order_claims(
+        &catalog,
+        "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
+    );
+}
+
+#[test]
+fn claims_hold_on_query3() {
+    let mut catalog = Catalog::new();
+    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.002)).unwrap();
+    assert_order_claims(
+        &catalog,
+        "SELECT ps_suppkey, ps_partkey, ps_availqty, sum(l_quantity) AS total \
+         FROM partsupp, lineitem \
+         WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey AND l_linestatus = 'O' \
+         GROUP BY ps_availqty, ps_partkey, ps_suppkey \
+         HAVING sum(l_quantity) > ps_availqty \
+         ORDER BY ps_partkey",
+    );
+}
+
+#[test]
+fn claims_hold_on_full_outer_joins() {
+    // The regression case: FO merge joins interleaving NULL-padded rows.
+    let mut catalog = Catalog::new();
+    qtables::load_q4(&mut catalog, 500).unwrap();
+    assert_order_claims(
+        &catalog,
+        "SELECT * FROM r1 FULL OUTER JOIN r2 \
+         ON (r1.c5 = r2.c5 AND r1.c4 = r2.c4 AND r1.c3 = r2.c3) \
+         FULL OUTER JOIN r3 \
+         ON (r3.c1 = r1.c1 AND r3.c4 = r1.c4 AND r3.c5 = r1.c5) \
+         ORDER BY r1.c4, r1.c5",
+    );
+}
+
+#[test]
+fn claims_hold_on_consolidation_query() {
+    let mut catalog = Catalog::new();
+    consolidation::load(&mut catalog, 2_000).unwrap();
+    assert_order_claims(
+        &catalog,
+        "SELECT c1.make, c1.year, c1.color, c1.city, c2.breakdowns, r.rating \
+         FROM catalog1 c1, catalog2 c2, rating r \
+         WHERE c1.city = c2.city AND c1.make = c2.make AND c1.year = c2.year \
+           AND c1.color = c2.color AND c1.make = r.make AND c1.year = r.year \
+         ORDER BY c1.make, c1.year, c1.color",
+    );
+}
+
+#[test]
+fn distinct_agrees_across_strategies_and_orders_hold() {
+    let mut catalog = Catalog::new();
+    qtables::load_basket_analytics(&mut catalog, 2_000).unwrap();
+    let sql = "SELECT DISTINCT prodtype, exchange FROM basket ORDER BY prodtype, exchange";
+    assert_order_claims(&catalog, sql);
+    // Result equality across strategies.
+    let logical = lower(&parse_query(sql).unwrap(), &catalog).unwrap();
+    let mut reference: Option<Vec<_>> = None;
+    for strategy in [Strategy::pyro(), Strategy::pyro_p(), Strategy::pyro_o(), Strategy::pyro_e()] {
+        for hash in [true, false] {
+            let plan = Optimizer::new(&catalog)
+                .with_strategy(strategy)
+                .with_hash(hash)
+                .optimize(&logical)
+                .unwrap();
+            let (rows, _) = plan.execute(&catalog).unwrap();
+            // DISTINCT must actually deduplicate.
+            let mut dedup = rows.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), rows.len(), "duplicates survived DISTINCT");
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(r, &rows),
+            }
+        }
+    }
+}
+
+#[test]
+fn distinct_exploits_clustering_via_sort_distinct() {
+    // basket is clustered on (prodtype, symbol): a DISTINCT over exactly
+    // those columns should stream off the clustered scan without any sort.
+    let mut catalog = Catalog::new();
+    qtables::load_basket_analytics(&mut catalog, 2_000).unwrap();
+    let logical = lower(
+        &parse_query("SELECT DISTINCT prodtype, symbol FROM basket").unwrap(),
+        &catalog,
+    )
+    .unwrap();
+    let plan = Optimizer::new(&catalog)
+        .with_strategy(Strategy::pyro_o())
+        .with_hash(false)
+        .optimize(&logical)
+        .unwrap();
+    assert_eq!(
+        plan.root.count_nodes(&|n| matches!(
+            n.op,
+            pyro::core::PhysOp::Sort { .. } | pyro::core::PhysOp::PartialSort { .. }
+        )),
+        0,
+        "clustering satisfies the DISTINCT order:\n{}",
+        plan.explain()
+    );
+    let (rows, _) = plan.execute(&catalog).unwrap();
+    assert!(!rows.is_empty());
+}
+
+#[test]
+fn limit_truncates_and_preserves_order() {
+    let mut catalog = Catalog::new();
+    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.002)).unwrap();
+    let logical = lower(
+        &parse_query(
+            "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey LIMIT 50",
+        )
+        .unwrap(),
+        &catalog,
+    )
+    .unwrap();
+    let plan = Optimizer::new(&catalog).optimize(&logical).unwrap();
+    let (rows, _) = plan.execute(&catalog).unwrap();
+    assert_eq!(rows.len(), 50);
+    let keys: Vec<(i64, i64)> = rows
+        .iter()
+        .map(|t| (t.get(0).as_int().unwrap(), t.get(1).as_int().unwrap()))
+        .collect();
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+
+    // The Top-K must be the *global* minimum prefix, not an arbitrary 50.
+    let logical_all = lower(
+        &parse_query(
+            "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
+        )
+        .unwrap(),
+        &catalog,
+    )
+    .unwrap();
+    let plan_all = Optimizer::new(&catalog).optimize(&logical_all).unwrap();
+    let (all_rows, _) = plan_all.execute(&catalog).unwrap();
+    assert_eq!(&all_rows[..50], &rows[..]);
+}
+
+#[test]
+fn top_k_via_mrs_reads_less() {
+    // §3.1 benefit 2: with a partial sort in the pipeline, LIMIT stops after
+    // the first segments — far fewer comparisons than draining everything.
+    let mut catalog = Catalog::new();
+    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.02)).unwrap();
+    let run = |sql: &str| {
+        let logical = lower(&parse_query(sql).unwrap(), &catalog).unwrap();
+        let plan = Optimizer::new(&catalog).optimize(&logical).unwrap();
+        let (rows, metrics) = plan.execute(&catalog).unwrap();
+        (rows.len(), metrics.comparisons())
+    };
+    let (n_limited, cmp_limited) = run(
+        "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey LIMIT 100",
+    );
+    let (n_full, cmp_full) =
+        run("SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey");
+    assert_eq!(n_limited, 100);
+    assert!(n_full > 10_000);
+    assert!(
+        cmp_limited * 10 < cmp_full,
+        "Top-K should compare at least 10x less: {cmp_limited} vs {cmp_full}"
+    );
+}

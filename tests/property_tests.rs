@@ -1,0 +1,289 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+use pyro::common::{KeySpec, Schema, Tuple, Value};
+use pyro::exec::agg::{AggExpr, AggFunc, GroupAggregate, HashAggregate};
+use pyro::exec::join::{HashJoin, JoinKind, MergeJoin, NestedLoopsJoin};
+use pyro::exec::sort::{PartialSort, SortBudget, StandardReplacementSort};
+use pyro::exec::{collect, ExecMetrics, Expr, ValuesOp};
+use pyro::ordering::{
+    benefit_of, path_order, two_approx_tree_order, AttrSet, JoinTree, SortOrder,
+};
+use pyro::storage::SimDevice;
+
+fn tuples2(rows: &[(i64, i64)]) -> Vec<Tuple> {
+    rows.iter()
+        .map(|&(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+        .collect()
+}
+
+fn sorted_by(rows: &[Tuple], key: &KeySpec) -> bool {
+    rows.windows(2)
+        .all(|w| key.compare(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SRS output = sorted permutation of the input, for any memory budget.
+    #[test]
+    fn srs_sorts_any_input(
+        rows in prop::collection::vec((0i64..100, 0i64..100), 0..400),
+        budget_blocks in 3u64..20,
+    ) {
+        let dev = SimDevice::with_block_size(256);
+        let m = ExecMetrics::new();
+        let data = tuples2(&rows);
+        let src = ValuesOp::new(Schema::ints(&["a", "b"]), data.clone());
+        let key = KeySpec::new(vec![0, 1]);
+        let op = StandardReplacementSort::new(
+            Box::new(src), key.clone(), dev, SortBudget::new(budget_blocks, 256), m,
+        );
+        let out = collect(Box::new(op)).unwrap();
+        prop_assert!(sorted_by(&out, &key));
+        let mut expect = data;
+        expect.sort();
+        let mut got = out;
+        got.sort();
+        prop_assert_eq!(got, expect, "must be a permutation of the input");
+    }
+
+    /// MRS on prefix-sorted input ≡ SRS ≡ std sort, for any budget.
+    #[test]
+    fn mrs_equals_srs_equals_std_sort(
+        mut rows in prop::collection::vec((0i64..20, 0i64..100), 0..400),
+        budget_blocks in 3u64..20,
+    ) {
+        rows.sort_by_key(|r| r.0); // establish the prefix order
+        let data = tuples2(&rows);
+        let key = KeySpec::new(vec![0, 1]);
+
+        let dev = SimDevice::with_block_size(256);
+        let m = ExecMetrics::new();
+        let mrs = PartialSort::new(
+            Box::new(ValuesOp::new(Schema::ints(&["a", "b"]), data.clone())),
+            key.clone(), 1, dev, SortBudget::new(budget_blocks, 256), m,
+        );
+        let mrs_out = collect(Box::new(mrs)).unwrap();
+
+        let dev = SimDevice::with_block_size(256);
+        let m = ExecMetrics::new();
+        let srs = StandardReplacementSort::new(
+            Box::new(ValuesOp::new(Schema::ints(&["a", "b"]), data.clone())),
+            key.clone(), dev, SortBudget::new(budget_blocks, 256), m,
+        );
+        let srs_out = collect(Box::new(srs)).unwrap();
+
+        let mut expect = data;
+        expect.sort_by(|x, y| key.compare(x, y));
+        prop_assert_eq!(&mrs_out, &expect);
+        prop_assert_eq!(&srs_out, &expect);
+    }
+
+    /// Merge join ≡ hash join ≡ nested loops (inner, as multisets).
+    #[test]
+    fn joins_agree(
+        mut left in prop::collection::vec((0i64..15, 0i64..50), 0..80),
+        mut right in prop::collection::vec((0i64..15, 0i64..50), 0..80),
+    ) {
+        left.sort();
+        right.sort();
+        let lschema = Schema::ints(&["a", "b"]);
+        let rschema = Schema::ints(&["c", "d"]);
+        let key = KeySpec::new(vec![0]);
+
+        let mj = MergeJoin::new(
+            Box::new(ValuesOp::new(lschema.clone(), tuples2(&left))),
+            Box::new(ValuesOp::new(rschema.clone(), tuples2(&right))),
+            key.clone(), key.clone(), JoinKind::Inner, ExecMetrics::new(),
+        );
+        let hj = HashJoin::new(
+            Box::new(ValuesOp::new(lschema.clone(), tuples2(&left))),
+            Box::new(ValuesOp::new(rschema.clone(), tuples2(&right))),
+            key.clone(), key.clone(), JoinKind::Inner,
+        );
+        let nl = NestedLoopsJoin::new(
+            Box::new(ValuesOp::new(lschema, tuples2(&left))),
+            Box::new(ValuesOp::new(rschema, tuples2(&right))),
+            key.clone(), key.clone(), JoinKind::Inner,
+        );
+        let mut a = collect(Box::new(mj)).unwrap();
+        let mut b = collect(Box::new(hj)).unwrap();
+        let mut c = collect(Box::new(nl)).unwrap();
+        a.sort();
+        b.sort();
+        c.sort();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// Full outer joins agree between merge and nested loops.
+    #[test]
+    fn full_outer_joins_agree(
+        mut left in prop::collection::vec((0i64..10, 0i64..50), 0..60),
+        mut right in prop::collection::vec((0i64..10, 0i64..50), 0..60),
+    ) {
+        left.sort();
+        right.sort();
+        let key = KeySpec::new(vec![0]);
+        let mj = MergeJoin::new(
+            Box::new(ValuesOp::new(Schema::ints(&["a", "b"]), tuples2(&left))),
+            Box::new(ValuesOp::new(Schema::ints(&["c", "d"]), tuples2(&right))),
+            key.clone(), key.clone(), JoinKind::FullOuter, ExecMetrics::new(),
+        );
+        let nl = NestedLoopsJoin::new(
+            Box::new(ValuesOp::new(Schema::ints(&["a", "b"]), tuples2(&left))),
+            Box::new(ValuesOp::new(Schema::ints(&["c", "d"]), tuples2(&right))),
+            key.clone(), key, JoinKind::FullOuter,
+        );
+        let mut a = collect(Box::new(mj)).unwrap();
+        let mut b = collect(Box::new(nl)).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Hash aggregate ≡ sort aggregate on the same grouping.
+    #[test]
+    fn aggregates_agree(mut rows in prop::collection::vec((0i64..12, -50i64..50), 0..200)) {
+        let aggs = || vec![
+            AggExpr::new(AggFunc::Count, Expr::col(1), "c"),
+            AggExpr::new(AggFunc::Sum, Expr::col(1), "s"),
+            AggExpr::new(AggFunc::Min, Expr::col(1), "lo"),
+            AggExpr::new(AggFunc::Max, Expr::col(1), "hi"),
+        ];
+        let hash = HashAggregate::new(
+            Box::new(ValuesOp::new(Schema::ints(&["g", "v"]), tuples2(&rows))),
+            vec![0],
+            aggs(),
+        );
+        rows.sort();
+        let sortagg = GroupAggregate::new(
+            Box::new(ValuesOp::new(Schema::ints(&["g", "v"]), tuples2(&rows))),
+            vec![0],
+            aggs(),
+        );
+        let mut a = collect(Box::new(hash)).unwrap();
+        let mut b = collect(Box::new(sortagg)).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Order algebra laws: concat/minus inverse, lcp prefix bound,
+    /// prefix partial order.
+    #[test]
+    fn order_algebra_laws(
+        a in prop::collection::vec("[a-f]", 0..5),
+        b in prop::collection::vec("[g-l]", 0..5),
+    ) {
+        let mut a = a; a.dedup(); a.sort(); a.dedup();
+        let mut b = b; b.dedup(); b.sort(); b.dedup();
+        let oa = SortOrder::new(a);
+        let ob = SortOrder::new(b);
+        let cat = oa.concat(&ob);
+        // (a + b) − a = b (disjoint alphabets guarantee no dedup surprises)
+        prop_assert_eq!(cat.minus(&oa), Some(ob.clone()));
+        // a ≤ a + b
+        prop_assert!(oa.is_prefix_of(&cat));
+        // lcp is a prefix of both
+        let l = oa.lcp(&ob);
+        prop_assert!(l.is_prefix_of(&oa));
+        prop_assert!(l.is_prefix_of(&ob));
+        // lcp with itself is identity
+        prop_assert_eq!(oa.lcp(&oa), oa.clone());
+        // set-restricted prefix really is within the set
+        let set = ob.attr_set();
+        let p = cat.lcp_with_set(&set);
+        prop_assert!(p.attrs().iter().all(|x| set.contains(x)));
+    }
+
+    /// The path DP's reported benefit always matches the realized benefit of
+    /// the permutations it emits, and is at least any single-alignment
+    /// baseline.
+    #[test]
+    fn path_order_sound(sets in prop::collection::vec(
+        prop::collection::btree_set("[a-e]", 1..4), 2..6,
+    )) {
+        let attr_sets: Vec<AttrSet> = sets
+            .iter()
+            .map(|s| AttrSet::from_iter(s.iter().cloned()))
+            .collect();
+        let sol = path_order(&attr_sets);
+        let realized: u64 = sol
+            .orders
+            .windows(2)
+            .map(|w| w[0].lcp(&w[1]).len() as u64)
+            .sum();
+        prop_assert_eq!(realized, sol.benefit, "DP benefit must be realizable");
+        // permutations cover their sets
+        for (s, o) in attr_sets.iter().zip(&sol.orders) {
+            prop_assert_eq!(&o.attr_set(), s);
+        }
+        // baseline: everyone uses the canonical order
+        let baseline: u64 = attr_sets
+            .windows(2)
+            .map(|w| {
+                w[0].arbitrary_order().lcp(&w[1].arbitrary_order()).len() as u64
+            })
+            .sum();
+        prop_assert!(sol.benefit >= baseline);
+    }
+
+    /// The tree 2-approximation achieves at least half of the exhaustive
+    /// optimum on small random trees.
+    #[test]
+    fn two_approx_bound(
+        shapes in prop::collection::vec(
+            (prop::collection::btree_set("[a-d]", 1..4), 0usize..100),
+            1..8,
+        )
+    ) {
+        let mut tree = JoinTree::new();
+        let mut ids: Vec<usize> = Vec::new();
+        for (set, parent_choice) in &shapes {
+            let attrs = AttrSet::from_iter(set.iter().cloned());
+            if ids.is_empty() {
+                ids.push(tree.add_root(attrs));
+            } else {
+                // pick a parent with < 2 children
+                let candidates: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&v| tree.children(v).len() < 2)
+                    .collect();
+                let parent = candidates[parent_choice % candidates.len()];
+                ids.push(tree.add_child(parent, attrs));
+            }
+        }
+        let approx = two_approx_tree_order(&tree);
+        prop_assert_eq!(benefit_of(&tree, &approx.orders), approx.benefit);
+        let exact = pyro::ordering::exhaustive::exhaustive_tree_order(&tree);
+        prop_assert!(
+            2 * approx.benefit >= exact.benefit,
+            "2-approx bound violated: 2·{} < {}", approx.benefit, exact.benefit
+        );
+        prop_assert!(approx.benefit <= exact.benefit, "approx cannot beat the optimum");
+    }
+
+    /// MRS never spills when every segment fits in the budget.
+    #[test]
+    fn mrs_zero_io_when_fitting(
+        segments in 1usize..20,
+        per_segment in 1usize..20,
+    ) {
+        let rows: Vec<(i64, i64)> = (0..segments)
+            .flat_map(|s| (0..per_segment).map(move |i| (s as i64, (i * 31 % 17) as i64)))
+            .collect();
+        let dev = SimDevice::new();
+        let m = ExecMetrics::new();
+        let op = PartialSort::new(
+            Box::new(ValuesOp::new(Schema::ints(&["a", "b"]), tuples2(&rows))),
+            KeySpec::new(vec![0, 1]), 1, dev,
+            SortBudget::new(100, 4096), m.clone(),
+        );
+        let out = collect(Box::new(op)).unwrap();
+        prop_assert_eq!(out.len(), rows.len());
+        prop_assert_eq!(m.run_io(), 0);
+    }
+}
