@@ -2,7 +2,8 @@
 //! micro version of Fig. 16 / §6.3 "optimization overheads").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pyro_bench::{sql_to_plan, QUERY3};
+use pyro::sql::plan as sql_to_plan;
+use pyro_bench::QUERY3;
 use pyro_catalog::Catalog;
 use pyro_core::{Optimizer, Strategy};
 use pyro_datagen::tpch::{self, TpchConfig};
@@ -10,7 +11,7 @@ use pyro_datagen::tpch::{self, TpchConfig};
 fn bench_optimize(c: &mut Criterion) {
     let mut catalog = Catalog::new();
     tpch::load(&mut catalog, TpchConfig::scaled(0.002)).unwrap();
-    let logical = sql_to_plan(&catalog, QUERY3).unwrap();
+    let logical = sql_to_plan(QUERY3, &catalog).unwrap();
 
     let mut group = c.benchmark_group("optimize_query3");
     for strategy in [

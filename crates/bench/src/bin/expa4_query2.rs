@@ -7,30 +7,31 @@
 //! that comparison via plan surgery: take the PYRO-O plan and degrade its
 //! partial sorts into full sorts.
 
-use pyro_bench::{banner, degrade_partial_sorts, plan_with, run_ops, sql_to_plan, QUERY2};
-use pyro_catalog::Catalog;
-use pyro_core::Strategy;
+use pyro::Session;
+use pyro_bench::{banner, degrade_partial_sorts, run_pipeline, QUERY2};
 use pyro_datagen::tpch::{self, TpchConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Experiment A4: Query 2 with SRS vs MRS");
-    let mut catalog = Catalog::new();
-    catalog.set_sort_memory_blocks(64);
-    tpch::load(&mut catalog, TpchConfig::scaled(0.05))?;
+    let mut session = Session::builder()
+        .sort_memory_blocks(64)
+        .hash_operators(false)
+        .build();
+    tpch::load(session.catalog_mut(), TpchConfig::scaled(0.05))?;
 
-    let logical = sql_to_plan(&catalog, QUERY2)?;
-    let plan = plan_with(&catalog, &logical, Strategy::pyro_o(), false)?;
-    println!("\nplan (used by both runs, sort implementation swapped):\n{}", plan.explain());
+    let plan = session.plan(QUERY2)?;
+    println!(
+        "\nplan (used by both runs, sort implementation swapped):\n{}",
+        plan.explain()
+    );
 
-    let (op, metrics) = plan.compile(&catalog)?;
-    let mrs = run_ops(op, &metrics, &catalog)?;
+    let mrs = run_pipeline(plan.compile(session.catalog())?, session.catalog())?;
 
     let degraded = pyro_core::OptimizedPlan {
         root: degrade_partial_sorts(&plan.root),
         strategy: plan.strategy,
     };
-    let (op, metrics) = degraded.compile(&catalog)?;
-    let srs = run_ops(op, &metrics, &catalog)?;
+    let srs = run_pipeline(degraded.compile(session.catalog())?, session.catalog())?;
 
     println!("             time(ms)   comparisons   spill pages   rows");
     println!(

@@ -6,24 +6,24 @@
 //! merge joins, (b) the order-aware plan replaces full sorts with partial
 //! sorts fed by the clustering/covering indices, (c) a substantial cost gap.
 
-use pyro_bench::{banner, plan_with, run_plan, sql_to_plan, EXAMPLE1};
-use pyro_catalog::Catalog;
-use pyro_core::Strategy;
+use pyro::{Session, Strategy};
+use pyro_bench::{banner, run_plan, EXAMPLE1};
 use pyro_datagen::consolidation;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Figures 1-2: Example 1 plans (naive vs order-aware)");
-    let mut catalog = Catalog::new();
-    consolidation::load(&mut catalog, 60_000)?;
-    let logical = sql_to_plan(&catalog, EXAMPLE1)?;
+    let mut session = Session::builder().hash_operators(false).build();
+    consolidation::load(session.catalog_mut(), 60_000)?;
 
     // Fig. 1: a naive sort-based plan — arbitrary interesting orders.
-    let naive = plan_with(&catalog, &logical, Strategy::pyro(), false)?;
+    session.set_strategy(Strategy::pyro());
+    let naive = session.plan(EXAMPLE1)?;
     println!("\n--- Figure 1 analogue: naive merge-join plan (PYRO, sort-based space) ---");
     println!("Plan Cost = {:.0}\n{}", naive.cost(), naive.explain());
 
     // Fig. 2: the order-aware plan.
-    let tuned = plan_with(&catalog, &logical, Strategy::pyro_o(), false)?;
+    session.set_strategy(Strategy::pyro_o());
+    let tuned = session.plan(EXAMPLE1)?;
     println!("--- Figure 2 analogue: optimal merge-join plan (PYRO-O) ---");
     println!("Plan Cost = {:.0}\n{}", tuned.cost(), tuned.explain());
 
@@ -32,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         naive.cost() / tuned.cost()
     );
 
-    let rn = run_plan(&naive, &catalog)?;
-    let rt = run_plan(&tuned, &catalog)?;
+    let rn = run_plan(&naive, session.catalog())?;
+    let rt = run_plan(&tuned, session.catalog())?;
     println!("\nmeasured execution:");
     println!(
         "  naive : {:8.1} ms  {:>12} cmp  {:>8} spill pages  ({} rows)",

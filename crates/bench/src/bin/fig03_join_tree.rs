@@ -25,7 +25,10 @@ fn main() {
     tree.add_child(right, s(&["f", "g", "p", "q"]));
 
     let exact = exhaustive_tree_order(&tree);
-    println!("\nexhaustive optimum benefit = {}   (paper: 8)", exact.benefit);
+    println!(
+        "\nexhaustive optimum benefit = {}   (paper: 8)",
+        exact.benefit
+    );
     for (i, order) in exact.orders.iter().enumerate() {
         println!("  node {i}: {order}");
     }

@@ -6,19 +6,20 @@
 //! arbitrary permutations. Phase-2 runs the 2-approximate tree algorithm so
 //! adjacent joins share maximal prefixes (the paper's underlined orders).
 
-use pyro_bench::{banner, plan_with, sql_to_plan};
-use pyro_catalog::Catalog;
+use pyro::{Session, Strategy};
+use pyro_bench::banner;
 use pyro_common::{Schema, Tuple, Value};
 use pyro_core::plan::PhysOp;
-use pyro_core::Strategy;
 use pyro_ordering::SortOrder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Figure 6: phase-2 refinement of free attributes");
-    let mut catalog = Catalog::new();
+    let mut session = Session::builder().hash_operators(false).build();
     let mut rng_state = 7u64;
     let mut rnd = move |m: i64| {
-        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((rng_state >> 33) as i64) % m
     };
     // R1..R4: columns a..h, clustered on a.
@@ -28,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|_| Tuple::new(cols.iter().map(|_| Value::Int(rnd(40))).collect()))
             .collect();
         rows.sort_by(|x, y| x.get(0).cmp(y.get(0)));
-        catalog.register_table(t, Schema::ints(&cols), SortOrder::new(["a"]), &rows)?;
+        session.register_table(t, Schema::ints(&cols), SortOrder::new(["a"]), &rows)?;
     }
 
     // The paper's join shape: ((R1 ⋈ R2) ⋈ R3) ⋈ R4 with attribute sets
@@ -37,15 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         WHERE r1.a = r2.a AND r1.d = r2.d AND r1.h = r2.h \
           AND r1.a = r3.a AND r1.e = r3.e AND r1.h = r3.h \
           AND r1.a = r4.a AND r1.b = r4.b AND r1.c = r4.c AND r1.h = r4.h";
-    let logical = sql_to_plan(&catalog, sql)?;
-
-    let phase1_only = plan_with(
-        &catalog,
-        &logical,
-        Strategy { refine: false, ..Strategy::pyro_o() },
-        false,
-    )?;
-    let refined = plan_with(&catalog, &logical, Strategy::pyro_o(), false)?;
+    session.set_strategy(Strategy {
+        refine: false,
+        ..Strategy::pyro_o()
+    });
+    let phase1_only = session.plan(sql)?;
+    session.set_strategy(Strategy::pyro_o());
+    let refined = session.plan(sql)?;
 
     let orders = |plan: &pyro_core::OptimizedPlan| {
         let mut v = Vec::new();

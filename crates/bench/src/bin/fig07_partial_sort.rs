@@ -7,37 +7,30 @@
 //! partial sort degraded to a full SRS sort — the exact substitution the
 //! paper made inside PostgreSQL.
 
-use pyro_bench::{banner, degrade_partial_sorts, plan_with, run_ops, sql_to_plan};
-use pyro_catalog::Catalog;
-use pyro_core::Strategy;
+use pyro::Session;
+use pyro_bench::{banner, degrade_partial_sorts, run_pipeline};
 use pyro_datagen::tpch::{self, TpchConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Figure 7 / Experiment A1: default sort vs partial sort");
-    let mut catalog = Catalog::new();
     // Keep the sort "interesting": shrink memory so a full sort of the index
     // entries goes external, as at paper scale.
-    catalog.set_sort_memory_blocks(64);
-    tpch::load(&mut catalog, TpchConfig::scaled(0.05))?; // 300 K lineitems
+    let mut session = Session::builder().sort_memory_blocks(64).build();
+    tpch::load(session.catalog_mut(), TpchConfig::scaled(0.05))?; // 300 K lineitems
 
-    let logical = sql_to_plan(
-        &catalog,
-        "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
-    )?;
-    let plan = plan_with(&catalog, &logical, Strategy::pyro_o(), true)?;
+    let plan =
+        session.plan("SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey")?;
     println!("\nPYRO-O plan:\n{}", plan.explain());
 
     // MRS (as planned).
-    let (op, metrics) = plan.compile(&catalog)?;
-    let mrs = run_ops(op, &metrics, &catalog)?;
+    let mrs = run_pipeline(plan.compile(session.catalog())?, session.catalog())?;
 
     // SRS (partial sorts degraded to full sorts).
     let degraded = pyro_core::OptimizedPlan {
         root: degrade_partial_sorts(&plan.root),
         strategy: plan.strategy,
     };
-    let (op, metrics) = degraded.compile(&catalog)?;
-    let srs = run_ops(op, &metrics, &catalog)?;
+    let srs = run_pipeline(degraded.compile(session.catalog())?, session.catalog())?;
 
     println!("\n             time(ms)   comparisons   spill pages");
     println!(

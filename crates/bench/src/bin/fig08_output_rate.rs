@@ -8,11 +8,11 @@
 use pyro_bench::{banner, run_with_checkpoints};
 use pyro_catalog::Catalog;
 use pyro_common::KeySpec;
+use pyro_datagen::rtables;
 use pyro_exec::limit::Limit;
 use pyro_exec::scan::FileScan;
 use pyro_exec::sort::{PartialSort, SortBudget, StandardReplacementSort};
 use pyro_exec::{BoxOp, ExecMetrics};
-use pyro_datagen::rtables;
 use std::time::Instant;
 
 const ROWS: usize = 400_000; // paper: 10 M
@@ -20,10 +20,7 @@ const SEGMENTS: usize = 2_000; // paper: 10 000 distinct c1
 
 fn scan(catalog: &Catalog) -> BoxOp {
     let handle = catalog.table("r").expect("registered");
-    Box::new(FileScan::new(
-        handle.meta.schema.qualify("r"),
-        &handle.heap,
-    ))
+    Box::new(FileScan::new(handle.meta.schema.qualify("r"), &handle.heap))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -105,7 +102,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         while limited.next()?.is_some() {
             n += 1;
         }
-        println!("  {name}: first {n} tuples in {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
+        println!(
+            "  {name}: first {n} tuples in {:.1} ms",
+            start.elapsed().as_secs_f64() * 1e3
+        );
     }
     Ok(())
 }

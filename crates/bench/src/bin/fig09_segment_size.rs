@@ -12,10 +12,10 @@
 use pyro_bench::banner;
 use pyro_catalog::Catalog;
 use pyro_common::KeySpec;
+use pyro_datagen::rtables;
 use pyro_exec::scan::FileScan;
 use pyro_exec::sort::{PartialSort, SortBudget, StandardReplacementSort};
 use pyro_exec::{BoxOp, ExecMetrics};
-use pyro_datagen::rtables;
 use std::time::Instant;
 
 const ROWS: usize = 200_000;

@@ -10,29 +10,40 @@
 //! the forced merge-join plan without partial sorts (SYS-style), and the
 //! PYRO-O plan.
 
-use pyro_bench::{banner, plan_with, run_plan, sql_to_plan, QUERY3};
-use pyro_catalog::Catalog;
-use pyro_core::Strategy;
+use pyro::{Session, Strategy};
+use pyro_bench::{banner, run_plan, QUERY3};
 use pyro_datagen::tpch::{self, TpchConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Figures 10-11 / Experiment B1: Query 3 plans");
-    let mut catalog = Catalog::new();
-    catalog.set_sort_memory_blocks(64);
-    tpch::load(&mut catalog, TpchConfig::scaled(0.05))?;
-    let logical = sql_to_plan(&catalog, QUERY3)?;
+    let mut session = Session::builder().sort_memory_blocks(64).build();
+    tpch::load(session.catalog_mut(), TpchConfig::scaled(0.05))?;
 
     let cases = [
-        ("default optimizer (hash plan space) — Fig. 11(a) analogue", Strategy::pyro_p(), true),
-        ("forced merge joins, exact orders only — Fig. 10(a)/11(b) analogue", Strategy::pyro_o_minus(), false),
-        ("PYRO-O (partial sorts) — Fig. 10(b)", Strategy::pyro_o(), false),
+        (
+            "default optimizer (hash plan space) — Fig. 11(a) analogue",
+            Strategy::pyro_p(),
+            true,
+        ),
+        (
+            "forced merge joins, exact orders only — Fig. 10(a)/11(b) analogue",
+            Strategy::pyro_o_minus(),
+            false,
+        ),
+        (
+            "PYRO-O (partial sorts) — Fig. 10(b)",
+            Strategy::pyro_o(),
+            false,
+        ),
     ];
     let mut measured = Vec::new();
     for (label, strategy, hash) in cases {
-        let plan = plan_with(&catalog, &logical, strategy, hash)?;
+        session.set_strategy(strategy);
+        session.set_hash_operators(hash);
+        let plan = session.plan(QUERY3)?;
         println!("\n--- {label} ---");
         println!("estimated cost = {:.0}\n{}", plan.cost(), plan.explain());
-        let stats = run_plan(&plan, &catalog)?;
+        let stats = run_plan(&plan, session.catalog())?;
         println!(
             "measured: {:.1} ms, {} comparisons, {} spill pages, {} rows",
             stats.ms(),

@@ -6,36 +6,39 @@
 //! 22 s, forced-MJ ≈ 25 s, PYRO-O ≈ 15 s. The shape to reproduce: the
 //! PYRO-O plan is fastest on both queries, with the bigger win on Q3.
 
-use pyro_bench::{banner, plan_with, run_plan, sql_to_plan, QUERY3, QUERY4};
-use pyro_catalog::Catalog;
-use pyro_core::Strategy;
+use pyro::{Session, Strategy};
+use pyro_bench::{banner, run_plan, QUERY3, QUERY4};
 use pyro_datagen::{qtables, tpch};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Figures 12-13: default plan vs PYRO-O plan, measured");
-    let mut catalog = Catalog::new();
-    catalog.set_sort_memory_blocks(64);
-    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.05))?;
-    qtables::load_q4(&mut catalog, 30_000)?;
+    let mut session = Session::builder().sort_memory_blocks(64).build();
+    tpch::load(session.catalog_mut(), tpch::TpchConfig::scaled(0.05))?;
+    qtables::load_q4(session.catalog_mut(), 30_000)?;
 
     println!(
         "\n{:<10} {:<28} {:>10} {:>14} {:>12} {:>8}",
         "query", "plan", "time(ms)", "comparisons", "spill pages", "rows"
     );
     for (qname, sql) in [("Query 3", QUERY3), ("Query 4", QUERY4)] {
-        let logical = sql_to_plan(&catalog, sql)?;
         // "Default plan": the Postgres-heuristic optimizer over the full
         // (hash-enabled) plan space, no partial sorts — what a 2006 system
         // would pick plus its sort behaviour.
         let cases = [
             ("default (PYRO-P, hash)", Strategy::pyro_p(), true),
-            ("default MJ (PYRO-O-, sort)", Strategy::pyro_o_minus(), false),
+            (
+                "default MJ (PYRO-O-, sort)",
+                Strategy::pyro_o_minus(),
+                false,
+            ),
             ("PYRO-O plan", Strategy::pyro_o(), false),
         ];
         let mut rows_seen = None;
         for (label, strategy, hash) in cases {
-            let plan = plan_with(&catalog, &logical, strategy, hash)?;
-            let stats = run_plan(&plan, &catalog)?;
+            session.set_strategy(strategy);
+            session.set_hash_operators(hash);
+            let plan = session.plan(sql)?;
+            let stats = run_plan(&plan, session.catalog())?;
             println!(
                 "{:<10} {:<28} {:>10.1} {:>14} {:>12} {:>8}",
                 qname,

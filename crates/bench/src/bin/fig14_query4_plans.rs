@@ -6,31 +6,39 @@
 //! the joins; PYRO-O's phase-2 refinement aligns both joins on the shared
 //! prefix (c4, c5) so the upper join needs only a partial sort (Fig. 14b).
 
-use pyro_bench::{banner, plan_with, run_plan, sql_to_plan, QUERY4};
-use pyro_catalog::Catalog;
+use pyro::{Session, Strategy};
+use pyro_bench::{banner, run_plan, QUERY4};
 use pyro_core::plan::PhysOp;
-use pyro_core::Strategy;
 use pyro_datagen::qtables;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Figure 14 / Experiment B2: Query 4 sort-order coordination");
-    let mut catalog = Catalog::new();
-    catalog.set_sort_memory_blocks(64);
-    qtables::load_q4(&mut catalog, 50_000)?; // paper: 100 K per table
-    let logical = sql_to_plan(&catalog, QUERY4)?;
+    let mut session = Session::builder()
+        .sort_memory_blocks(64)
+        .hash_operators(false)
+        .build();
+    qtables::load_q4(session.catalog_mut(), 50_000)?; // paper: 100 K per table
 
-    let uncoordinated = plan_with(
-        &catalog,
-        &logical,
-        Strategy { refine: false, ..Strategy::pyro_o() },
-        false,
-    )?;
+    session.set_strategy(Strategy {
+        refine: false,
+        ..Strategy::pyro_o()
+    });
+    let uncoordinated = session.plan(QUERY4)?;
     println!("\n--- Figure 14(a) analogue: phase-1 only (uncoordinated) ---");
-    println!("cost = {:.0}\n{}", uncoordinated.cost(), uncoordinated.explain());
+    println!(
+        "cost = {:.0}\n{}",
+        uncoordinated.cost(),
+        uncoordinated.explain()
+    );
 
-    let coordinated = plan_with(&catalog, &logical, Strategy::pyro_o(), false)?;
+    session.set_strategy(Strategy::pyro_o());
+    let coordinated = session.plan(QUERY4)?;
     println!("--- Figure 14(b): PYRO-O with phase-2 refinement ---");
-    println!("cost = {:.0}\n{}", coordinated.cost(), coordinated.explain());
+    println!(
+        "cost = {:.0}\n{}",
+        coordinated.cost(),
+        coordinated.explain()
+    );
 
     // Verify the headline property: shared 2-attribute prefix.
     let mut orders = Vec::new();
@@ -51,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(shared, 2);
 
-    let ru = run_plan(&uncoordinated, &catalog)?;
-    let rc = run_plan(&coordinated, &catalog)?;
+    let ru = run_plan(&uncoordinated, session.catalog())?;
+    let rc = run_plan(&coordinated, session.catalog())?;
     println!("\nmeasured:");
     println!(
         "  uncoordinated: {:8.1} ms  {:>12} cmp  {:>8} spill pages",

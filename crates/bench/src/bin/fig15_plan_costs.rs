@@ -10,21 +10,28 @@
 //! PYRO prototype had no hash fallback — with one, every strategy converges
 //! to the same hash plan and the experiment degenerates).
 
-use pyro_bench::{banner, fig15_strategies, plan_with, sql_to_plan, QUERY3, QUERY4, QUERY5, QUERY6};
-use pyro_catalog::Catalog;
+use pyro::{Session, Strategy};
+use pyro_bench::{banner, QUERY3, QUERY4, QUERY5, QUERY6};
 use pyro_datagen::{qtables, tpch};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Figure 15 / Experiment B3: normalized plan costs (PYRO-E = 100)");
-    let mut catalog = Catalog::new();
-    catalog.set_sort_memory_blocks(64);
-    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.05))?;
-    qtables::load_q4(&mut catalog, 50_000)?;
-    qtables::load_tran(&mut catalog, 100_000)?;
-    qtables::load_basket_analytics(&mut catalog, 100_000)?;
+    let mut session = Session::builder()
+        .sort_memory_blocks(64)
+        .hash_operators(false)
+        .build();
+    tpch::load(session.catalog_mut(), tpch::TpchConfig::scaled(0.05))?;
+    qtables::load_q4(session.catalog_mut(), 50_000)?;
+    qtables::load_tran(session.catalog_mut(), 100_000)?;
+    qtables::load_basket_analytics(session.catalog_mut(), 100_000)?;
 
-    let queries = [("Q3", QUERY3), ("Q4", QUERY4), ("Q5", QUERY5), ("Q6", QUERY6)];
-    let strategies = fig15_strategies();
+    let queries = [
+        ("Q3", QUERY3),
+        ("Q4", QUERY4),
+        ("Q5", QUERY5),
+        ("Q6", QUERY6),
+    ];
+    let strategies = Strategy::all();
 
     print!("\n{:<10}", "query");
     for s in &strategies {
@@ -33,11 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     let mut all_normalized: Vec<Vec<f64>> = Vec::new();
     for (name, sql) in queries {
-        let logical = sql_to_plan(&catalog, sql)?;
-        let costs: Vec<f64> = strategies
-            .iter()
-            .map(|s| plan_with(&catalog, &logical, *s, false).map(|p| p.cost()))
-            .collect::<Result<_, _>>()?;
+        let mut costs = Vec::with_capacity(strategies.len());
+        for s in strategies {
+            session.set_strategy(s);
+            costs.push(session.plan(sql)?.cost());
+        }
         let base = costs[4]; // PYRO-E
         let normalized: Vec<f64> = costs.iter().map(|c| 100.0 * c / base).collect();
         print!("{:<10}", name);

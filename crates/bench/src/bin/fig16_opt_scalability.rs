@@ -65,7 +65,9 @@ fn main() {
         let logical = join_plan(attrs);
         let time_of = |strategy: Strategy| -> f64 {
             // Warm once, then take the best of 3 to de-noise.
-            let _ = Optimizer::new(&catalog).with_strategy(strategy).optimize(&logical);
+            let _ = Optimizer::new(&catalog)
+                .with_strategy(strategy)
+                .optimize(&logical);
             (0..3)
                 .map(|_| {
                     let t = Instant::now();

@@ -12,7 +12,9 @@ use std::time::Instant;
 fn build_tree(nodes: usize, attrs_per_node: usize, seed: u64) -> JoinTree {
     let mut state = seed;
     let mut next = move |m: usize| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as usize) % m
     };
     let mut tree = JoinTree::new();
@@ -38,7 +40,10 @@ fn build_tree(nodes: usize, attrs_per_node: usize, seed: u64) -> JoinTree {
 
 fn main() {
     banner("Plan refinement scalability (paper §6.3: < 6 ms at 31 nodes)");
-    println!("\n{:>8} {:>12} {:>12} {:>10}", "nodes", "attrs/node", "time (ms)", "benefit");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>10}",
+        "nodes", "attrs/node", "time (ms)", "benefit"
+    );
     for &nodes in &[7usize, 15, 31, 63, 127] {
         for &attrs in &[4usize, 10] {
             let tree = build_tree(nodes, attrs, nodes as u64 * 31 + attrs as u64);

@@ -8,7 +8,7 @@
 use pyro_catalog::Catalog;
 use pyro_common::Result;
 use pyro_core::plan::{PhysNode, PhysOp};
-use pyro_core::{OptimizedPlan, Optimizer, Strategy};
+use pyro_core::OptimizedPlan;
 use pyro_exec::MetricsRef;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -44,25 +44,22 @@ impl RunStats {
 
 /// Executes a compiled plan and gathers statistics.
 pub fn run_plan(plan: &OptimizedPlan, catalog: &Catalog) -> Result<RunStats> {
-    let before = catalog.device().io();
-    let (op, metrics) = plan.compile(catalog)?;
-    let start = Instant::now();
-    let rows = pyro_exec::collect(op)?;
-    let elapsed = start.elapsed();
-    Ok(stats_of(elapsed, rows.len(), &metrics, catalog, before))
+    run_pipeline(plan.compile(catalog)?, catalog)
 }
 
 /// Executes an already-compiled pipeline (for plan-surgery comparisons).
-pub fn run_ops(
-    op: pyro_exec::BoxOp,
-    metrics: &MetricsRef,
-    catalog: &Catalog,
-) -> Result<RunStats> {
+pub fn run_pipeline(pipeline: pyro_exec::Pipeline, catalog: &Catalog) -> Result<RunStats> {
     let before = catalog.device().io();
     let start = Instant::now();
-    let rows = pyro_exec::collect(op)?;
+    let out = pipeline.run()?;
     let elapsed = start.elapsed();
-    Ok(stats_of(elapsed, rows.len(), metrics, catalog, before))
+    Ok(stats_of(
+        elapsed,
+        out.rows.len(),
+        &out.metrics,
+        catalog,
+        before,
+    ))
 }
 
 fn stats_of(
@@ -88,7 +85,9 @@ fn stats_of(
 pub fn degrade_partial_sorts(node: &Rc<PhysNode>) -> Rc<PhysNode> {
     let children: Vec<Rc<PhysNode>> = node.children.iter().map(degrade_partial_sorts).collect();
     let op = match &node.op {
-        PhysOp::PartialSort { target, .. } => PhysOp::Sort { target: target.clone() },
+        PhysOp::PartialSort { target, .. } => PhysOp::Sort {
+            target: target.clone(),
+        },
         other => other.clone(),
     };
     Rc::new(PhysNode {
@@ -100,36 +99,6 @@ pub fn degrade_partial_sorts(node: &Rc<PhysNode>) -> Rc<PhysNode> {
         rows: node.rows,
         logical: node.logical,
     })
-}
-
-/// Optimizes with the given strategy (optionally restricting to the paper's
-/// sort-based plan space) and returns the plan.
-pub fn plan_with(
-    catalog: &Catalog,
-    logical: &pyro_core::LogicalPlan,
-    strategy: Strategy,
-    hash: bool,
-) -> Result<OptimizedPlan> {
-    Optimizer::new(catalog)
-        .with_strategy(strategy)
-        .with_hash(hash)
-        .optimize(logical)
-}
-
-/// The five strategies in the paper's Fig. 15 order.
-pub fn fig15_strategies() -> [Strategy; 5] {
-    [
-        Strategy::pyro(),
-        Strategy::pyro_o_minus(),
-        Strategy::pyro_p(),
-        Strategy::pyro_o(),
-        Strategy::pyro_e(),
-    ]
-}
-
-/// Parses SQL and lowers it in one step.
-pub fn sql_to_plan(catalog: &Catalog, sql: &str) -> Result<pyro_core::LogicalPlan> {
-    pyro_sql::lower(&pyro_sql::parse_query(sql)?, catalog)
 }
 
 /// The paper's Query 3 ("parts running out of stock").
@@ -154,7 +123,8 @@ pub const QUERY4: &str = "SELECT * FROM r1 FULL OUTER JOIN r2 \
      ON (r3.c1 = r1.c1 AND r3.c4 = r1.c4 AND r3.c5 = r1.c5)";
 
 /// The paper's Query 5 (`min()` wrapper documented in `EXPERIMENTS.md`).
-pub const QUERY5: &str = "SELECT t1.userid, t1.basketid, t1.parentorderid, t1.waveid, t1.childorderid, \
+pub const QUERY5: &str =
+    "SELECT t1.userid, t1.basketid, t1.parentorderid, t1.waveid, t1.childorderid, \
             min(t1.quantity * t1.price) AS ordervalue, \
             sum(t2.quantity * t2.price) AS executedvalue \
      FROM tran t1, tran t2 \
@@ -203,7 +173,10 @@ mod tests {
     #[test]
     fn degrade_replaces_partial_sorts() {
         let leaf = Rc::new(PhysNode {
-            op: PhysOp::TableScan { table: "t".into(), alias: "t".into() },
+            op: PhysOp::TableScan {
+                table: "t".into(),
+                alias: "t".into(),
+            },
             children: vec![],
             schema: pyro_common::Schema::ints(&["t.a"]),
             out_order: SortOrder::empty(),
@@ -212,7 +185,10 @@ mod tests {
             logical: 0,
         });
         let ps = Rc::new(PhysNode {
-            op: PhysOp::PartialSort { prefix_len: 1, target: SortOrder::new(["t.a"]) },
+            op: PhysOp::PartialSort {
+                prefix_len: 1,
+                target: SortOrder::new(["t.a"]),
+            },
             children: vec![leaf],
             schema: pyro_common::Schema::ints(&["t.a"]),
             out_order: SortOrder::new(["t.a"]),

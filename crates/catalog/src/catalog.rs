@@ -39,7 +39,11 @@ impl Catalog {
 
     /// Creates a catalog over an existing device.
     pub fn on_device(device: DeviceRef) -> Self {
-        Catalog { device, tables: BTreeMap::new(), sort_memory_blocks: 100 }
+        Catalog {
+            device,
+            tables: BTreeMap::new(),
+            sort_memory_blocks: 100,
+        }
     }
 
     /// The backing device.
@@ -78,7 +82,8 @@ impl Catalog {
                 .collect::<Result<_>>()?;
             let key = pyro_common::KeySpec::new(cols);
             debug_assert!(
-                rows.windows(2).all(|w| key.compare(&w[0], &w[1]) != std::cmp::Ordering::Greater),
+                rows.windows(2)
+                    .all(|w| key.compare(&w[0], &w[1]) != std::cmp::Ordering::Greater),
                 "rows of {name} are not sorted by clustering order {clustering}"
             );
         }
@@ -91,7 +96,11 @@ impl Catalog {
             indexes: Vec::new(),
             stats,
         };
-        let handle = Rc::new(TableHandle { meta, heap, index_files: BTreeMap::new() });
+        let handle = Rc::new(TableHandle {
+            meta,
+            heap,
+            index_files: BTreeMap::new(),
+        });
         self.tables.insert(name.to_string(), handle.clone());
         Ok(handle)
     }
@@ -222,7 +231,8 @@ mod tests {
         cat.register_table("t", schema(), SortOrder::new(["k"]), &rows())
             .unwrap();
         // index on v (descending data) with k included
-        cat.create_index("t", "t_v", SortOrder::new(["v"]), &["k"]).unwrap();
+        cat.create_index("t", "t_v", SortOrder::new(["v"]), &["k"])
+            .unwrap();
         let h = cat.table("t").unwrap();
         let idx_file = h.index_files.get("t_v").unwrap();
         let entries: Vec<Tuple> = idx_file.scan().map(|r| r.unwrap()).collect();
@@ -237,7 +247,9 @@ mod tests {
     #[test]
     fn index_on_missing_table_fails() {
         let mut cat = Catalog::new();
-        assert!(cat.create_index("nope", "i", SortOrder::new(["k"]), &[]).is_err());
+        assert!(cat
+            .create_index("nope", "i", SortOrder::new(["k"]), &[])
+            .is_err());
     }
 
     #[test]

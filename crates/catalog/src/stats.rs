@@ -39,7 +39,14 @@ impl TableStats {
         let columns = column_names
             .iter()
             .zip(&sets)
-            .map(|(n, s)| (n.clone(), ColumnStats { distinct: s.len() as u64 }))
+            .map(|(n, s)| {
+                (
+                    n.clone(),
+                    ColumnStats {
+                        distinct: s.len() as u64,
+                    },
+                )
+            })
             .collect();
         TableStats {
             row_count: rows.len() as u64,

@@ -59,7 +59,11 @@ pub struct TableMeta {
 impl TableMeta {
     /// Resolves the bare names of `order` to column positions.
     pub fn key_spec(&self, order: &SortOrder) -> Result<Vec<usize>> {
-        order.attrs().iter().map(|a| self.schema.index_of(a)).collect()
+        order
+            .attrs()
+            .iter()
+            .map(|a| self.schema.index_of(a))
+            .collect()
     }
 
     /// The index with the given name, if any.
@@ -118,7 +122,9 @@ mod tests {
     #[test]
     fn key_spec_resolution() {
         let t = lineitem();
-        let ks = t.key_spec(&SortOrder::new(["l_partkey", "l_suppkey"])).unwrap();
+        let ks = t
+            .key_spec(&SortOrder::new(["l_partkey", "l_suppkey"]))
+            .unwrap();
         assert_eq!(ks, vec![1, 0]);
         assert!(t.key_spec(&SortOrder::new(["nope"])).is_err());
     }

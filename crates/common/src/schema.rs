@@ -42,7 +42,10 @@ pub struct Column {
 impl Column {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -68,7 +71,12 @@ impl Schema {
 
     /// Shorthand: builds a schema of all-`Int` columns (used by many tests).
     pub fn ints(names: &[&str]) -> Self {
-        Schema::new(names.iter().map(|n| Column::new(*n, DataType::Int)).collect())
+        Schema::new(
+            names
+                .iter()
+                .map(|n| Column::new(*n, DataType::Int))
+                .collect(),
+        )
     }
 
     /// The columns in declaration order.
@@ -206,7 +214,10 @@ mod tests {
             Column::new("a.k", DataType::Int),
             Column::new("b.k", DataType::Int),
         ]);
-        assert!(matches!(s.index_of("k"), Err(PyroError::AmbiguousColumn(_))));
+        assert!(matches!(
+            s.index_of("k"),
+            Err(PyroError::AmbiguousColumn(_))
+        ));
         // exact qualified lookups still work
         assert_eq!(s.index_of("a.k").unwrap(), 0);
     }

@@ -14,7 +14,9 @@ pub struct Tuple {
 impl Tuple {
     /// Builds a tuple from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values: values.into_boxed_slice() }
+        Tuple {
+            values: values.into_boxed_slice(),
+        }
     }
 
     /// The values in column order.

@@ -11,22 +11,22 @@ use pyro_catalog::Catalog;
 use pyro_common::{KeySpec, PyroError, Result, Schema};
 use pyro_exec::agg::{AggExpr, GroupAggregate, HashAggregate};
 use pyro_exec::dedup::{HashDistinct, SortDistinct};
-use pyro_exec::limit::Limit;
 use pyro_exec::filter::Filter;
 use pyro_exec::join::{HashJoin, MergeJoin, NestedLoopsJoin};
+use pyro_exec::limit::Limit;
 use pyro_exec::project::Project;
 use pyro_exec::scan::FileScan;
 use pyro_exec::sort::{PartialSort, SortBudget, StandardReplacementSort};
-use pyro_exec::{BoxOp, ExecMetrics, Expr, MetricsRef};
+use pyro_exec::{BoxOp, ExecMetrics, Expr, MetricsRef, Pipeline};
 use pyro_ordering::SortOrder;
 use std::rc::Rc;
 
-/// Compiles a physical plan into a runnable pipeline plus its metrics
-/// handle.
-pub fn compile(root: &Rc<PhysNode>, catalog: &Catalog) -> Result<(BoxOp, MetricsRef)> {
+/// Compiles a physical plan into a runnable [`Pipeline`] (operator tree +
+/// shared metrics block).
+pub fn compile(root: &Rc<PhysNode>, catalog: &Catalog) -> Result<Pipeline> {
     let metrics = ExecMetrics::new();
     let op = compile_node(root, catalog, &metrics)?;
-    Ok((op, metrics))
+    Ok(Pipeline::new(op, metrics))
 }
 
 fn budget(catalog: &Catalog) -> SortBudget {
@@ -76,7 +76,13 @@ pub fn compile_expr(e: &NExpr, schema: &Schema) -> Result<Expr> {
 
 fn compile_aggs(aggs: &[AggSpec], schema: &Schema) -> Result<Vec<AggExpr>> {
     aggs.iter()
-        .map(|a| Ok(AggExpr::new(a.func, compile_expr(&a.arg, schema)?, a.name.clone())))
+        .map(|a| {
+            Ok(AggExpr::new(
+                a.func,
+                compile_expr(&a.arg, schema)?,
+                a.name.clone(),
+            ))
+        })
         .collect()
 }
 
@@ -248,7 +254,7 @@ mod tests {
         let s = p.scan_as("t", "t");
         p.order_by(s, SortOrder::new(["t.g", "t.k"]));
         let plan = Optimizer::new(&cat).optimize(&p).unwrap();
-        let (rows, metrics) = plan.execute(&cat).unwrap();
+        let pyro_exec::Rows { rows, metrics } = plan.execute(&cat).unwrap();
         assert_eq!(rows.len(), 100);
         // output sorted by (g, k)
         let keys: Vec<(i64, i64)> = rows
@@ -269,7 +275,7 @@ mod tests {
         let b = p.scan_as("t", "b");
         p.join(a, b, vec![JoinPair::new("a.k", "b.k")]);
         let plan = Optimizer::new(&cat).optimize(&p).unwrap();
-        let (rows, _) = plan.execute(&cat).unwrap();
+        let rows = plan.execute(&cat).unwrap().rows;
         assert_eq!(rows.len(), 100, "self-join on unique key");
         assert_eq!(rows[0].arity(), 4);
     }

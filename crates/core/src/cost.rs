@@ -126,7 +126,10 @@ mod tests {
         let p = CostParams::default();
         // 100 blocks budget, tiny input
         let c = p.coe_full(1000.0, 10.0);
-        assert!(c < 1.0, "in-memory sort should cost well under one I/O: {c}");
+        assert!(
+            c < 1.0,
+            "in-memory sort should cost well under one I/O: {c}"
+        );
     }
 
     #[test]
@@ -199,8 +202,7 @@ mod tests {
     fn empty_need_is_free() {
         let p = CostParams::default();
         let s = stats(1000.0, 50.0, &[]);
-        let (cost, _) =
-            p.coe_order(&s, &SortOrder::empty(), &SortOrder::empty(), |x, y| x == y);
+        let (cost, _) = p.coe_order(&s, &SortOrder::empty(), &SortOrder::empty(), |x, y| x == y);
         assert_eq!(cost, 0.0);
     }
 }

@@ -74,8 +74,7 @@ impl EquivMap {
     pub fn class_members(&self, name: &str) -> Vec<String> {
         let rep = self.rep(name);
         let keys: Vec<String> = self.parent.borrow().keys().cloned().collect();
-        let mut members: Vec<String> =
-            keys.into_iter().filter(|k| self.rep(k) == rep).collect();
+        let mut members: Vec<String> = keys.into_iter().filter(|k| self.rep(k) == rep).collect();
         if !members.iter().any(|m| m == name) {
             members.push(name.to_string());
         }

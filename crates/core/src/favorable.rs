@@ -78,10 +78,7 @@ fn node_afm(
             if !handle.meta.clustering.is_empty() {
                 out.push(qualify_order(&handle.meta.clustering, alias));
             }
-            let required = referenced_by_alias
-                .get(alias)
-                .cloned()
-                .unwrap_or_default();
+            let required = referenced_by_alias.get(alias).cloned().unwrap_or_default();
             // Strip the alias qualifier to compare with index metadata,
             // which uses bare column names.
             let bare_required: AttrSet = required
@@ -104,19 +101,16 @@ fn node_afm(
                 .filter(|it| matches!(&it.expr, crate::logical::NExpr::Col(c) if c == &it.name))
                 .map(|it| it.name.clone())
                 .collect();
-            dedup_capped(
-                done[*input]
-                    .iter()
-                    .map(|o| o.lcp_with_set(&kept))
-                    .collect(),
-            )
+            dedup_capped(done[*input].iter().map(|o| o.lcp_with_set(&kept)).collect())
         }
         // Rule 4: input favorable orders survive (nested loops propagates
         // the outer's order); additionally each input favorable prefix on
         // the join attributes, extended by an arbitrary permutation of the
         // remaining join attributes (merge join propagates the chosen join
         // order).
-        LogicalOp::Join { left, right, pairs, .. } => {
+        LogicalOp::Join {
+            left, right, pairs, ..
+        } => {
             let s: AttrSet = pairs.iter().map(|p| equiv.rep(&p.left)).collect();
             let mut t: Vec<SortOrder> = done[*left]
                 .iter()
@@ -133,7 +127,9 @@ fn node_afm(
         }
         // Rule 5: longest prefix within the group-by columns, extended by
         // an arbitrary permutation of the rest.
-        LogicalOp::Aggregate { input, group_by, .. } => {
+        LogicalOp::Aggregate {
+            input, group_by, ..
+        } => {
             let l: AttrSet = group_by.iter().cloned().collect();
             let mut out = Vec::new();
             for o in done[*input]
@@ -324,10 +320,16 @@ mod tests {
         let rows: Vec<Tuple> = (0..10)
             .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i), Value::Int(i)]))
             .collect();
-        cat.register_table("t", Schema::ints(&["a", "b", "c"]), SortOrder::new(["a"]), &rows)
-            .unwrap();
+        cat.register_table(
+            "t",
+            Schema::ints(&["a", "b", "c"]),
+            SortOrder::new(["a"]),
+            &rows,
+        )
+        .unwrap();
         // Index on b includes a — does NOT cover queries touching c.
-        cat.create_index("t", "t_b", SortOrder::new(["b"]), &["a"]).unwrap();
+        cat.create_index("t", "t_b", SortOrder::new(["b"]), &["a"])
+            .unwrap();
 
         let mut p = LogicalPlan::new();
         let s = p.scan_as("t", "t");

@@ -47,7 +47,11 @@ impl NExpr {
 
     /// Equality of a column and a literal — the common filter.
     pub fn col_eq_lit(name: impl Into<String>, v: impl Into<Value>) -> NExpr {
-        NExpr::Cmp(CmpOp::Eq, Box::new(NExpr::col(name)), Box::new(NExpr::lit(v)))
+        NExpr::Cmp(
+            CmpOp::Eq,
+            Box::new(NExpr::col(name)),
+            Box::new(NExpr::lit(v)),
+        )
     }
 
     /// All column names referenced.
@@ -80,8 +84,7 @@ impl NExpr {
             NExpr::Cmp(..) => DataType::Int,
             NExpr::And(_) => DataType::Int,
             NExpr::Mul(a, b) | NExpr::Add(a, b) | NExpr::Sub(a, b) => {
-                if a.data_type(input) == DataType::Double
-                    || b.data_type(input) == DataType::Double
+                if a.data_type(input) == DataType::Double || b.data_type(input) == DataType::Double
                 {
                     DataType::Double
                 } else {
@@ -104,7 +107,10 @@ pub struct JoinPair {
 impl JoinPair {
     /// Convenience constructor.
     pub fn new(left: impl Into<String>, right: impl Into<String>) -> Self {
-        JoinPair { left: left.into(), right: right.into() }
+        JoinPair {
+            left: left.into(),
+            right: right.into(),
+        }
     }
 }
 
@@ -133,12 +139,18 @@ impl ProjItem {
     /// Pass-through column projection.
     pub fn col(name: impl Into<String>) -> Self {
         let name = name.into();
-        ProjItem { expr: NExpr::Col(name.clone()), name }
+        ProjItem {
+            expr: NExpr::Col(name.clone()),
+            name,
+        }
     }
 
     /// Computed column.
     pub fn expr(expr: NExpr, name: impl Into<String>) -> Self {
-        ProjItem { expr, name: name.into() }
+        ProjItem {
+            expr,
+            name: name.into(),
+        }
     }
 }
 
@@ -236,7 +248,10 @@ impl LogicalPlan {
 
     /// Adds a scan of `table` under `alias`.
     pub fn scan_as(&mut self, table: &str, alias: &str) -> NodeId {
-        self.push(LogicalOp::Scan { table: table.into(), alias: alias.into() })
+        self.push(LogicalOp::Scan {
+            table: table.into(),
+            alias: alias.into(),
+        })
     }
 
     /// Adds a filter.
@@ -262,7 +277,12 @@ impl LogicalPlan {
         kind: JoinKind,
         pairs: Vec<JoinPair>,
     ) -> NodeId {
-        self.push(LogicalOp::Join { left, right, kind, pairs })
+        self.push(LogicalOp::Join {
+            left,
+            right,
+            kind,
+            pairs,
+        })
     }
 
     /// Adds an aggregate.
@@ -360,7 +380,11 @@ impl LogicalPlan {
                 let r = self.schema(*right, table_schema)?;
                 Ok(l.join(&r))
             }
-            LogicalOp::Aggregate { input, group_by, aggs } => {
+            LogicalOp::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let inner = self.schema(*input, table_schema)?;
                 let mut cols = Vec::new();
                 for g in group_by {
@@ -510,7 +534,11 @@ mod tests {
         p.aggregate(
             s,
             vec!["t.x"],
-            vec![AggSpec { func: AggFunc::Avg, arg: NExpr::col("t.y"), name: "m".into() }],
+            vec![AggSpec {
+                func: AggFunc::Avg,
+                arg: NExpr::col("t.y"),
+                name: "m".into(),
+            }],
         );
         let schema = p.schema(p.root(), &resolver).unwrap();
         assert_eq!(schema.names(), vec!["t.x", "m"]);

@@ -15,7 +15,7 @@ use crate::plan::{PhysNode, PhysOp};
 use crate::stats::{derive_stats, NodeStats};
 use crate::strategy::Strategy;
 use pyro_catalog::Catalog;
-use pyro_common::{PyroError, Result, Schema, Tuple};
+use pyro_common::{PyroError, Result, Schema};
 use pyro_exec::CmpOp;
 use pyro_ordering::{AttrSet, SortOrder};
 use std::cell::RefCell;
@@ -39,7 +39,12 @@ impl<'a> Optimizer<'a> {
             sort_mem_blocks: catalog.sort_memory_blocks() as f64,
             ..CostParams::default()
         };
-        Optimizer { catalog, strategy: Strategy::pyro_o(), params, enable_hash: true }
+        Optimizer {
+            catalog,
+            strategy: Strategy::pyro_o(),
+            params,
+            enable_hash: true,
+        }
     }
 
     /// Selects a different interesting-order strategy.
@@ -66,8 +71,13 @@ impl<'a> Optimizer<'a> {
 
     /// Optimizes a logical plan into a physical plan.
     pub fn optimize(&self, plan: &LogicalPlan) -> Result<OptimizedPlan> {
-        let mut ctx =
-            Ctx::build(plan, self.catalog, self.strategy, self.params, HashMap::new())?;
+        let mut ctx = Ctx::build(
+            plan,
+            self.catalog,
+            self.strategy,
+            self.params,
+            HashMap::new(),
+        )?;
         ctx.enable_hash = self.enable_hash;
         let ctx = ctx;
         let mut best = best_plan(&ctx, plan.root(), &SortOrder::empty())?;
@@ -76,7 +86,10 @@ impl<'a> Optimizer<'a> {
                 best = better;
             }
         }
-        Ok(OptimizedPlan { root: best, strategy: self.strategy })
+        Ok(OptimizedPlan {
+            root: best,
+            strategy: self.strategy,
+        })
     }
 
     /// Re-optimizes with specific merge-join orders pinned (phase-2 uses
@@ -89,7 +102,10 @@ impl<'a> Optimizer<'a> {
         let mut ctx = Ctx::build(plan, self.catalog, self.strategy, self.params, forced)?;
         ctx.enable_hash = self.enable_hash;
         let best = best_plan(&ctx, plan.root(), &SortOrder::empty())?;
-        Ok(OptimizedPlan { root: best, strategy: self.strategy })
+        Ok(OptimizedPlan {
+            root: best,
+            strategy: self.strategy,
+        })
     }
 }
 
@@ -113,18 +129,15 @@ impl OptimizedPlan {
         self.root.explain()
     }
 
-    /// Compiles to a runnable operator pipeline.
-    pub fn compile(
-        &self,
-        catalog: &Catalog,
-    ) -> Result<(pyro_exec::BoxOp, pyro_exec::MetricsRef)> {
+    /// Compiles to a runnable operator [`pyro_exec::Pipeline`].
+    pub fn compile(&self, catalog: &Catalog) -> Result<pyro_exec::Pipeline> {
         crate::compile::compile(&self.root, catalog)
     }
 
-    /// Compiles and drains the pipeline; returns rows plus metrics.
-    pub fn execute(&self, catalog: &Catalog) -> Result<(Vec<Tuple>, pyro_exec::MetricsRef)> {
-        let (op, metrics) = self.compile(catalog)?;
-        Ok((pyro_exec::collect(op)?, metrics))
+    /// Compiles and drains the pipeline; the returned [`pyro_exec::Rows`]
+    /// carries the rows and the metrics that produced them.
+    pub fn execute(&self, catalog: &Catalog) -> Result<pyro_exec::Rows> {
+        self.compile(catalog)?.run()
     }
 }
 
@@ -171,7 +184,10 @@ impl<'a> Ctx<'a> {
         let mut referenced: HashMap<String, AttrSet> = HashMap::new();
         for col in plan.referenced_columns() {
             if let Some((alias, _)) = col.split_once('.') {
-                referenced.entry(alias.to_string()).or_default().insert(col.clone());
+                referenced
+                    .entry(alias.to_string())
+                    .or_default()
+                    .insert(col.clone());
             }
         }
         let stats = derive_stats(plan, catalog)?;
@@ -208,7 +224,10 @@ impl<'a> Ctx<'a> {
     }
 
     fn memo_key(&self, id: NodeId, required: &SortOrder) -> (NodeId, Vec<String>) {
-        (id, required.attrs().iter().map(|a| self.equiv.rep(a)).collect())
+        (
+            id,
+            required.attrs().iter().map(|a| self.equiv.rep(a)).collect(),
+        )
     }
 }
 
@@ -232,8 +251,10 @@ fn collect_filter_equivs(pred: &NExpr, equiv: &mut EquivMap) {
 /// attributes are equivalent to members of `names`, emitted as those
 /// members).
 fn project_order_to_names(order: &SortOrder, names: &AttrSet, equiv: &EquivMap) -> SortOrder {
-    let rep_to_name: HashMap<String, String> =
-        names.iter().map(|n| (equiv.rep(n), n.to_string())).collect();
+    let rep_to_name: HashMap<String, String> = names
+        .iter()
+        .map(|n| (equiv.rep(n), n.to_string()))
+        .collect();
     let mut out: Vec<String> = Vec::new();
     for a in order.attrs() {
         match rep_to_name.get(&equiv.rep(a)) {
@@ -259,7 +280,9 @@ pub(crate) fn best_plan(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<R
         }
     }
     let best = best.ok_or_else(|| {
-        PyroError::Plan(format!("no physical plan for node {id} with order {required}"))
+        PyroError::Plan(format!(
+            "no physical plan for node {id} with order {required}"
+        ))
     })?;
     ctx.memo.borrow_mut().insert(key, best.clone());
     Ok(best)
@@ -282,9 +305,14 @@ fn enforce(ctx: &Ctx, id: NodeId, cand: Rc<PhysNode>, required: &SortOrder) -> R
         .params
         .coe_order(stats, &have, required, |a, b| ctx.equiv.same(a, b));
     let op = if k > 0 {
-        PhysOp::PartialSort { prefix_len: k, target: required.clone() }
+        PhysOp::PartialSort {
+            prefix_len: k,
+            target: required.clone(),
+        }
     } else {
-        PhysOp::Sort { target: required.clone() }
+        PhysOp::Sort {
+            target: required.clone(),
+        }
     };
     Rc::new(PhysNode {
         op,
@@ -308,7 +336,10 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
             let heap_blocks = handle.heap.block_count().max(1) as f64;
             if handle.meta.clustering.is_empty() {
                 out.push(Rc::new(PhysNode {
-                    op: PhysOp::TableScan { table: table.clone(), alias: alias.clone() },
+                    op: PhysOp::TableScan {
+                        table: table.clone(),
+                        alias: alias.clone(),
+                    },
                     children: vec![],
                     schema: schema.clone(),
                     out_order: SortOrder::empty(),
@@ -318,7 +349,10 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                 }));
             } else {
                 out.push(Rc::new(PhysNode {
-                    op: PhysOp::ClusteredIndexScan { table: table.clone(), alias: alias.clone() },
+                    op: PhysOp::ClusteredIndexScan {
+                        table: table.clone(),
+                        alias: alias.clone(),
+                    },
                     children: vec![],
                     schema: schema.clone(),
                     out_order: handle.meta.clustering.rename(|a| format!("{alias}.{a}")),
@@ -328,7 +362,9 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                 }));
             }
             for idx in &handle.meta.indexes {
-                let Some(file) = handle.index_files.get(&idx.name) else { continue };
+                let Some(file) = handle.index_files.get(&idx.name) else {
+                    continue;
+                };
                 // Only indices that cover this alias's referenced columns
                 // were admitted to afm; for scan candidates we re-check
                 // against the full query's referenced set.
@@ -374,7 +410,9 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
             for goal in child_goals(ctx, *input, required) {
                 let child = best_plan(ctx, *input, &goal)?;
                 out.push(Rc::new(PhysNode {
-                    op: PhysOp::Filter { predicate: predicate.clone() },
+                    op: PhysOp::Filter {
+                        predicate: predicate.clone(),
+                    },
                     schema: child.schema.clone(),
                     out_order: child.out_order.clone(),
                     cost: child.cost + ctx.params.tuple_io * ctx.stats[*input].rows,
@@ -406,7 +444,9 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                         .collect(),
                 );
                 out.push(Rc::new(PhysNode {
-                    op: PhysOp::Project { items: items.clone() },
+                    op: PhysOp::Project {
+                        items: items.clone(),
+                    },
                     schema,
                     out_order: child.out_order.lcp_with_set(&kept),
                     cost: child.cost + ctx.params.tuple_io * ctx.stats[*input].rows,
@@ -416,7 +456,12 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                 }));
             }
         }
-        LogicalOp::Join { left, right, kind, pairs } => {
+        LogicalOp::Join {
+            left,
+            right,
+            kind,
+            pairs,
+        } => {
             let s: AttrSet = pairs.iter().map(|p| ctx.equiv.rep(&p.left)).collect();
             // Favorable prefixes: afm(el, S) ∪ afm(er, S) ∪ {o ∧ S}.
             let mut prefixes: Vec<SortOrder> = ctx.afm[*left]
@@ -437,8 +482,10 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
             };
             // Map each representative attribute back to the concrete pair
             // columns: goals are then guaranteed to resolve on both sides.
-            let rep_to_pair: HashMap<String, &crate::logical::JoinPair> =
-                pairs.iter().map(|pr| (ctx.equiv.rep(&pr.left), pr)).collect();
+            let rep_to_pair: HashMap<String, &crate::logical::JoinPair> = pairs
+                .iter()
+                .map(|pr| (ctx.equiv.rep(&pr.left), pr))
+                .collect();
             for p in orders {
                 let mut l_attrs = Vec::with_capacity(p.len());
                 let mut r_attrs = Vec::with_capacity(p.len());
@@ -484,8 +531,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
             // joins — SYS2 had to rewrite FO joins as a union of two left
             // outer joins — and the coordinated-order findings of
             // Experiment B2 rest on that reality.
-            let hashable =
-                ctx.enable_hash && !matches!(kind, pyro_exec::join::JoinKind::FullOuter);
+            let hashable = ctx.enable_hash && !matches!(kind, pyro_exec::join::JoinKind::FullOuter);
             if !ctx.forced.contains_key(&id) && hashable {
                 // Hash join (build = left).
                 let lchild = best_plan(ctx, *left, &SortOrder::empty())?;
@@ -501,7 +547,10 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                     cost += 2.0 * (bl + br); // grace partitioning round-trip
                 }
                 out.push(Rc::new(PhysNode {
-                    op: PhysOp::HashJoin { kind: *kind, pairs: pairs.clone() },
+                    op: PhysOp::HashJoin {
+                        kind: *kind,
+                        pairs: pairs.clone(),
+                    },
                     schema: lchild.schema.join(&rchild.schema),
                     out_order: SortOrder::empty(),
                     cost,
@@ -517,7 +566,10 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                     + rc.cost
                     + ctx.params.cmp_io * ctx.stats[*left].rows * ctx.stats[*right].rows;
                 out.push(Rc::new(PhysNode {
-                    op: PhysOp::NestedLoopsJoin { kind: *kind, pairs: pairs.clone() },
+                    op: PhysOp::NestedLoopsJoin {
+                        kind: *kind,
+                        pairs: pairs.clone(),
+                    },
                     schema: lc.schema.join(&rc.schema),
                     out_order: lc.out_order.clone(),
                     cost: nl_cost,
@@ -527,7 +579,11 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                 }));
             }
         }
-        LogicalOp::Aggregate { input, group_by, aggs } => {
+        LogicalOp::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let l: AttrSet = group_by.iter().cloned().collect();
             let mut prefixes: Vec<SortOrder> = ctx.afm[*input]
                 .iter()
@@ -543,7 +599,10 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
             for q in ctx.strategy.candidate_orders(&l, &prefixes) {
                 let child = best_plan(ctx, *input, &q)?;
                 out.push(Rc::new(PhysNode {
-                    op: PhysOp::SortAggregate { group_by: group_by.clone(), aggs: aggs.clone() },
+                    op: PhysOp::SortAggregate {
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    },
                     schema: ctx.schemas[id].clone(),
                     out_order: q,
                     cost: child.cost + ctx.params.tuple_io * ctx.stats[*input].rows,
@@ -555,13 +614,15 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
             if ctx.enable_hash {
                 let child = best_plan(ctx, *input, &SortOrder::empty())?;
                 let b_in = ctx.stats[*input].blocks(ctx.params.block_size);
-                let mut cost =
-                    child.cost + ctx.params.hash_io * ctx.stats[*input].rows;
+                let mut cost = child.cost + ctx.params.hash_io * ctx.stats[*input].rows;
                 if b_in > ctx.params.sort_mem_blocks {
                     cost += 2.0 * b_in;
                 }
                 out.push(Rc::new(PhysNode {
-                    op: PhysOp::HashAggregate { group_by: group_by.clone(), aggs: aggs.clone() },
+                    op: PhysOp::HashAggregate {
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    },
                     schema: ctx.schemas[id].clone(),
                     out_order: SortOrder::empty(),
                     cost,
@@ -667,19 +728,29 @@ fn child_goals(ctx: &Ctx, child: NodeId, required: &SortOrder) -> Vec<SortOrder>
 mod tests {
     use super::*;
     use crate::logical::JoinPair;
-    use pyro_common::Value;
+    use pyro_common::{Tuple, Value};
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
         let rows: Vec<Tuple> = (0..2000)
             .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 50), Value::Int(i % 7)]))
             .collect();
-        cat.register_table("t1", Schema::ints(&["a", "b", "c"]), SortOrder::new(["a"]), &rows)
-            .unwrap();
+        cat.register_table(
+            "t1",
+            Schema::ints(&["a", "b", "c"]),
+            SortOrder::new(["a"]),
+            &rows,
+        )
+        .unwrap();
         let mut by_b = rows.clone();
         by_b.sort_by(|x, y| x.get(1).cmp(y.get(1)));
-        cat.register_table("t2", Schema::ints(&["a", "b", "c"]), SortOrder::new(["b"]), &by_b)
-            .unwrap();
+        cat.register_table(
+            "t2",
+            Schema::ints(&["a", "b", "c"]),
+            SortOrder::new(["b"]),
+            &by_b,
+        )
+        .unwrap();
         cat
     }
 
@@ -701,10 +772,8 @@ mod tests {
         p.order_by(s, SortOrder::new(["x.a"]));
         let plan = Optimizer::new(&cat).optimize(&p).unwrap();
         assert_eq!(
-            plan.root.count_nodes(&|n| matches!(
-                n.op,
-                PhysOp::Sort { .. } | PhysOp::PartialSort { .. }
-            )),
+            plan.root
+                .count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. } | PhysOp::PartialSort { .. })),
             0,
             "clustering satisfies the ORDER BY:\n{}",
             plan.explain()
@@ -738,11 +807,13 @@ mod tests {
             .optimize(&p)
             .unwrap();
         assert_eq!(
-            plan.root.count_nodes(&|n| matches!(n.op, PhysOp::PartialSort { .. })),
+            plan.root
+                .count_nodes(&|n| matches!(n.op, PhysOp::PartialSort { .. })),
             0
         );
         assert_eq!(
-            plan.root.count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. })),
+            plan.root
+                .count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. })),
             1
         );
     }
@@ -757,9 +828,9 @@ mod tests {
         let plan = Optimizer::new(&cat).optimize(&p).unwrap();
         // t1 clustered on a: merge join on (a) needs only the right side
         // sorted. Whatever wins must beat a double-full-sort.
-        let has_join = plan.root.count_nodes(&|n| {
-            matches!(n.op, PhysOp::MergeJoin { .. } | PhysOp::HashJoin { .. })
-        });
+        let has_join = plan
+            .root
+            .count_nodes(&|n| matches!(n.op, PhysOp::MergeJoin { .. } | PhysOp::HashJoin { .. }));
         assert_eq!(has_join, 1);
     }
 
@@ -808,13 +879,15 @@ mod tests {
         );
         let plan = Optimizer::new(&cat).optimize(&p).unwrap();
         assert_eq!(
-            plan.root.count_nodes(&|n| matches!(n.op, PhysOp::SortAggregate { .. })),
+            plan.root
+                .count_nodes(&|n| matches!(n.op, PhysOp::SortAggregate { .. })),
             1,
             "clustered input makes the sort aggregate free:\n{}",
             plan.explain()
         );
         assert_eq!(
-            plan.root.count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. })),
+            plan.root
+                .count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. })),
             0
         );
     }
@@ -828,7 +901,11 @@ mod tests {
         p.join(
             l,
             r,
-            vec![JoinPair::new("l.a", "r.a"), JoinPair::new("l.b", "r.b"), JoinPair::new("l.c", "r.c")],
+            vec![
+                JoinPair::new("l.a", "r.a"),
+                JoinPair::new("l.b", "r.b"),
+                JoinPair::new("l.c", "r.c"),
+            ],
         );
         // Exhaustive on 3 attrs = 6 orders; should still be fast and
         // produce a valid plan.

@@ -225,7 +225,10 @@ mod tests {
 
     fn leaf() -> Rc<PhysNode> {
         Rc::new(PhysNode {
-            op: PhysOp::TableScan { table: "t".into(), alias: "t".into() },
+            op: PhysOp::TableScan {
+                table: "t".into(),
+                alias: "t".into(),
+            },
             children: vec![],
             schema: Schema::ints(&["t.a"]),
             out_order: SortOrder::empty(),
@@ -239,7 +242,9 @@ mod tests {
     fn explain_renders_tree() {
         let scan = leaf();
         let sort = PhysNode {
-            op: PhysOp::Sort { target: SortOrder::new(["t.a"]) },
+            op: PhysOp::Sort {
+                target: SortOrder::new(["t.a"]),
+            },
             children: vec![scan],
             schema: Schema::ints(&["t.a"]),
             out_order: SortOrder::new(["t.a"]),
@@ -257,7 +262,9 @@ mod tests {
     #[test]
     fn walk_and_count() {
         let n = PhysNode {
-            op: PhysOp::Filter { predicate: NExpr::lit(1i64) },
+            op: PhysOp::Filter {
+                predicate: NExpr::lit(1i64),
+            },
             children: vec![leaf(), leaf()],
             schema: Schema::ints(&["t.a"]),
             out_order: SortOrder::empty(),
@@ -265,7 +272,10 @@ mod tests {
             rows: 50.0,
             logical: 0,
         };
-        assert_eq!(n.count_nodes(&|x| matches!(x.op, PhysOp::TableScan { .. })), 2);
+        assert_eq!(
+            n.count_nodes(&|x| matches!(x.op, PhysOp::TableScan { .. })),
+            2
+        );
         assert_eq!(n.count_nodes(&|_| true), 3);
     }
 

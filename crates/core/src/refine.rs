@@ -104,7 +104,10 @@ pub(crate) fn refine(
 fn collect_mjs(ctx: &Ctx, node: &Rc<PhysNode>, parent_mj: Option<NodeId>, out: &mut Vec<MjInfo>) {
     let this_parent = if let PhysOp::MergeJoin { order, .. } = &node.op {
         let logical = node.logical;
-        if let LogicalOp::Join { left, right, pairs, .. } = ctx.plan.node(logical) {
+        if let LogicalOp::Join {
+            left, right, pairs, ..
+        } = ctx.plan.node(logical)
+        {
             let s: AttrSet = pairs.iter().map(|p| ctx.equiv.rep(&p.left)).collect();
             let order_reps = order.rename(|a| ctx.equiv.rep(a));
             // qi: input favorable order sharing the longest prefix with pi.
@@ -123,7 +126,13 @@ fn collect_mjs(ctx: &Ctx, node: &Rc<PhysNode>, parent_mj: Option<NodeId>, out: &
                 .filter(|a| !fixed.attrs().contains(a))
                 .cloned()
                 .collect();
-            out.push(MjInfo { logical, order_reps, fixed, free, parent: parent_mj });
+            out.push(MjInfo {
+                logical,
+                order_reps,
+                fixed,
+                free,
+                parent: parent_mj,
+            });
         }
         Some(node.logical)
     } else {
@@ -216,14 +225,13 @@ mod tests {
         assert_eq!(orders.len(), 2, "{}", optimized.explain());
         // The two joins share {c4, c5}; after refinement their orders must
         // share a 2-attribute prefix (modulo column-name side).
-        let bare = |o: &SortOrder, i: usize| {
-            o.attrs()[i].rsplit('.').next().unwrap().to_string()
-        };
+        let bare = |o: &SortOrder, i: usize| o.attrs()[i].rsplit('.').next().unwrap().to_string();
         let shared = (0..2)
             .take_while(|&i| bare(&orders[0], i) == bare(&orders[1], i))
             .count();
         assert_eq!(
-            shared, 2,
+            shared,
+            2,
             "joins should share (c4, c5) prefix; got {:?} vs {:?}\n{}",
             orders[0],
             orders[1],

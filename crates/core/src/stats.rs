@@ -94,15 +94,19 @@ fn node_stats(
                 }
             }
             // Width estimate: proportional share of the input width, floor 8.
-            let frac = items.len() as f64
-                / (inner.distinct.len().max(items.len()).max(1)) as f64;
+            let frac = items.len() as f64 / (inner.distinct.len().max(items.len()).max(1)) as f64;
             NodeStats {
                 rows: inner.rows,
                 avg_bytes: (inner.avg_bytes * frac).max(8.0),
                 distinct,
             }
         }
-        LogicalOp::Join { left, right, pairs, kind } => {
+        LogicalOp::Join {
+            left,
+            right,
+            pairs,
+            kind,
+        } => {
             let (l, r) = (&done[*left], &done[*right]);
             // Exponential backoff over the per-pair selectivities (largest
             // first, each subsequent factor dampened by a square root):
@@ -136,9 +140,17 @@ fn node_stats(
             for d in distinct.values_mut() {
                 *d = d.min(rows);
             }
-            NodeStats { rows, avg_bytes: l.avg_bytes + r.avg_bytes, distinct }
+            NodeStats {
+                rows,
+                avg_bytes: l.avg_bytes + r.avg_bytes,
+                distinct,
+            }
         }
-        LogicalOp::Aggregate { input, group_by, aggs } => {
+        LogicalOp::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let inner = &done[*input];
             let groups = inner.distinct_of(group_by.iter().map(String::as_str));
             let mut distinct = HashMap::new();
@@ -177,7 +189,11 @@ fn scale(s: &NodeStats, sel: f64) -> NodeStats {
     for d in distinct.values_mut() {
         *d = d.min(rows);
     }
-    NodeStats { rows, avg_bytes: s.avg_bytes, distinct }
+    NodeStats {
+        rows,
+        avg_bytes: s.avg_bytes,
+        distinct,
+    }
 }
 
 /// Textbook selectivity estimation.
@@ -186,7 +202,12 @@ fn selectivity(pred: &NExpr, input: &NodeStats) -> f64 {
         NExpr::And(terms) => terms.iter().map(|t| selectivity(t, input)).product(),
         NExpr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
             (NExpr::Col(c), NExpr::Lit(_)) | (NExpr::Lit(_), NExpr::Col(c)) => {
-                1.0 / input.distinct.get(c).copied().unwrap_or(1.0 / DEFAULT_EQ_SEL).max(1.0)
+                1.0 / input
+                    .distinct
+                    .get(c)
+                    .copied()
+                    .unwrap_or(1.0 / DEFAULT_EQ_SEL)
+                    .max(1.0)
             }
             (NExpr::Col(c1), NExpr::Col(c2)) => {
                 let d1 = input.distinct.get(c1).copied().unwrap_or(10.0);
@@ -214,8 +235,13 @@ mod tests {
             .collect();
         let mut sorted = rows.clone();
         sorted.sort();
-        cat.register_table("t", Schema::ints(&["g", "u"]), SortOrder::new(["g"]), &sorted)
-            .unwrap();
+        cat.register_table(
+            "t",
+            Schema::ints(&["g", "u"]),
+            SortOrder::new(["g"]),
+            &sorted,
+        )
+        .unwrap();
         cat
     }
 
@@ -237,7 +263,11 @@ mod tests {
         let s = p.scan_as("t", "x");
         p.filter(s, NExpr::col_eq_lit("x.g", 3i64));
         let stats = derive_stats(&p, &cat).unwrap();
-        assert!((stats[1].rows - 100.0).abs() < 1.0, "1000/10 = 100, got {}", stats[1].rows);
+        assert!(
+            (stats[1].rows - 100.0).abs() < 1.0,
+            "1000/10 = 100, got {}",
+            stats[1].rows
+        );
     }
 
     #[test]

@@ -90,6 +90,34 @@ impl Strategy {
         }
     }
 
+    /// The five paper strategies, in the paper's Fig. 15 order
+    /// (weakest to strongest: PYRO, PYRO-O−, PYRO-P, PYRO-O, PYRO-E).
+    pub fn all() -> [Strategy; 5] {
+        [
+            Strategy::pyro(),
+            Strategy::pyro_o_minus(),
+            Strategy::pyro_p(),
+            Strategy::pyro_o(),
+            Strategy::pyro_e(),
+        ]
+    }
+
+    /// Resolves a strategy by its paper name, for CLI flags and config
+    /// files. Case-insensitive; accepts `"pyro"`, `"pyro-p"`, `"pyro-e"`,
+    /// `"pyro-o"`, and `"pyro-o-"` (alias `"pyro-o-minus"`).
+    pub fn from_name(name: &str) -> Result<Strategy, pyro_common::PyroError> {
+        match name.to_ascii_lowercase().as_str() {
+            "pyro" => Ok(Strategy::pyro()),
+            "pyro-p" => Ok(Strategy::pyro_p()),
+            "pyro-e" => Ok(Strategy::pyro_e()),
+            "pyro-o" => Ok(Strategy::pyro_o()),
+            "pyro-o-" | "pyro-o-minus" => Ok(Strategy::pyro_o_minus()),
+            _ => Err(pyro_common::PyroError::Plan(format!(
+                "unknown strategy {name:?}; expected one of pyro, pyro-p, pyro-e, pyro-o, pyro-o-"
+            ))),
+        }
+    }
+
     /// Display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
         match (self.kind, self.partial_enforcers) {
@@ -136,18 +164,23 @@ impl Strategy {
                 // prefix of o2, or equal-but-duplicate handled by dedup).
                 let kept: Vec<SortOrder> = t
                     .iter()
-                    .filter(|o1| {
-                        !t.iter().any(|o2| *o1 != o2 && o1.is_prefix_of(o2))
-                    })
+                    .filter(|o1| !t.iter().any(|o2| *o1 != o2 && o1.is_prefix_of(o2)))
                     .cloned()
                     .collect();
-                let mut out: Vec<SortOrder> =
-                    kept.iter().map(|o| o.extend_with_set(s)).collect();
+                let mut out: Vec<SortOrder> = kept.iter().map(|o| o.extend_with_set(s)).collect();
                 out.sort();
                 out.dedup();
                 out
             }
         }
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = pyro_common::PyroError;
+
+    fn from_str(s: &str) -> Result<Strategy, Self::Err> {
+        Strategy::from_name(s)
     }
 }
 
@@ -236,9 +269,30 @@ mod tests {
 
     #[test]
     fn empty_set_single_empty_order() {
-        for strat in [Strategy::pyro(), Strategy::pyro_p(), Strategy::pyro_e(), Strategy::pyro_o()] {
-            assert_eq!(strat.candidate_orders(&AttrSet::new(), &[]), vec![SortOrder::empty()]);
+        for strat in [
+            Strategy::pyro(),
+            Strategy::pyro_p(),
+            Strategy::pyro_e(),
+            Strategy::pyro_o(),
+        ] {
+            assert_eq!(
+                strat.candidate_orders(&AttrSet::new(), &[]),
+                vec![SortOrder::empty()]
+            );
         }
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for strat in Strategy::all() {
+            assert_eq!(Strategy::from_name(strat.name()).unwrap(), strat);
+        }
+        assert_eq!(Strategy::from_name("PYRO-O").unwrap(), Strategy::pyro_o());
+        assert_eq!(
+            "pyro-o-minus".parse::<Strategy>().unwrap(),
+            Strategy::pyro_o_minus()
+        );
+        assert!(Strategy::from_name("volcano").is_err());
     }
 
     #[test]

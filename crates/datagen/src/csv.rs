@@ -1,0 +1,170 @@
+//! CSV → tuple parsing for [`pyro::Session::register_csv`]-style ingestion.
+//!
+//! Deliberately small: comma separation, optional double-quoting for string
+//! fields (with `""` escapes), an optional header row, and the unquoted
+//! empty field as SQL NULL (a quoted empty field is the empty string).
+//! Values are coerced per the target [`Schema`]'s column types,
+//! so callers get typed tuples ready for `Catalog::register_table`.
+
+use pyro_common::{DataType, PyroError, Result, Schema, Tuple, Value};
+
+/// Parses CSV text into tuples matching `schema`.
+///
+/// If `has_header` is set the first non-empty line is checked against the
+/// schema's column names (order-sensitive) and skipped. Blank lines are
+/// ignored everywhere.
+pub fn parse_csv(schema: &Schema, text: &str, has_header: bool) -> Result<Vec<Tuple>> {
+    let mut rows = Vec::new();
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    if has_header {
+        if let Some((n, header)) = lines.next() {
+            let names: Vec<String> = split_fields(header, n)?
+                .into_iter()
+                .map(|f| f.text.trim().to_string())
+                .collect();
+            if names != schema.names() {
+                return Err(PyroError::Sql(format!(
+                    "CSV header {names:?} does not match schema columns {:?}",
+                    schema.names()
+                )));
+            }
+        }
+    }
+    for (n, line) in lines {
+        let fields = split_fields(line, n)?;
+        if fields.len() != schema.len() {
+            return Err(PyroError::Sql(format!(
+                "CSV line {}: expected {} fields, found {}",
+                n + 1,
+                schema.len(),
+                fields.len()
+            )));
+        }
+        let values: Vec<Value> = fields
+            .iter()
+            .zip(schema.columns())
+            .map(|(field, col)| coerce(field, col.ty, n))
+            .collect::<Result<_>>()?;
+        rows.push(Tuple::new(values));
+    }
+    Ok(rows)
+}
+
+/// One raw field: its text plus whether it was written in quotes (a quoted
+/// empty field is the empty string, an unquoted one is NULL).
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
+/// Splits one line into raw fields, honouring double quotes.
+fn split_fields(line: &str, lineno: usize) -> Result<Vec<Field>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut cur_quoted = false;
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() => {
+                quoted = true;
+                cur_quoted = true;
+            }
+            ',' if !quoted => fields.push(Field {
+                text: std::mem::take(&mut cur),
+                quoted: std::mem::take(&mut cur_quoted),
+            }),
+            _ => cur.push(c),
+        }
+    }
+    if quoted {
+        return Err(PyroError::Sql(format!(
+            "CSV line {}: unterminated quote",
+            lineno + 1
+        )));
+    }
+    fields.push(Field {
+        text: cur,
+        quoted: cur_quoted,
+    });
+    Ok(fields)
+}
+
+/// Coerces one raw field to the column's type; the *unquoted* empty field
+/// is NULL, while a quoted empty field (`""`) is the empty string.
+fn coerce(field: &Field, ty: DataType, lineno: usize) -> Result<Value> {
+    let trimmed = field.text.trim();
+    if trimmed.is_empty() && !field.quoted {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        DataType::Int => Value::Int(trimmed.parse::<i64>().map_err(|e| {
+            PyroError::Sql(format!("CSV line {}: bad INT {trimmed:?}: {e}", lineno + 1))
+        })?),
+        DataType::Double => Value::Double(trimmed.parse::<f64>().map_err(|e| {
+            PyroError::Sql(format!(
+                "CSV line {}: bad DOUBLE {trimmed:?}: {e}",
+                lineno + 1
+            ))
+        })?),
+        DataType::Str => Value::Str(field.text.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyro_common::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::new("score", DataType::Double),
+        ])
+    }
+
+    #[test]
+    fn parses_typed_rows() {
+        let rows = parse_csv(&schema(), "1,alpha,0.5\n2,beta,1.25\n", false).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), &Value::Int(1));
+        assert_eq!(rows[1].get(1), &Value::Str("beta".into()));
+        assert_eq!(rows[1].get(2), &Value::Double(1.25));
+    }
+
+    #[test]
+    fn header_checked_and_skipped() {
+        let rows = parse_csv(&schema(), "k,name,score\n7,x,0\n", true).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(parse_csv(&schema(), "wrong,headers,here\n7,x,0\n", true).is_err());
+    }
+
+    #[test]
+    fn quotes_and_nulls() {
+        let rows = parse_csv(&schema(), "1,\"a,b\"\"c\",\n", false).unwrap();
+        assert_eq!(rows[0].get(1), &Value::Str("a,b\"c".into()));
+        assert_eq!(rows[0].get(2), &Value::Null);
+        // Quoted empty field is the empty string, not NULL.
+        let rows = parse_csv(&schema(), "1,\"\",0\n", false).unwrap();
+        assert_eq!(rows[0].get(1), &Value::Str(String::new()));
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        assert!(parse_csv(&schema(), "1,only-two\n", false).is_err());
+        assert!(parse_csv(&schema(), "notanint,x,0\n", false).is_err());
+        assert!(parse_csv(&schema(), "1,\"unterminated,0\n", false).is_err());
+    }
+}

@@ -14,8 +14,11 @@
 //! | [`qtables`] | `R1..R3` of Query 4 (B2), `TRAN` of Query 5, `BASKET`/`ANALYTICS` of Query 6 (B3) |
 
 use pyro_common::{Column, DataType, Schema, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+pub mod csv;
+pub mod rng;
+
+pub use rng::StdRng;
 
 /// Fixed seed so every run of every experiment sees identical data.
 pub const SEED: u64 = 0x5EED_0DE5;
@@ -97,8 +100,7 @@ pub mod tpch {
         ]);
         let mut ps_rows = Vec::with_capacity(cfg.parts * 4);
         for p in 0..cfg.parts {
-            let mut supps: Vec<i64> =
-                (0..4).map(|i| supplier_of(p, i, cfg.suppliers)).collect();
+            let mut supps: Vec<i64> = (0..4).map(|i| supplier_of(p, i, cfg.suppliers)).collect();
             supps.sort_unstable();
             supps.dedup();
             for s in supps {
@@ -276,7 +278,12 @@ pub mod consolidation {
             .collect();
         sort_rows_by(&rt_schema, &mut rt_rows, &["make"]);
         cat.register_table("rating", rt_schema, SortOrder::new(["make"]), &rt_rows)?;
-        cat.create_index("rating", "rating_make_cov", SortOrder::new(["make"]), &["year", "rating"])?;
+        cat.create_index(
+            "rating",
+            "rating_make_cov",
+            SortOrder::new(["make"]),
+            &["year", "rating"],
+        )?;
         Ok(())
     }
 }
@@ -395,7 +402,12 @@ pub mod qtables {
             })
             .collect();
         sort_rows_by(&schema, &mut data, &["userid", "basketid"]);
-        cat.register_table("tran", schema, SortOrder::new(["userid", "basketid"]), &data)?;
+        cat.register_table(
+            "tran",
+            schema,
+            SortOrder::new(["userid", "basketid"]),
+            &data,
+        )?;
         Ok(())
     }
 
@@ -466,7 +478,10 @@ mod tests {
         let c1 = cat.table("catalog1").unwrap();
         let rt = cat.table("rating").unwrap();
         assert_eq!(c1.meta.stats.row_count, 5000);
-        assert_eq!(rt.meta.stats.row_count, 10, "1:1000 ratio with a floor of 10");
+        assert_eq!(
+            rt.meta.stats.row_count, 10,
+            "1:1000 ratio with a floor of 10"
+        );
         assert_eq!(c1.meta.clustering.attrs(), ["year"]);
     }
 

@@ -1,0 +1,119 @@
+//! A tiny deterministic PRNG, standing in for the `rand` crate.
+//!
+//! Offline builds cannot fetch crates.io, and the generators only need
+//! seeded, reproducible uniform draws — so this module provides a SplitMix64
+//! generator behind the same call surface the generators used from `rand`
+//! (`seed_from_u64`, `gen_range`, `gen_bool`). SplitMix64 passes BigCrush
+//! and is the standard seeding primitive of the xoshiro family; uniformity
+//! here is plain rejection-free modulo reduction, which is fine for workload
+//! generation (the bias at these range sizes is < 2⁻⁴⁰).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator, API-compatible with the subset of
+/// `rand::rngs::StdRng` the generators use.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Seeds the generator. Equal seeds yield equal streams forever.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+
+    /// SplitMix64 step.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from a range; supports the integer range shapes the
+    /// generators use. Generic over the element type (like `rand`'s
+    /// signature) so untyped literals infer from the use site.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 random mantissa bits → uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+/// Integer range shapes accepted by [`StdRng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, i64, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = r.gen_range(3usize..=9);
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn draws_are_spread() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(r.gen_range(0i64..1_000_000));
+        }
+        assert!(seen.len() > 95, "near-unique draws over a wide range");
+    }
+}

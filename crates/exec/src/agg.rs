@@ -41,7 +41,11 @@ pub struct AggExpr {
 impl AggExpr {
     /// Convenience constructor.
     pub fn new(func: AggFunc, arg: Expr, name: impl Into<String>) -> Self {
-        AggExpr { func, arg, name: name.into() }
+        AggExpr {
+            func,
+            arg,
+            name: name.into(),
+        }
     }
 
     fn output_type(&self) -> DataType {
@@ -73,7 +77,11 @@ impl AccState {
             AggFunc::Sum => AccState::Sum(Value::Null),
             AggFunc::Min => AccState::Min(None),
             AggFunc::Max => AccState::Max(None),
-            AggFunc::Avg => AccState::Avg { sum: 0.0, n: 0, any: false },
+            AggFunc::Avg => AccState::Avg {
+                sum: 0.0,
+                n: 0,
+                any: false,
+            },
         }
     }
 
@@ -227,7 +235,13 @@ impl HashAggregate {
     /// Builds a hash aggregate over `group_cols`.
     pub fn new(child: BoxOp, group_cols: Vec<usize>, aggs: Vec<AggExpr>) -> Self {
         let schema = output_schema(child.schema(), &group_cols, &aggs);
-        HashAggregate { child, group_cols, aggs, schema, output: None }
+        HashAggregate {
+            child,
+            group_cols,
+            aggs,
+            schema,
+            output: None,
+        }
     }
 }
 

@@ -23,7 +23,12 @@ impl SortDistinct {
     /// `key` must cover every column (in the input's sort order) for full
     /// DISTINCT semantics.
     pub fn new(child: BoxOp, key: KeySpec, metrics: MetricsRef) -> Self {
-        SortDistinct { child, key, metrics, last: None }
+        SortDistinct {
+            child,
+            key,
+            metrics,
+            last: None,
+        }
     }
 }
 
@@ -58,7 +63,10 @@ pub struct HashDistinct {
 impl HashDistinct {
     /// Builds a hash distinct over all columns.
     pub fn new(child: BoxOp) -> Self {
-        HashDistinct { child, seen: HashSet::new() }
+        HashDistinct {
+            child,
+            seen: HashSet::new(),
+        }
     }
 }
 
@@ -93,11 +101,7 @@ mod tests {
     fn sort_distinct_dedups_sorted_input() {
         let data = rows(&[(1, 1), (1, 1), (1, 2), (2, 1), (2, 1), (2, 1)]);
         let src = ValuesOp::new(Schema::ints(&["a", "b"]), data);
-        let op = SortDistinct::new(
-            Box::new(src),
-            KeySpec::new(vec![0, 1]),
-            ExecMetrics::new(),
-        );
+        let op = SortDistinct::new(Box::new(src), KeySpec::new(vec![0, 1]), ExecMetrics::new());
         let out = collect(Box::new(op)).unwrap();
         assert_eq!(out, rows(&[(1, 1), (1, 2), (2, 1)]));
     }
@@ -107,11 +111,7 @@ mod tests {
         // sorted by (b, a) — still valid for DISTINCT over {a, b}
         let data = rows(&[(2, 1), (2, 1), (1, 2), (3, 2)]);
         let src = ValuesOp::new(Schema::ints(&["a", "b"]), data);
-        let op = SortDistinct::new(
-            Box::new(src),
-            KeySpec::new(vec![1, 0]),
-            ExecMetrics::new(),
-        );
+        let op = SortDistinct::new(Box::new(src), KeySpec::new(vec![1, 0]), ExecMetrics::new());
         let out = collect(Box::new(op)).unwrap();
         assert_eq!(out.len(), 3);
     }
@@ -140,6 +140,8 @@ mod tests {
         let op = SortDistinct::new(Box::new(src), KeySpec::new(vec![0, 1]), ExecMetrics::new());
         assert!(collect(Box::new(op)).unwrap().is_empty());
         let src = ValuesOp::new(Schema::ints(&["a", "b"]), vec![]);
-        assert!(collect(Box::new(HashDistinct::new(Box::new(src)))).unwrap().is_empty());
+        assert!(collect(Box::new(HashDistinct::new(Box::new(src))))
+            .unwrap()
+            .is_empty());
     }
 }

@@ -180,7 +180,11 @@ mod tests {
     #[test]
     fn all_cmp_ops() {
         let t = row();
-        let one = |op| Expr::cmp(op, Expr::col(0), Expr::lit(3i64)).eval_bool(&t).unwrap();
+        let one = |op| {
+            Expr::cmp(op, Expr::col(0), Expr::lit(3i64))
+                .eval_bool(&t)
+                .unwrap()
+        };
         assert!(one(CmpOp::Eq));
         assert!(!one(CmpOp::Ne));
         assert!(one(CmpOp::Le));
@@ -196,11 +200,15 @@ mod tests {
         let fls = Expr::lit(0i64);
         let nul = Expr::Lit(Value::Null);
         assert_eq!(
-            Expr::And(Box::new(tru.clone()), Box::new(fls.clone())).eval(&t).unwrap(),
+            Expr::And(Box::new(tru.clone()), Box::new(fls.clone()))
+                .eval(&t)
+                .unwrap(),
             Value::Int(0)
         );
         assert_eq!(
-            Expr::And(Box::new(fls), Box::new(nul.clone())).eval(&t).unwrap(),
+            Expr::And(Box::new(fls), Box::new(nul.clone()))
+                .eval(&t)
+                .unwrap(),
             Value::Int(0),
             "false AND null = false"
         );

@@ -67,7 +67,10 @@ impl HashJoin {
             if key.iter().any(Value::is_null) {
                 null_rows.push(t);
             } else {
-                table.entry(key).or_default().push((t, std::cell::Cell::new(false)));
+                table
+                    .entry(key)
+                    .or_default()
+                    .push((t, std::cell::Cell::new(false)));
             }
         }
         Ok(BuildState { table, null_rows })
@@ -168,13 +171,21 @@ mod tests {
 
     #[test]
     fn inner_matches_merge_join_semantics() {
-        let out = join(&[(1, 10), (2, 20), (4, 40)], &[(2, 200), (4, 400), (9, 900)], JoinKind::Inner);
+        let out = join(
+            &[(1, 10), (2, 20), (4, 40)],
+            &[(2, 200), (4, 400), (9, 900)],
+            JoinKind::Inner,
+        );
         assert_eq!(out.len(), 2);
     }
 
     #[test]
     fn full_outer_emits_all() {
-        let out = join(&[(1, 10), (2, 20)], &[(2, 200), (3, 300)], JoinKind::FullOuter);
+        let out = join(
+            &[(1, 10), (2, 20)],
+            &[(2, 200), (3, 300)],
+            JoinKind::FullOuter,
+        );
         // match on 2, unmatched 1 (left), unmatched 3 (right)
         assert_eq!(out.len(), 3);
     }

@@ -87,7 +87,9 @@ impl MergeJoin {
         head: &mut Option<Tuple>,
         metrics: &MetricsRef,
     ) -> Result<Vec<Tuple>> {
-        let Some(first) = head.take() else { return Ok(Vec::new()) };
+        let Some(first) = head.take() else {
+            return Ok(Vec::new());
+        };
         let mut group = vec![first];
         loop {
             match source.next()? {
@@ -288,8 +290,7 @@ impl Operator for MergeJoin {
                 if !self.deferred_flushed {
                     self.deferred_flushed = true;
                     if !self.deferred_right.is_empty() {
-                        self.pending =
-                            std::mem::take(&mut self.deferred_right).into_iter();
+                        self.pending = std::mem::take(&mut self.deferred_right).into_iter();
                         continue;
                     }
                 }
@@ -313,11 +314,7 @@ mod tests {
             .collect()
     }
 
-    fn join(
-        l: &[(i64, i64)],
-        r: &[(i64, i64)],
-        kind: JoinKind,
-    ) -> Vec<Vec<Option<i64>>> {
+    fn join(l: &[(i64, i64)], r: &[(i64, i64)], kind: JoinKind) -> Vec<Vec<Option<i64>>> {
         let m = ExecMetrics::new();
         let left = ValuesOp::new(Schema::ints(&["a", "b"]), rows(l));
         let right = ValuesOp::new(Schema::ints(&["c", "d"]), rows(r));
@@ -338,7 +335,11 @@ mod tests {
 
     #[test]
     fn inner_join_basic() {
-        let out = join(&[(1, 10), (2, 20), (4, 40)], &[(2, 200), (3, 300), (4, 400)], JoinKind::Inner);
+        let out = join(
+            &[(1, 10), (2, 20), (4, 40)],
+            &[(2, 200), (3, 300), (4, 400)],
+            JoinKind::Inner,
+        );
         assert_eq!(
             out,
             vec![
@@ -429,14 +430,8 @@ mod tests {
     #[test]
     fn multi_column_join_keys() {
         let m = ExecMetrics::new();
-        let left = ValuesOp::new(
-            Schema::ints(&["a", "b"]),
-            rows(&[(1, 1), (1, 2), (2, 1)]),
-        );
-        let right = ValuesOp::new(
-            Schema::ints(&["c", "d"]),
-            rows(&[(1, 1), (1, 3), (2, 1)]),
-        );
+        let left = ValuesOp::new(Schema::ints(&["a", "b"]), rows(&[(1, 1), (1, 2), (2, 1)]));
+        let right = ValuesOp::new(Schema::ints(&["c", "d"]), rows(&[(1, 1), (1, 3), (2, 1)]));
         let op = MergeJoin::new(
             Box::new(left),
             Box::new(right),

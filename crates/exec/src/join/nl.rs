@@ -155,12 +155,18 @@ mod tests {
 
     #[test]
     fn inner() {
-        assert_eq!(join(&[(1, 1), (2, 2)], &[(2, 9), (3, 9)], JoinKind::Inner).len(), 1);
+        assert_eq!(
+            join(&[(1, 1), (2, 2)], &[(2, 9), (3, 9)], JoinKind::Inner).len(),
+            1
+        );
     }
 
     #[test]
     fn left_outer() {
-        assert_eq!(join(&[(1, 1), (2, 2)], &[(2, 9)], JoinKind::LeftOuter).len(), 2);
+        assert_eq!(
+            join(&[(1, 1), (2, 2)], &[(2, 9)], JoinKind::LeftOuter).len(),
+            2
+        );
     }
 
     #[test]
@@ -171,6 +177,9 @@ mod tests {
     #[test]
     fn unordered_inputs_fine() {
         // NL join does not require sorted inputs.
-        assert_eq!(join(&[(2, 2), (1, 1)], &[(3, 9), (2, 9)], JoinKind::Inner).len(), 1);
+        assert_eq!(
+            join(&[(2, 2), (1, 1)], &[(3, 9), (2, 9)], JoinKind::Inner).len(),
+            1
+        );
     }
 }

@@ -33,4 +33,4 @@ pub mod union;
 
 pub use expr::{CmpOp, Expr};
 pub use metrics::{ExecMetrics, MetricsRef};
-pub use op::{collect, BoxOp, Operator, ValuesOp};
+pub use op::{collect, BoxOp, Operator, Pipeline, Rows, ValuesOp};

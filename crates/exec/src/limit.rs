@@ -17,7 +17,10 @@ pub struct Limit {
 impl Limit {
     /// Wraps `child`, keeping the first `k` rows.
     pub fn new(child: BoxOp, k: u64) -> Self {
-        Limit { child, remaining: k }
+        Limit {
+            child,
+            remaining: k,
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 //! The Volcano operator interface.
 
+use crate::metrics::MetricsRef;
 use pyro_common::{Result, Schema, Tuple};
 
 /// A pull-based iterator operator. `next` returns `Ok(None)` at end of
@@ -24,6 +25,61 @@ pub fn collect(mut op: BoxOp) -> Result<Vec<Tuple>> {
     Ok(out)
 }
 
+/// A compiled, ready-to-run operator tree bundled with the metrics block
+/// every operator in it shares.
+///
+/// This is the unit the optimizer hands back: callers either drain it in one
+/// shot with [`Pipeline::run`] or pull tuples themselves via
+/// [`Pipeline::into_parts`] (streaming consumers, checkpointed benchmarks).
+pub struct Pipeline {
+    op: BoxOp,
+    metrics: MetricsRef,
+}
+
+impl Pipeline {
+    /// Bundles an operator tree with its shared metrics.
+    pub fn new(op: BoxOp, metrics: MetricsRef) -> Pipeline {
+        Pipeline { op, metrics }
+    }
+
+    /// Output schema of the root operator.
+    pub fn schema(&self) -> &Schema {
+        self.op.schema()
+    }
+
+    /// The shared counter block. The handle stays valid (and keeps
+    /// counting) across [`Pipeline::run`], so clone it before draining if
+    /// you need readings afterwards.
+    pub fn metrics(&self) -> &MetricsRef {
+        &self.metrics
+    }
+
+    /// Drains the pipeline, returning the rows together with the metrics
+    /// that produced them.
+    pub fn run(self) -> Result<Rows> {
+        let rows = collect(self.op)?;
+        Ok(Rows {
+            rows,
+            metrics: self.metrics,
+        })
+    }
+
+    /// Splits into the raw operator and metrics handle for streaming use.
+    pub fn into_parts(self) -> (BoxOp, MetricsRef) {
+        (self.op, self.metrics)
+    }
+}
+
+/// Materialized pipeline output: the rows plus the counters accumulated
+/// while producing them.
+#[derive(Debug)]
+pub struct Rows {
+    /// The produced tuples, in stream order.
+    pub rows: Vec<Tuple>,
+    /// Counters accumulated during execution.
+    pub metrics: MetricsRef,
+}
+
 /// An operator yielding a fixed in-memory tuple list — the standard test
 /// source and the bridge for pre-materialized inputs.
 pub struct ValuesOp {
@@ -34,7 +90,10 @@ pub struct ValuesOp {
 impl ValuesOp {
     /// Builds from a schema and rows.
     pub fn new(schema: Schema, rows: Vec<Tuple>) -> Self {
-        ValuesOp { schema, rows: rows.into_iter() }
+        ValuesOp {
+            schema,
+            rows: rows.into_iter(),
+        }
     }
 }
 

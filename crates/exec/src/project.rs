@@ -16,14 +16,22 @@ impl Project {
     /// computed columns).
     pub fn new(child: BoxOp, exprs: Vec<Expr>, schema: Schema) -> Self {
         debug_assert_eq!(exprs.len(), schema.len());
-        Project { child, exprs, schema }
+        Project {
+            child,
+            exprs,
+            schema,
+        }
     }
 
     /// Convenience: keep the columns at `indices`, preserving names.
     pub fn keep(child: BoxOp, indices: &[usize]) -> Self {
         let schema = child.schema().project(indices);
         let exprs = indices.iter().map(|&i| Expr::Col(i)).collect();
-        Project { child, exprs, schema }
+        Project {
+            child,
+            exprs,
+            schema,
+        }
     }
 }
 
@@ -55,7 +63,11 @@ mod tests {
 
     #[test]
     fn keep_projects_columns() {
-        let rows = vec![Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)])];
+        let rows = vec![Tuple::new(vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(3),
+        ])];
         let src = ValuesOp::new(Schema::ints(&["a", "b", "c"]), rows);
         let p = Project::keep(Box::new(src), &[2, 0]);
         assert_eq!(p.schema().names(), vec!["c", "a"]);

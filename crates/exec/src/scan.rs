@@ -24,7 +24,10 @@ impl FileScan {
     /// Scans `file`, exposing `schema` (column count must match the stored
     /// tuples).
     pub fn new(schema: Schema, file: &TupleFile) -> Self {
-        FileScan { schema, scan: file.scan() }
+        FileScan {
+            schema,
+            scan: file.scan(),
+        }
     }
 }
 

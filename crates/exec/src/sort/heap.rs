@@ -23,7 +23,12 @@ pub(crate) struct RsHeap {
 
 impl RsHeap {
     pub(crate) fn new(key: KeySpec, metrics: MetricsRef) -> Self {
-        RsHeap { data: Vec::new(), key, metrics, bytes: 0 }
+        RsHeap {
+            data: Vec::new(),
+            key,
+            metrics,
+            bytes: 0,
+        }
     }
 
     /// Test/diagnostic accessors — replacement selection itself only needs

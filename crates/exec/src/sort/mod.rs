@@ -31,7 +31,10 @@ pub struct SortBudget {
 impl SortBudget {
     /// Budget of `blocks` blocks of `block_size` bytes.
     pub fn new(blocks: u64, block_size: usize) -> Self {
-        SortBudget { blocks: blocks.max(3), block_size }
+        SortBudget {
+            blocks: blocks.max(3),
+            block_size,
+        }
     }
 
     /// Total bytes available for buffered tuples.

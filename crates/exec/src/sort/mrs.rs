@@ -190,9 +190,7 @@ impl PartialSort {
                 }
                 Some(_) => {} // empty prefix: one segment spans the input
             }
-            if self.buffer_bytes + t.byte_size() > self.budget.bytes()
-                && !self.buffer.is_empty()
-            {
+            if self.buffer_bytes + t.byte_size() > self.budget.bytes() && !self.buffer.is_empty() {
                 self.spill_buffer()?;
             }
             self.buffer_bytes += t.byte_size();
@@ -278,7 +276,8 @@ mod tests {
     fn assert_sorted(rows: &[Tuple]) {
         let key = KeySpec::new(vec![0, 1]);
         assert!(
-            rows.windows(2).all(|w| key.compare(&w[0], &w[1]) != std::cmp::Ordering::Greater),
+            rows.windows(2)
+                .all(|w| key.compare(&w[0], &w[1]) != std::cmp::Ordering::Greater),
             "output not sorted"
         );
     }
@@ -331,9 +330,11 @@ mod tests {
     #[test]
     fn mixed_small_and_large_segments() {
         let mut rows = segmented_input(1, 300); // big segment 0
-        rows.extend(segmented_input(5, 4).into_iter().map(|t| {
-            t2(t.get(0).as_int().unwrap() + 1, t.get(1).as_int().unwrap())
-        }));
+        rows.extend(
+            segmented_input(5, 4)
+                .into_iter()
+                .map(|t| t2(t.get(0).as_int().unwrap() + 1, t.get(1).as_int().unwrap())),
+        );
         let (out, _) = run_mrs(rows, 1, 3, 128);
         assert_eq!(out.len(), 320);
         assert_sorted(&out);

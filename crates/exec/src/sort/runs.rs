@@ -72,7 +72,11 @@ impl MergeStream {
             metrics.add_run_pages_read(file.block_count());
             let mut scan = file.scan();
             let head = scan.next_tuple()?;
-            runs.push(OpenRun { scan, file: Some(file), head });
+            runs.push(OpenRun {
+                scan,
+                file: Some(file),
+                head,
+            });
         }
         Ok(MergeStream { runs, key, metrics })
     }
@@ -93,8 +97,7 @@ impl MergeStream {
                         self.runs[i].head.as_ref().expect("head is some"),
                         self.runs[b].head.as_ref().expect("head is some"),
                     );
-                    if compare_counted(&self.key, ta, tb, &self.metrics)
-                        == std::cmp::Ordering::Less
+                    if compare_counted(&self.key, ta, tb, &self.metrics) == std::cmp::Ordering::Less
                     {
                         i
                     } else {
@@ -124,7 +127,9 @@ pub struct InMemorySortStream {
 impl InMemorySortStream {
     /// Wraps an already-sorted buffer.
     pub fn new(sorted: Vec<Tuple>) -> Self {
-        InMemorySortStream { buf: sorted.into_iter() }
+        InMemorySortStream {
+            buf: sorted.into_iter(),
+        }
     }
 
     /// Next tuple of the sorted buffer.

@@ -189,7 +189,9 @@ mod tests {
     use pyro_storage::SimDevice;
 
     fn rows(vals: &[i64]) -> Vec<Tuple> {
-        vals.iter().map(|&v| Tuple::new(vec![Value::Int(v)])).collect()
+        vals.iter()
+            .map(|&v| Tuple::new(vec![Value::Int(v)]))
+            .collect()
     }
 
     fn ints(out: Vec<Tuple>) -> Vec<i64> {
@@ -228,7 +230,10 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(out, expect);
         assert!(m.run_io() > 0, "external sort must spill");
-        assert!(m.runs_created() >= 2, "reverse input defeats RS run extension");
+        assert!(
+            m.runs_created() >= 2,
+            "reverse input defeats RS run extension"
+        );
     }
 
     #[test]
@@ -238,7 +243,11 @@ mod tests {
         let vals: Vec<i64> = (0..200).collect();
         let (out, m) = sort_op(&vals, 3, 128);
         assert_eq!(out, vals);
-        assert_eq!(m.runs_created(), 1, "replacement selection extends the run forever");
+        assert_eq!(
+            m.runs_created(),
+            1,
+            "replacement selection extends the run forever"
+        );
         assert!(m.run_pages_written() > 0);
         assert_eq!(m.run_pages_read(), m.run_pages_written());
     }
@@ -251,7 +260,9 @@ mod tests {
         // Pseudo-shuffle deterministically.
         let mut state = 12345u64;
         for i in (1..vals.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             vals.swap(i, j);
         }

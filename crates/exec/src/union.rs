@@ -24,7 +24,11 @@ impl UnionAll {
         assert!(!inputs.is_empty());
         let schema = inputs[0].schema().clone();
         debug_assert!(inputs.iter().all(|i| i.schema().len() == schema.len()));
-        UnionAll { inputs, current: 0, schema }
+        UnionAll {
+            inputs,
+            current: 0,
+            schema,
+        }
     }
 }
 
@@ -135,7 +139,9 @@ mod tests {
     use pyro_common::Value;
 
     fn rows(vals: &[i64]) -> Vec<Tuple> {
-        vals.iter().map(|&v| Tuple::new(vec![Value::Int(v)])).collect()
+        vals.iter()
+            .map(|&v| Tuple::new(vec![Value::Int(v)]))
+            .collect()
     }
 
     fn src(vals: &[i64]) -> BoxOp {

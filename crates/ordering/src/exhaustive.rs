@@ -35,7 +35,10 @@ pub fn exhaustive_tree_order(tree: &JoinTree) -> ExactSolution {
 pub fn exhaustive_tree_order_guarded(tree: &JoinTree, max_set_len: usize) -> ExactSolution {
     let n = tree.len();
     if n == 0 {
-        return ExactSolution { orders: vec![], benefit: 0 };
+        return ExactSolution {
+            orders: vec![],
+            benefit: 0,
+        };
     }
     for v in 0..n {
         assert!(

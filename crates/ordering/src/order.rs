@@ -33,7 +33,9 @@ impl AttrSet {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        AttrSet { attrs: iter.into_iter().map(Into::into).collect() }
+        AttrSet {
+            attrs: iter.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Number of attributes.
@@ -63,17 +65,23 @@ impl AttrSet {
 
     /// Set intersection.
     pub fn intersect(&self, other: &AttrSet) -> AttrSet {
-        AttrSet { attrs: self.attrs.intersection(&other.attrs).cloned().collect() }
+        AttrSet {
+            attrs: self.attrs.intersection(&other.attrs).cloned().collect(),
+        }
     }
 
     /// Set union.
     pub fn union(&self, other: &AttrSet) -> AttrSet {
-        AttrSet { attrs: self.attrs.union(&other.attrs).cloned().collect() }
+        AttrSet {
+            attrs: self.attrs.union(&other.attrs).cloned().collect(),
+        }
     }
 
     /// Set difference `self − other`.
     pub fn difference(&self, other: &AttrSet) -> AttrSet {
-        AttrSet { attrs: self.attrs.difference(&other.attrs).cloned().collect() }
+        AttrSet {
+            attrs: self.attrs.difference(&other.attrs).cloned().collect(),
+        }
     }
 
     /// True iff `self ⊆ other`.
@@ -182,7 +190,9 @@ impl SortOrder {
             .zip(&other.attrs)
             .take_while(|(a, b)| a == b)
             .count();
-        SortOrder { attrs: self.attrs[..n].to_vec() }
+        SortOrder {
+            attrs: self.attrs[..n].to_vec(),
+        }
     }
 
     /// `o1 + o2`: concatenation. Attributes of `other` already present in
@@ -202,7 +212,9 @@ impl SortOrder {
     /// `o2 ≤ o1`; returns `None` otherwise.
     pub fn minus(&self, prefix: &SortOrder) -> Option<SortOrder> {
         if prefix.is_prefix_of(self) {
-            Some(SortOrder { attrs: self.attrs[prefix.len()..].to_vec() })
+            Some(SortOrder {
+                attrs: self.attrs[prefix.len()..].to_vec(),
+            })
         } else {
             None
         }
@@ -211,7 +223,9 @@ impl SortOrder {
     /// `o ∧ s`: longest *prefix* of `o` whose attributes all belong to `s`.
     pub fn lcp_with_set(&self, s: &AttrSet) -> SortOrder {
         let n = self.attrs.iter().take_while(|a| s.contains(a)).count();
-        SortOrder { attrs: self.attrs[..n].to_vec() }
+        SortOrder {
+            attrs: self.attrs[..n].to_vec(),
+        }
     }
 
     /// Extends this order with an arbitrary (canonical) permutation of the
@@ -222,13 +236,17 @@ impl SortOrder {
 
     /// Truncates to the first `n` attributes.
     pub fn prefix(&self, n: usize) -> SortOrder {
-        SortOrder { attrs: self.attrs[..n.min(self.attrs.len())].to_vec() }
+        SortOrder {
+            attrs: self.attrs[..n.min(self.attrs.len())].to_vec(),
+        }
     }
 
     /// Applies a renaming function to every attribute (used to map orders
     /// through column equivalences at joins).
     pub fn rename(&self, f: impl Fn(&str) -> String) -> SortOrder {
-        SortOrder { attrs: self.attrs.iter().map(|a| f(a)).collect() }
+        SortOrder {
+            attrs: self.attrs.iter().map(|a| f(a)).collect(),
+        }
     }
 }
 
@@ -297,7 +315,10 @@ mod tests {
 
     #[test]
     fn lcp_basic() {
-        assert_eq!(o(&["y", "m", "c"]).lcp(&o(&["y", "m", "k"])), o(&["y", "m"]));
+        assert_eq!(
+            o(&["y", "m", "c"]).lcp(&o(&["y", "m", "k"])),
+            o(&["y", "m"])
+        );
         assert_eq!(o(&["a"]).lcp(&o(&["b"])), SortOrder::empty());
         assert_eq!(o(&["a", "b"]).lcp(&o(&["a", "b"])), o(&["a", "b"]));
     }
@@ -337,10 +358,7 @@ mod tests {
         let s = AttrSet::from_iter(["c", "a", "b"]);
         assert_eq!(o(&["b"]).extend_with_set(&s), o(&["b", "a", "c"]));
         // deterministic "arbitrary" permutation
-        assert_eq!(
-            SortOrder::empty().extend_with_set(&s),
-            o(&["a", "b", "c"])
-        );
+        assert_eq!(SortOrder::empty().extend_with_set(&s), o(&["a", "b", "c"]));
     }
 
     #[test]

@@ -42,10 +42,16 @@ pub struct PathSolution {
 pub fn path_order(sets: &[AttrSet]) -> PathSolution {
     let n = sets.len();
     if n == 0 {
-        return PathSolution { orders: vec![], benefit: 0 };
+        return PathSolution {
+            orders: vec![],
+            benefit: 0,
+        };
     }
     if n == 1 {
-        return PathSolution { orders: vec![sets[0].arbitrary_order()], benefit: 0 };
+        return PathSolution {
+            orders: vec![sets[0].arbitrary_order()],
+            benefit: 0,
+        };
     }
 
     // benefit[i][j], commons[i][j], split[i][j] over inclusive segments.
@@ -80,7 +86,10 @@ pub fn path_order(sets: &[AttrSet]) -> PathSolution {
     let total = benefit[0][n - 1];
     let mut orders = vec![SortOrder::empty(); n];
     make_permutation(0, n - 1, &mut commons, &split, &mut orders);
-    PathSolution { orders, benefit: total }
+    PathSolution {
+        orders,
+        benefit: total,
+    }
 }
 
 /// `MakePermutation(i, j)` from Fig. 4: prepend the segment's common
@@ -208,7 +217,11 @@ mod tests {
         let sets = vec![s(&["a", "b", "z"]), s(&["b", "c"]), s(&["c", "d"])];
         let sol = path_order(&sets);
         for (set, order) in sets.iter().zip(&sol.orders) {
-            assert_eq!(&order.attr_set(), set, "order must be a permutation of its set");
+            assert_eq!(
+                &order.attr_set(),
+                set,
+                "order must be a permutation of its set"
+            );
         }
     }
 
@@ -217,9 +230,20 @@ mod tests {
         // Regression guard: DP benefit must equal the benefit of the
         // permutations it constructs.
         let cases: Vec<Vec<AttrSet>> = vec![
-            vec![s(&["a", "b"]), s(&["b", "c"]), s(&["a", "c"]), s(&["a", "b", "c"])],
+            vec![
+                s(&["a", "b"]),
+                s(&["b", "c"]),
+                s(&["a", "c"]),
+                s(&["a", "b", "c"]),
+            ],
             vec![s(&["m", "y"]), s(&["m", "y", "co", "c"]), s(&["m", "y"])],
-            vec![s(&["a"]), s(&["a", "b"]), s(&["b"]), s(&["b", "c"]), s(&["c"])],
+            vec![
+                s(&["a"]),
+                s(&["a", "b"]),
+                s(&["b"]),
+                s(&["b", "c"]),
+                s(&["c"]),
+            ],
             // Sibling-corruption regression: x is common to nodes 1-2 and to
             // nodes 4-5 but not to the whole path. Literal Fig. 4 subtraction
             // would realize 3 instead of the DP's 4 here.
@@ -233,11 +257,7 @@ mod tests {
         ];
         for sets in cases {
             let sol = path_order(&sets);
-            assert_eq!(
-                path_benefit(&sol.orders),
-                sol.benefit,
-                "sets = {sets:?}"
-            );
+            assert_eq!(path_benefit(&sol.orders), sol.benefit, "sets = {sets:?}");
         }
     }
 }

@@ -81,10 +81,8 @@ pub fn sum_cut_instance(g: &Graph, l_size: usize) -> JoinTree {
 /// adjacent to **all** of the first `i` numbered vertices.
 pub fn problem3_brute_force(g: &Graph) -> u64 {
     let adj = g.neighbors();
-    let adj_sets: Vec<std::collections::BTreeSet<usize>> = adj
-        .iter()
-        .map(|ns| ns.iter().copied().collect())
-        .collect();
+    let adj_sets: Vec<std::collections::BTreeSet<usize>> =
+        adj.iter().map(|ns| ns.iter().copied().collect()).collect();
     let mut best = 0u64;
     let mut perm: Vec<usize> = (0..g.m).collect();
     permute_all(&mut perm, 0, &mut |p| {
@@ -123,7 +121,10 @@ mod tests {
 
     #[test]
     fn construction_shape() {
-        let g = Graph { m: 4, edges: vec![(0, 1), (1, 2), (2, 3)] };
+        let g = Graph {
+            m: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+        };
         let t = sum_cut_instance(&g, 8);
         // m internal + m leaves
         assert_eq!(t.len(), 8);
@@ -140,7 +141,10 @@ mod tests {
 
     #[test]
     fn two_approx_runs_on_reduction_instances() {
-        let g = Graph { m: 3, edges: vec![(0, 1), (0, 2), (1, 2)] };
+        let g = Graph {
+            m: 3,
+            edges: vec![(0, 1), (0, 2), (1, 2)],
+        };
         let t = sum_cut_instance(&g, 4);
         let sol = two_approx_tree_order(&t);
         // Triangle: internal path shares all m + l attrs.
@@ -151,7 +155,10 @@ mod tests {
     fn problem3_triangle() {
         // Complete graph K3: first vertex sees 2 common neighbors, the first
         // two share 1, all three share 0 → 3.
-        let g = Graph { m: 3, edges: vec![(0, 1), (0, 2), (1, 2)] };
+        let g = Graph {
+            m: 3,
+            edges: vec![(0, 1), (0, 2), (1, 2)],
+        };
         assert_eq!(problem3_brute_force(&g), 3);
     }
 
@@ -159,14 +166,20 @@ mod tests {
     fn problem3_star() {
         // Star with center 0: numbering 0 first gives q1 = 3 (all leaves
         // adjacent to 0); then leaves share nothing further → 3.
-        let g = Graph { m: 4, edges: vec![(0, 1), (0, 2), (0, 3)] };
+        let g = Graph {
+            m: 4,
+            edges: vec![(0, 1), (0, 2), (0, 3)],
+        };
         assert_eq!(problem3_brute_force(&g), 3);
     }
 
     #[test]
     fn exact_solver_handles_small_reduction() {
         // Keep sets tiny: m=2, l=2 → internal sets of size 4.
-        let g = Graph { m: 2, edges: vec![(0, 1)] };
+        let g = Graph {
+            m: 2,
+            edges: vec![(0, 1)],
+        };
         let t = sum_cut_instance(&g, 2);
         let sol = exhaustive_tree_order_guarded(&t, 4);
         // Internal edge aligns all 4 shared attrs; each leaf ({v_other})

@@ -36,7 +36,10 @@ impl JoinTree {
 
     /// Adds a child of `parent`; a node may have at most two children.
     pub fn add_child(&mut self, parent: usize, attrs: AttrSet) -> usize {
-        assert!(self.children[parent].len() < 2, "binary tree: node {parent} already has 2 children");
+        assert!(
+            self.children[parent].len() < 2,
+            "binary tree: node {parent} already has 2 children"
+        );
         let id = self.push(attrs, Some(parent));
         self.children[parent].push(id);
         id
@@ -134,16 +137,28 @@ pub fn benefit_of(tree: &JoinTree, orders: &[SortOrder]) -> u64 {
 /// chosen parity's path benefit, and `max(ben_odd, ben_even) ≥ OPT/2`).
 pub fn two_approx_tree_order(tree: &JoinTree) -> TreeSolution {
     if tree.is_empty() {
-        return TreeSolution { orders: vec![], benefit: 0, chosen_parity: "odd" };
+        return TreeSolution {
+            orders: vec![],
+            benefit: 0,
+            chosen_parity: "odd",
+        };
     }
     let odd = solve_parity(tree, 1);
     let even = solve_parity(tree, 0);
     let ben_odd = benefit_of(tree, &odd);
     let ben_even = benefit_of(tree, &even);
     if ben_odd >= ben_even {
-        TreeSolution { orders: odd, benefit: ben_odd, chosen_parity: "odd" }
+        TreeSolution {
+            orders: odd,
+            benefit: ben_odd,
+            chosen_parity: "odd",
+        }
     } else {
-        TreeSolution { orders: even, benefit: ben_even, chosen_parity: "even" }
+        TreeSolution {
+            orders: even,
+            benefit: ben_even,
+            chosen_parity: "even",
+        }
     }
 }
 
@@ -189,7 +204,10 @@ fn solve_parity(tree: &JoinTree, parity: usize) -> Vec<SortOrder> {
             orders[*node] = order;
         }
     }
-    debug_assert!(visited.iter().all(|&v| v), "path decomposition missed a node");
+    debug_assert!(
+        visited.iter().all(|&v| v),
+        "path decomposition missed a node"
+    );
     orders
 }
 
@@ -235,7 +253,11 @@ mod tests {
         // The paper states the optimal benefit for Figure 3 is 8.
         let t = figure3_tree();
         let sol = two_approx_tree_order(&t);
-        assert!(sol.benefit >= 4, "2-approx must reach ≥ 8/2, got {}", sol.benefit);
+        assert!(
+            sol.benefit >= 4,
+            "2-approx must reach ≥ 8/2, got {}",
+            sol.benefit
+        );
         assert_eq!(benefit_of(&t, &sol.orders), sol.benefit);
         // Permutations must cover their sets exactly.
         for v in 0..t.len() {
@@ -303,8 +325,7 @@ mod tests {
             let mut next = Vec::new();
             for &f in &frontier {
                 for i in 0..2 {
-                    let attrs =
-                        AttrSet::from_iter(["r".to_string(), format!("l{level}_{i}")]);
+                    let attrs = AttrSet::from_iter(["r".to_string(), format!("l{level}_{i}")]);
                     next.push(t.add_child(f, attrs));
                 }
             }

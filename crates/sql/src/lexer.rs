@@ -35,7 +35,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                 i += 1;
             }
-            out.push(Token::Ident(chars[start..i].iter().collect::<String>().to_lowercase()));
+            out.push(Token::Ident(
+                chars[start..i].iter().collect::<String>().to_lowercase(),
+            ));
             continue;
         }
         if c.is_ascii_digit() {
@@ -49,13 +51,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             let text: String = chars[start..i].iter().collect();
             if is_float {
-                out.push(Token::Float(text.parse().map_err(|e| {
-                    PyroError::Sql(format!("bad float {text}: {e}"))
-                })?));
+                out.push(Token::Float(
+                    text.parse()
+                        .map_err(|e| PyroError::Sql(format!("bad float {text}: {e}")))?,
+                ));
             } else {
-                out.push(Token::Int(text.parse().map_err(|e| {
-                    PyroError::Sql(format!("bad int {text}: {e}"))
-                })?));
+                out.push(Token::Int(
+                    text.parse()
+                        .map_err(|e| PyroError::Sql(format!("bad int {text}: {e}")))?,
+                ));
             }
             continue;
         }
@@ -84,7 +88,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             i += 1;
             continue;
         }
-        return Err(PyroError::Sql(format!("unexpected character {c:?} at offset {i}")));
+        return Err(PyroError::Sql(format!(
+            "unexpected character {c:?} at offset {i}"
+        )));
     }
     Ok(out)
 }

@@ -24,5 +24,5 @@ pub mod lower;
 pub mod parser;
 
 pub use ast::{Query, SelectItem, SqlExpr, TableRef};
-pub use lower::lower;
+pub use lower::{lower, plan};
 pub use parser::parse_query;

@@ -22,6 +22,12 @@ pub fn lower(q: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
     Lowerer::new(catalog)?.lower(q)
 }
 
+/// Parses and lowers in one step — the frontend's front door, so callers
+/// never juggle the intermediate [`Query`] AST.
+pub fn plan(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
+    lower(&crate::parse_query(sql)?, catalog)
+}
+
 struct Lowerer<'a> {
     catalog: &'a Catalog,
     /// alias → bare column names, in scope order.
@@ -30,7 +36,10 @@ struct Lowerer<'a> {
 
 impl<'a> Lowerer<'a> {
     fn new(catalog: &'a Catalog) -> Result<Self> {
-        Ok(Lowerer { catalog, scopes: BTreeMap::new() })
+        Ok(Lowerer {
+            catalog,
+            scopes: BTreeMap::new(),
+        })
     }
 
     /// Qualifies a possibly-bare column name against the aliases in scope.
@@ -70,10 +79,8 @@ impl<'a> Lowerer<'a> {
         // Register scopes up front so WHERE names can be qualified.
         for t in &q.from {
             let handle = self.catalog.table(&t.table)?;
-            self.scopes.insert(
-                t.alias.clone(),
-                handle.meta.schema.names(),
-            );
+            self.scopes
+                .insert(t.alias.clone(), handle.meta.schema.names());
         }
 
         // Split WHERE into join pairs (col = col across tables),
@@ -152,8 +159,7 @@ impl<'a> Lowerer<'a> {
                         ))
                     }
                     SelectItem::Expr(e, alias) => {
-                        let lowered =
-                            self.lower_scalar(e, &mut agg_specs, alias.as_deref())?;
+                        let lowered = self.lower_scalar(e, &mut agg_specs, alias.as_deref())?;
                         // Pass-through columns keep their qualified names so
                         // sort orders survive the projection; aggregates use
                         // their (possibly synthesized) output name.
@@ -162,7 +168,10 @@ impl<'a> Lowerer<'a> {
                             (NExpr::Col(c), None) => c.clone(),
                             (_, None) => format!("expr{i}"),
                         };
-                        select_items.push(ProjItem { expr: lowered, name });
+                        select_items.push(ProjItem {
+                            expr: lowered,
+                            name,
+                        });
                     }
                 }
             }
@@ -200,7 +209,10 @@ impl<'a> Lowerer<'a> {
                             (NExpr::Col(c), None) => c.clone(),
                             (_, None) => format!("expr{i}"),
                         };
-                        select_items.push(ProjItem { expr: lowered, name });
+                        select_items.push(ProjItem {
+                            expr: lowered,
+                            name,
+                        });
                     }
                 }
                 node = plan.project(node, select_items);
@@ -244,12 +256,14 @@ impl<'a> Lowerer<'a> {
         }
         let mut cols = Vec::new();
         lowered.columns(&mut cols);
-        let mut aliases: Vec<&str> =
-            cols.iter().filter_map(|c| c.split('.').next()).collect();
+        let mut aliases: Vec<&str> = cols.iter().filter_map(|c| c.split('.').next()).collect();
         aliases.sort_unstable();
         aliases.dedup();
         match aliases.as_slice() {
-            [one] => table_filters.entry(one.to_string()).or_default().push(lowered),
+            [one] => table_filters
+                .entry(one.to_string())
+                .or_default()
+                .push(lowered),
             _ => residual.push(lowered),
         }
         Ok(())
@@ -320,16 +334,17 @@ impl<'a> Lowerer<'a> {
     ) -> NExpr {
         // Reuse a structurally identical aggregate (HAVING referencing the
         // same sum as SELECT).
-        if let Some(existing) = agg_specs
-            .iter()
-            .find(|a| a.func == func && a.arg == arg)
-        {
+        if let Some(existing) = agg_specs.iter().find(|a| a.func == func && a.arg == arg) {
             return NExpr::Col(existing.name.clone());
         }
         let name = preferred_name
             .map(str::to_string)
             .unwrap_or_else(|| format!("agg{}", agg_specs.len()));
-        agg_specs.push(AggSpec { func, arg, name: name.clone() });
+        agg_specs.push(AggSpec {
+            func,
+            arg,
+            name: name.clone(),
+        });
         NExpr::Col(name)
     }
 
@@ -345,7 +360,9 @@ impl<'a> Lowerer<'a> {
         if let Some(on) = &t.full_outer_on {
             for conj in flatten(on) {
                 let SqlExpr::Cmp(CmpOp::Eq, a, b) = conj else {
-                    return Err(PyroError::Sql("ON clause must be equality conjuncts".into()));
+                    return Err(PyroError::Sql(
+                        "ON clause must be equality conjuncts".into(),
+                    ));
                 };
                 let (SqlExpr::Col(ca), SqlExpr::Col(cb)) = (a.as_ref(), b.as_ref()) else {
                     return Err(PyroError::Sql("ON clause must compare columns".into()));
@@ -398,10 +415,20 @@ mod tests {
         let rows: Vec<Tuple> = (0..100)
             .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 10), Value::Int(i % 3)]))
             .collect();
-        cat.register_table("t1", Schema::ints(&["a", "b", "c"]), SortOrder::new(["a"]), &rows)
-            .unwrap();
-        cat.register_table("t2", Schema::ints(&["a", "d", "e"]), SortOrder::new(["a"]), &rows)
-            .unwrap();
+        cat.register_table(
+            "t1",
+            Schema::ints(&["a", "b", "c"]),
+            SortOrder::new(["a"]),
+            &rows,
+        )
+        .unwrap();
+        cat.register_table(
+            "t2",
+            Schema::ints(&["a", "d", "e"]),
+            SortOrder::new(["a"]),
+            &rows,
+        )
+        .unwrap();
         cat
     }
 
@@ -465,16 +492,17 @@ mod tests {
     fn ambiguous_column_rejected() {
         let cat = catalog();
         let q = parse_query("SELECT a FROM t1, t2 WHERE t1.a = t2.a").unwrap();
-        assert!(matches!(lower(&q, &cat), Err(PyroError::AmbiguousColumn(_))));
+        assert!(matches!(
+            lower(&q, &cat),
+            Err(PyroError::AmbiguousColumn(_))
+        ));
     }
 
     #[test]
     fn full_outer_join_lowering() {
         let cat = catalog();
-        let q = parse_query(
-            "SELECT * FROM t1 FULL OUTER JOIN t2 ON (t1.a = t2.a AND t1.b = t2.d)",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * FROM t1 FULL OUTER JOIN t2 ON (t1.a = t2.a AND t1.b = t2.d)")
+            .unwrap();
         let plan = lower(&q, &cat).unwrap();
         let mut found = false;
         for id in 0..plan.len() {

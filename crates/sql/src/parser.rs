@@ -104,7 +104,11 @@ impl Parser {
                 select.push(SelectItem::Star);
             } else {
                 let e = self.expr()?;
-                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 select.push(SelectItem::Expr(e, alias));
             }
             if !self.eat_symbol(",") {
@@ -146,7 +150,11 @@ impl Parser {
                 }
             }
         }
-        let having = if self.eat_kw("having") { Some(self.condition()?) } else { None };
+        let having = if self.eat_kw("having") {
+            Some(self.condition()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("order") {
             self.expect_kw("by")?;
@@ -171,7 +179,16 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { distinct, select, from, where_conjuncts, group_by, having, order_by, limit })
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_conjuncts,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn table_ref(&mut self, on: Option<SqlExpr>) -> Result<TableRef> {
@@ -180,8 +197,8 @@ impl Parser {
         let alias = match self.peek() {
             Some(Token::Ident(s))
                 if ![
-                    "where", "group", "having", "order", "full", "on", "join", "inner",
-                    "left", "as", "limit",
+                    "where", "group", "having", "order", "full", "on", "join", "inner", "left",
+                    "as", "limit",
                 ]
                 .contains(&s.as_str()) =>
             {
@@ -189,7 +206,11 @@ impl Parser {
             }
             _ => table.clone(),
         };
-        Ok(TableRef { table, alias, full_outer_on: on })
+        Ok(TableRef {
+            table,
+            alias,
+            full_outer_on: on,
+        })
     }
 
     /// Boolean condition: conjunction of comparisons.
@@ -198,7 +219,11 @@ impl Parser {
         while self.eat_kw("and") {
             terms.push(self.comparison()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { SqlExpr::And(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one")
+        } else {
+            SqlExpr::And(terms)
+        })
     }
 
     fn comparison(&mut self) -> Result<SqlExpr> {

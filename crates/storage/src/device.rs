@@ -128,7 +128,10 @@ impl SimDevice {
 
     /// Current I/O counters.
     pub fn io(&self) -> IoSnapshot {
-        IoSnapshot { reads: self.reads.get(), writes: self.writes.get() }
+        IoSnapshot {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+        }
     }
 
     /// Resets I/O counters to zero (between experiment phases).
@@ -165,7 +168,13 @@ mod tests {
         let id = dev.alloc_page();
         dev.write_page(id, b"hello").unwrap();
         assert_eq!(dev.read_page(id).unwrap(), b"hello");
-        assert_eq!(dev.io(), IoSnapshot { reads: 1, writes: 1 });
+        assert_eq!(
+            dev.io(),
+            IoSnapshot {
+                reads: 1,
+                writes: 1
+            }
+        );
     }
 
     #[test]
@@ -205,7 +214,13 @@ mod tests {
         dev.read_page(id).unwrap();
         dev.read_page(id).unwrap();
         let delta = dev.io().since(&before);
-        assert_eq!(delta, IoSnapshot { reads: 2, writes: 0 });
+        assert_eq!(
+            delta,
+            IoSnapshot {
+                reads: 2,
+                writes: 0
+            }
+        );
         assert_eq!(delta.total(), 2);
     }
 

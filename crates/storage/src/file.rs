@@ -223,7 +223,10 @@ mod tests {
         let dev = SimDevice::new();
         let data = rows(10);
         let f = write_file(&dev, &data).unwrap();
-        let expected: u64 = data.iter().map(|t| crate::page::encoded_len(t) as u64).sum();
+        let expected: u64 = data
+            .iter()
+            .map(|t| crate::page::encoded_len(t) as u64)
+            .sum();
         assert_eq!(f.byte_count(), expected);
     }
 }

@@ -61,7 +61,11 @@ impl PageBuilder {
     pub fn new(capacity: usize) -> Self {
         let mut buf = Vec::with_capacity(capacity);
         buf.extend_from_slice(&0u16.to_le_bytes());
-        PageBuilder { capacity, buf, count: 0 }
+        PageBuilder {
+            capacity,
+            buf,
+            count: 0,
+        }
     }
 
     /// Tries to append; returns `false` (leaving the page unchanged) when
@@ -122,9 +126,9 @@ pub fn decode_page(data: &[u8]) -> Result<Vec<Tuple>> {
                 TAG_DOUBLE => Value::Double(f64::from_le_bytes(read_arr(data, &mut pos)?)),
                 TAG_STR => {
                     let len = read_u16(data, &mut pos)? as usize;
-                    let bytes = data.get(pos..pos + len).ok_or_else(|| {
-                        PyroError::Storage("truncated page: short string".into())
-                    })?;
+                    let bytes = data
+                        .get(pos..pos + len)
+                        .ok_or_else(|| PyroError::Storage("truncated page: short string".into()))?;
                     pos += len;
                     Value::Str(
                         std::str::from_utf8(bytes)
@@ -176,7 +180,11 @@ mod tests {
         let mut b = PageBuilder::new(256);
         let rows = vec![
             t(vec![Value::Int(42), Value::Str("abc".into()), Value::Null]),
-            t(vec![Value::Double(2.5), Value::Int(-1), Value::Str("".into())]),
+            t(vec![
+                Value::Double(2.5),
+                Value::Int(-1),
+                Value::Str("".into()),
+            ]),
         ];
         for r in &rows {
             assert!(b.try_push(r).unwrap());

@@ -11,10 +11,8 @@
 //! catalog2 on `make`) and the covering index on `rating(make)` make some
 //! dramatically cheaper than others.
 
-use pyro::catalog::Catalog;
-use pyro::core::{Optimizer, Strategy};
 use pyro::datagen::consolidation;
-use pyro::sql::{lower, parse_query};
+use pyro::{Session, Strategy};
 
 const EXAMPLE1: &str = "SELECT c1.make, c1.year, c1.city, c1.color, c1.sellreason, \
             c2.breakdowns, r.rating \
@@ -24,40 +22,30 @@ const EXAMPLE1: &str = "SELECT c1.make, c1.year, c1.city, c1.color, c1.sellreaso
      ORDER BY c1.make, c1.year, c1.color, c1.city, c1.sellreason, c2.breakdowns, r.rating";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut catalog = Catalog::new();
-    consolidation::load(&mut catalog, 40_000)?; // paper: 2 M rows per catalog
-    let logical = lower(&parse_query(EXAMPLE1)?, &catalog)?;
+    let mut session = Session::new();
+    consolidation::load(session.catalog_mut(), 40_000)?; // paper: 2 M rows per catalog
 
     // The naive plan: arbitrary interesting orders (Fig. 1).
-    let naive = Optimizer::new(&catalog)
-        .with_strategy(Strategy::pyro())
-        .optimize(&logical)?;
-    println!("— naive plan (PYRO, cost {:.0}) —\n{}", naive.cost(), naive.explain());
+    session.set_strategy(Strategy::pyro());
+    let naive = session.sql(EXAMPLE1)?;
+    println!("— naive {}", naive.explain());
 
     // The order-aware plan (Fig. 2).
-    let tuned = Optimizer::new(&catalog)
-        .with_strategy(Strategy::pyro_o())
-        .optimize(&logical)?;
-    println!("— order-aware plan (PYRO-O, cost {:.0}) —\n{}", tuned.cost(), tuned.explain());
+    session.set_strategy(Strategy::pyro_o());
+    let tuned = session.sql(EXAMPLE1)?;
+    println!("— order-aware {}", tuned.explain());
 
-    println!(
-        "estimated improvement: {:.1}x",
-        naive.cost() / tuned.cost()
-    );
+    println!("estimated improvement: {:.1}x", naive.cost() / tuned.cost());
 
-    let t0 = std::time::Instant::now();
-    let (rows_naive, m_naive) = naive.execute(&catalog)?;
-    let t_naive = t0.elapsed();
-    let t0 = std::time::Instant::now();
-    let (rows_tuned, m_tuned) = tuned.execute(&catalog)?;
-    let t_tuned = t0.elapsed();
-    assert_eq!(rows_naive.len(), rows_tuned.len());
+    assert_eq!(naive.len(), tuned.len());
     println!(
-        "measured: naive {t_naive:?} ({} cmp, {} spill pages) vs tuned {t_tuned:?} ({} cmp, {} spill pages)",
-        m_naive.comparisons(),
-        m_naive.run_io(),
-        m_tuned.comparisons(),
-        m_tuned.run_io(),
+        "measured: naive {:?} ({} cmp, {} spill pages) vs tuned {:?} ({} cmp, {} spill pages)",
+        naive.elapsed(),
+        naive.metrics().comparisons(),
+        naive.metrics().run_io(),
+        tuned.elapsed(),
+        tuned.metrics().comparisons(),
+        tuned.metrics().run_io(),
     );
     Ok(())
 }

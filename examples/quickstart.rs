@@ -8,15 +8,13 @@
 //! table clustered on `(k)` needs only a cheap, pipelined *partial* sort —
 //! not a full re-sort — and the optimizer figures that out on its own.
 
-use pyro::catalog::Catalog;
 use pyro::common::{Schema, Tuple, Value};
-use pyro::core::{Optimizer, Strategy};
-use pyro::ordering::SortOrder;
-use pyro::sql::{lower, parse_query};
+use pyro::{Session, SortOrder, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Build a catalog with one table, clustered on `k`.
-    let mut catalog = Catalog::new();
+    // 1. A session with the paper's PYRO-O strategy, and one table
+    //    clustered on `k`.
+    let mut session = Session::builder().strategy(Strategy::pyro_o()).build();
     let rows: Vec<Tuple> = (0..50_000)
         .map(|i| {
             Tuple::new(vec![
@@ -25,48 +23,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ])
         })
         .collect();
-    catalog.register_table(
+    session.register_table(
         "events",
         Schema::ints(&["k", "v"]),
         SortOrder::new(["k"]),
         &rows,
     )?;
 
-    // 2. Parse and lower a query that needs order (k, v).
-    let query = parse_query("SELECT k, v FROM events ORDER BY k, v")?;
-    let logical = lower(&query, &catalog)?;
-
-    // 3. Optimize with the paper's PYRO-O strategy and inspect the plan.
-    let plan = Optimizer::new(&catalog)
-        .with_strategy(Strategy::pyro_o())
-        .optimize(&logical)?;
-    println!("PYRO-O plan (cost = {:.1} I/O units):\n{}", plan.cost(), plan.explain());
-
-    // 4. Execute and verify.
-    let (result, metrics) = plan.execute(&catalog)?;
+    // 2. One call runs the whole pipeline: parse → lower → optimize →
+    //    compile → execute.
+    let result = session.sql("SELECT k, v FROM events ORDER BY k, v")?;
+    println!("{}", result.explain());
     println!(
         "returned {} rows using {} comparisons and {} pages of sort spill",
         result.len(),
-        metrics.comparisons(),
-        metrics.run_io(),
+        result.metrics().comparisons(),
+        result.metrics().run_io(),
     );
     assert_eq!(result.len(), 50_000);
     assert_eq!(
-        metrics.run_io(),
+        result.metrics().run_io(),
         0,
         "partial sort never touches disk when segments fit in memory"
     );
 
-    // 5. Contrast with a plain Volcano optimizer (PYRO), which re-sorts
+    // 3. Contrast with a plain Volcano optimizer (PYRO), which re-sorts
     //    from scratch.
-    let naive = Optimizer::new(&catalog)
-        .with_strategy(Strategy::pyro())
-        .optimize(&logical)?;
+    session.set_strategy(Strategy::pyro());
+    let naive = session.sql("SELECT k, v FROM events ORDER BY k, v")?;
     println!(
         "\nplain Volcano cost = {:.1} vs PYRO-O cost = {:.1}  ({}x)",
         naive.cost(),
-        plan.cost(),
-        (naive.cost() / plan.cost()).round()
+        result.cost(),
+        (naive.cost() / result.cost()).round()
+    );
+    assert!(
+        result.cost() < naive.cost(),
+        "PYRO-O must beat plain Volcano here"
     );
     Ok(())
 }

@@ -11,10 +11,8 @@
 //! covering secondary indices favor (suppkey, partkey) with a partial sort)
 //! — so the optimizer must decide by cost. Compare what each strategy picks.
 
-use pyro::catalog::Catalog;
-use pyro::core::{Optimizer, Strategy};
 use pyro::datagen::tpch::{self, TpchConfig};
-use pyro::sql::{lower, parse_query};
+use pyro::{Session, Strategy};
 
 const QUERY3: &str = "SELECT ps_suppkey, ps_partkey, ps_availqty, sum(l_quantity) AS open_qty \
      FROM partsupp, lineitem \
@@ -24,32 +22,22 @@ const QUERY3: &str = "SELECT ps_suppkey, ps_partkey, ps_availqty, sum(l_quantity
      ORDER BY ps_partkey";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut catalog = Catalog::new();
-    tpch::load(&mut catalog, TpchConfig::scaled(0.01))?; // 60 K lineitems
-    let logical = lower(&parse_query(QUERY3)?, &catalog)?;
+    let mut session = Session::new();
+    tpch::load(session.catalog_mut(), TpchConfig::scaled(0.01))?; // 60 K lineitems
 
-    let strategies = [
-        Strategy::pyro(),
-        Strategy::pyro_o_minus(),
-        Strategy::pyro_p(),
-        Strategy::pyro_o(),
-        Strategy::pyro_e(),
-    ];
     let mut results = Vec::new();
-    for strategy in strategies {
-        let plan = Optimizer::new(&catalog).with_strategy(strategy).optimize(&logical)?;
-        println!("=== {} (estimated cost {:.1}) ===", strategy.name(), plan.cost());
-        println!("{}", plan.explain());
-        let start = std::time::Instant::now();
-        let (rows, metrics) = plan.execute(&catalog)?;
+    for strategy in Strategy::all() {
+        session.set_strategy(strategy);
+        let result = session.sql(QUERY3)?;
+        println!("=== {} ===", result.explain());
         println!(
             "executed in {:?}: {} rows, {} comparisons, {} spill pages\n",
-            start.elapsed(),
-            rows.len(),
-            metrics.comparisons(),
-            metrics.run_io(),
+            result.elapsed(),
+            result.len(),
+            result.metrics().comparisons(),
+            result.metrics().run_io(),
         );
-        results.push(rows.len());
+        results.push(result.len());
     }
     assert!(
         results.windows(2).all(|w| w[0] == w[1]),

@@ -13,10 +13,8 @@
 //!   going wrong.
 //! * Query 6: a three-attribute join between basket and analytics tables.
 
-use pyro::catalog::Catalog;
-use pyro::core::{Optimizer, Strategy};
 use pyro::datagen::qtables;
-use pyro::sql::{lower, parse_query};
+use pyro::{Session, Strategy};
 
 const QUERY4: &str = "SELECT * FROM r1 FULL OUTER JOIN r2 \
      ON (r1.c5 = r2.c5 AND r1.c4 = r2.c4 AND r1.c3 = r2.c3) \
@@ -27,7 +25,8 @@ const QUERY4: &str = "SELECT * FROM r1 FULL OUTER JOIN r2 \
 // functional dependency from the five grouping ids; we wrap it in `min()`
 // (each group has exactly one 'New' row) since the frontend keeps GROUP BY
 // to plain columns.
-const QUERY5: &str = "SELECT t1.userid, t1.basketid, t1.parentorderid, t1.waveid, t1.childorderid, \
+const QUERY5: &str =
+    "SELECT t1.userid, t1.basketid, t1.parentorderid, t1.waveid, t1.childorderid, \
             min(t1.quantity * t1.price) AS ordervalue, \
             sum(t2.quantity * t2.price) AS executedvalue \
      FROM tran t1, tran t2 \
@@ -41,30 +40,27 @@ const QUERY6: &str = "SELECT * FROM basket b, analytics a \
      WHERE b.prodtype = a.prodtype AND b.symbol = a.symbol AND b.exchange = a.exchange";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut catalog = Catalog::new();
-    qtables::load_q4(&mut catalog, 5_000)?;
-    qtables::load_tran(&mut catalog, 20_000)?;
-    qtables::load_basket_analytics(&mut catalog, 20_000)?;
+    let mut session = Session::new();
+    qtables::load_q4(session.catalog_mut(), 5_000)?;
+    qtables::load_tran(session.catalog_mut(), 20_000)?;
+    qtables::load_basket_analytics(session.catalog_mut(), 20_000)?;
 
-    for (name, sql) in [("Query 4", QUERY4), ("Query 5", QUERY5), ("Query 6", QUERY6)] {
+    for (name, sql) in [
+        ("Query 4", QUERY4),
+        ("Query 5", QUERY5),
+        ("Query 6", QUERY6),
+    ] {
         println!("================ {name} ================");
-        let logical = lower(&parse_query(sql)?, &catalog)?;
         for strategy in [Strategy::pyro_p(), Strategy::pyro_o()] {
-            let plan = Optimizer::new(&catalog).with_strategy(strategy).optimize(&logical)?;
-            println!(
-                "--- {} (estimated cost {:.1}) ---\n{}",
-                strategy.name(),
-                plan.cost(),
-                plan.explain()
-            );
-            let t = std::time::Instant::now();
-            let (rows, metrics) = plan.execute(&catalog)?;
+            session.set_strategy(strategy);
+            let result = session.sql(sql)?;
+            println!("--- {}", result.explain());
             println!(
                 "executed in {:?}: {} rows, {} comparisons, {} spill pages\n",
-                t.elapsed(),
-                rows.len(),
-                metrics.comparisons(),
-                metrics.run_io(),
+                result.elapsed(),
+                result.len(),
+                result.metrics().comparisons(),
+                result.metrics().run_io(),
             );
         }
     }

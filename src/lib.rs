@@ -1,11 +1,34 @@
 //! # pyro — facade crate
 //!
-//! One-stop re-export of the PYRO workspace: a Rust reproduction of
+//! One-stop entry point for the PYRO workspace: a Rust reproduction of
 //! *"Reducing Order Enforcement Cost in Complex Query Plans"*
 //! (Guravannavar, Sudarshan, Diwan, Sobhan Babu; ICDE 2007).
 //!
-//! See the `examples/` directory for runnable entry points and `DESIGN.md`
-//! for the system inventory.
+//! The front door is [`Session`]: it owns the [`catalog::Catalog`], the
+//! [`core::Strategy`] and the execution knobs, and runs the whole
+//! parse → lower → optimize → compile → execute pipeline behind
+//! [`Session::sql`], returning a typed [`QueryResult`].
+//!
+//! ```
+//! use pyro::{Session, SortOrder, common::Schema};
+//!
+//! let mut session = Session::builder().strategy_name("pyro-o").unwrap().build();
+//! session
+//!     .register_csv("t", Schema::ints(&["a", "b"]), SortOrder::new(["a"]), "1,2\n3,4\n")
+//!     .unwrap();
+//! let result = session.sql("SELECT a, b FROM t ORDER BY a, b").unwrap();
+//! assert_eq!(result.len(), 2);
+//! ```
+//!
+//! The individual layers stay public (re-exported below) for plan surgery
+//! and experimentation; see `DESIGN.md` for the crate map and the Session
+//! data flow, and the `examples/` directory for runnable entry points.
+
+mod result;
+mod session;
+
+pub use result::QueryResult;
+pub use session::{Session, SessionBuilder};
 
 pub use pyro_catalog as catalog;
 pub use pyro_common as common;
@@ -15,3 +38,7 @@ pub use pyro_exec as exec;
 pub use pyro_ordering as ordering;
 pub use pyro_sql as sql;
 pub use pyro_storage as storage;
+
+pub use pyro_common::{PyroError, Result};
+pub use pyro_core::Strategy;
+pub use pyro_ordering::SortOrder;

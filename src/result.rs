@@ -1,0 +1,90 @@
+//! The typed result a [`crate::Session`] query returns.
+
+use pyro_common::{Schema, Tuple};
+use pyro_core::{OptimizedPlan, Strategy};
+use pyro_exec::MetricsRef;
+use std::time::Duration;
+
+/// Everything one `Session::sql` round trip produced: the rows, their
+/// schema, the execution counters, and the optimizer's view of the plan
+/// that made them (estimated cost, strategy, printable tree).
+#[derive(Debug)]
+pub struct QueryResult {
+    pub(crate) rows: Vec<Tuple>,
+    pub(crate) schema: Schema,
+    pub(crate) metrics: MetricsRef,
+    pub(crate) plan: OptimizedPlan,
+    pub(crate) elapsed: Duration,
+}
+
+/// Renders a costed plan header + tree — the `explain` text both
+/// [`crate::Session::explain`] and [`QueryResult::explain`] return.
+pub(crate) fn render_plan(plan: &OptimizedPlan) -> String {
+    format!(
+        "{} plan, estimated cost {:.1} I/O units\n{}",
+        plan.strategy.name(),
+        plan.cost(),
+        plan.explain()
+    )
+}
+
+impl QueryResult {
+    /// The result rows, in stream order (sorted iff the query had an
+    /// `ORDER BY`).
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Consumes the result, yielding the rows.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// Output schema (qualified column names).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows returned.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows were returned.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Execution counters (comparisons, sort-spill I/O) accumulated while
+    /// producing these rows.
+    pub fn metrics(&self) -> &MetricsRef {
+        &self.metrics
+    }
+
+    /// The optimizer's estimated plan cost, in I/O units.
+    pub fn cost(&self) -> f64 {
+        self.plan.cost()
+    }
+
+    /// The interesting-order strategy that chose the plan.
+    pub fn strategy(&self) -> Strategy {
+        self.plan.strategy
+    }
+
+    /// The executed [`OptimizedPlan`], for structural inspection.
+    pub fn plan(&self) -> &OptimizedPlan {
+        &self.plan
+    }
+
+    /// The executed physical plan, pretty-printed with its cost header —
+    /// the same text [`crate::Session::explain`] returns. Rendered on
+    /// demand, so results that are never explained pay nothing.
+    pub fn explain(&self) -> String {
+        render_plan(&self.plan)
+    }
+
+    /// Wall-clock execution time (compile + drain).
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+}

@@ -1,0 +1,277 @@
+//! The engine's front door: one object that owns the catalog and runs the
+//! whole parse → lower → optimize → compile → execute pipeline.
+//!
+//! ```
+//! use pyro::{Session, SortOrder, common::Schema};
+//!
+//! let mut session = Session::new();
+//! session
+//!     .register_csv(
+//!         "events",
+//!         Schema::ints(&["k", "v"]),
+//!         SortOrder::new(["k"]),
+//!         "0,10\n0,3\n1,7\n",
+//!     )
+//!     .unwrap();
+//! let result = session.sql("SELECT k, v FROM events ORDER BY k, v").unwrap();
+//! assert_eq!(result.len(), 3);
+//! assert!(result.cost() > 0.0);
+//! ```
+
+use crate::result::QueryResult;
+use pyro_catalog::Catalog;
+use pyro_common::{Result, Schema, Tuple};
+use pyro_core::cost::CostParams;
+use pyro_core::{OptimizedPlan, Optimizer, Strategy};
+use pyro_ordering::SortOrder;
+use std::time::Instant;
+
+/// Configures and builds a [`Session`].
+///
+/// Defaults match the paper's full machinery: the `PYRO-O` strategy,
+/// hash-join/aggregate alternatives enabled, a 100-block sort memory budget,
+/// and cost constants derived from the backing device.
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    strategy: Option<Strategy>,
+    cost_params: Option<CostParams>,
+    hash_operators: Option<bool>,
+    sort_memory_blocks: Option<u64>,
+}
+
+impl SessionBuilder {
+    /// A builder with every knob at its default.
+    pub fn new() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Sets the interesting-order strategy (default: [`Strategy::pyro_o`]).
+    pub fn strategy(mut self, strategy: Strategy) -> SessionBuilder {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Sets the strategy by paper name (`"pyro"`, `"pyro-p"`, `"pyro-e"`,
+    /// `"pyro-o"`, `"pyro-o-"`); for CLI flags and config files.
+    pub fn strategy_name(self, name: &str) -> Result<SessionBuilder> {
+        Ok(self.strategy(Strategy::from_name(name)?))
+    }
+
+    /// Overrides the cost-model's CPU-translation constants (`cmp_io`,
+    /// `tuple_io`, `hash_io`). The `block_size` and `sort_mem_blocks`
+    /// fields are ignored — those always track the session's device and
+    /// sort memory budget, so the optimizer's estimates describe the
+    /// executor that actually runs.
+    pub fn cost_params(mut self, params: CostParams) -> SessionBuilder {
+        self.cost_params = Some(params);
+        self
+    }
+
+    /// Enables or disables hash join / hash aggregate alternatives
+    /// (default: enabled). The paper's figures use `false` — its prototype
+    /// explored the sort-based plan space only.
+    pub fn hash_operators(mut self, enable: bool) -> SessionBuilder {
+        self.hash_operators = Some(enable);
+        self
+    }
+
+    /// Sets the sort memory budget `M` in blocks (default: 100; floor 3).
+    pub fn sort_memory_blocks(mut self, blocks: u64) -> SessionBuilder {
+        self.sort_memory_blocks = Some(blocks);
+        self
+    }
+
+    /// Builds the session over a fresh simulated device.
+    pub fn build(self) -> Session {
+        let mut catalog = Catalog::new();
+        if let Some(m) = self.sort_memory_blocks {
+            catalog.set_sort_memory_blocks(m);
+        }
+        Session {
+            catalog,
+            strategy: self.strategy.unwrap_or_else(Strategy::pyro_o),
+            cost_params: self.cost_params,
+            hash_operators: self.hash_operators.unwrap_or(true),
+        }
+    }
+}
+
+/// A single-threaded query session: a catalog plus the optimizer and
+/// executor configuration, behind a one-shot [`Session::sql`].
+///
+/// Every in-repo consumer — examples, integration tests, figure
+/// reproductions — goes through this type; the layer-by-layer API
+/// (`pyro_sql::plan`, [`Optimizer`], [`OptimizedPlan::execute`]) remains
+/// public for surgical use but is no longer required plumbing.
+#[derive(Debug)]
+pub struct Session {
+    catalog: Catalog,
+    strategy: Strategy,
+    cost_params: Option<CostParams>,
+    hash_operators: bool,
+}
+
+impl Session {
+    /// A session with default configuration (PYRO-O, hash operators on).
+    pub fn new() -> Session {
+        Session::builder().build()
+    }
+
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion
+    // ------------------------------------------------------------------
+
+    /// Registers a table from in-memory rows (must already be sorted by
+    /// `clustering`); delegates to [`Catalog::register_table`].
+    pub fn register_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        clustering: SortOrder,
+        rows: &[Tuple],
+    ) -> Result<()> {
+        self.catalog
+            .register_table(name, schema, clustering, rows)?;
+        Ok(())
+    }
+
+    /// Registers a table from CSV text (no header row). Fields are coerced
+    /// to the schema's column types; rows are sorted by `clustering` before
+    /// registration, so any row order is accepted.
+    pub fn register_csv(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        clustering: SortOrder,
+        csv: &str,
+    ) -> Result<()> {
+        let mut rows = pyro_datagen::csv::parse_csv(&schema, csv, false)?;
+        if !clustering.is_empty() {
+            let key = pyro_common::KeySpec::new(
+                clustering
+                    .attrs()
+                    .iter()
+                    .map(|a| schema.index_of(a))
+                    .collect::<Result<Vec<_>>>()?,
+            );
+            rows.sort_by(|a, b| key.compare(a, b));
+        }
+        self.register_table(name, schema, clustering, &rows)
+    }
+
+    /// Builds a covering secondary index; delegates to
+    /// [`Catalog::create_index`].
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        index_name: &str,
+        key: SortOrder,
+        included: &[&str],
+    ) -> Result<()> {
+        self.catalog.create_index(table, index_name, key, included)
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration
+    // ------------------------------------------------------------------
+
+    /// The owned catalog (schemas, statistics, device counters).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access, e.g. for `pyro_datagen`'s workload loaders.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The session's current strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Switches the interesting-order strategy for subsequent queries.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// Switches the strategy by paper name.
+    pub fn set_strategy_name(&mut self, name: &str) -> Result<()> {
+        self.strategy = Strategy::from_name(name)?;
+        Ok(())
+    }
+
+    /// Enables or disables hash operator alternatives for subsequent
+    /// queries.
+    pub fn set_hash_operators(&mut self, enable: bool) {
+        self.hash_operators = enable;
+    }
+
+    /// Whether hash operator alternatives are currently enabled.
+    pub fn hash_operators(&self) -> bool {
+        self.hash_operators
+    }
+
+    /// Sets the sort memory budget `M` in blocks.
+    pub fn set_sort_memory_blocks(&mut self, blocks: u64) {
+        self.catalog.set_sort_memory_blocks(blocks);
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Runs a SQL query end to end and returns the typed result.
+    pub fn sql(&self, sql: &str) -> Result<QueryResult> {
+        let plan = self.plan(sql)?;
+        let start = Instant::now();
+        let pipeline = plan.compile(&self.catalog)?;
+        let schema = pipeline.schema().clone();
+        let out = pipeline.run()?;
+        Ok(QueryResult {
+            rows: out.rows,
+            schema,
+            metrics: out.metrics,
+            plan,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Optimizes a SQL query and returns the costed physical plan text
+    /// without executing it.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        Ok(crate::result::render_plan(&self.plan(sql)?))
+    }
+
+    /// Optimizes a SQL query into an [`OptimizedPlan`] — the escape hatch
+    /// for plan surgery and repeated execution; everyday callers want
+    /// [`Session::sql`].
+    pub fn plan(&self, sql: &str) -> Result<OptimizedPlan> {
+        let logical = pyro_sql::plan(sql, &self.catalog)?;
+        let mut optimizer = Optimizer::new(&self.catalog)
+            .with_strategy(self.strategy)
+            .with_hash(self.hash_operators);
+        if let Some(params) = self.cost_params {
+            // block_size and sort_mem_blocks are facts of the session (the
+            // device and the executor's budget), not tunables: keep them in
+            // sync so estimated and measured behaviour cannot diverge.
+            optimizer = optimizer.with_params(CostParams {
+                block_size: self.catalog.device().block_size(),
+                sort_mem_blocks: self.catalog.sort_memory_blocks() as f64,
+                ..params
+            });
+        }
+        optimizer.optimize(&logical)
+    }
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}

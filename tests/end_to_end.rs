@@ -1,38 +1,25 @@
 //! End-to-end integration tests: SQL → logical plan → optimizer → executor,
-//! across all five interesting-order strategies, on the paper's queries.
+//! across all five interesting-order strategies, on the paper's queries —
+//! all driven through the `pyro::Session` front door.
 
-use pyro::catalog::Catalog;
 use pyro::common::Tuple;
-use pyro::core::{PhysOp, Optimizer, Strategy};
+use pyro::core::PhysOp;
 use pyro::datagen::{consolidation, qtables, tpch};
-use pyro::sql::{lower, parse_query};
-
-fn all_strategies() -> [Strategy; 5] {
-    [
-        Strategy::pyro(),
-        Strategy::pyro_o_minus(),
-        Strategy::pyro_p(),
-        Strategy::pyro_o(),
-        Strategy::pyro_e(),
-    ]
-}
+use pyro::{Session, Strategy};
 
 /// Runs `sql` under every strategy (hash on and off) and asserts identical
 /// result multisets; returns the PYRO-O rows.
-fn assert_strategy_invariance(catalog: &Catalog, sql: &str) -> Vec<Tuple> {
-    let logical = lower(&parse_query(sql).unwrap(), catalog).unwrap();
+fn assert_strategy_invariance(session: &mut Session, sql: &str) -> Vec<Tuple> {
     let mut reference: Option<Vec<Tuple>> = None;
     let mut pyro_o_rows = Vec::new();
-    for strategy in all_strategies() {
+    for strategy in Strategy::all() {
         for hash in [true, false] {
-            let plan = Optimizer::new(catalog)
-                .with_strategy(strategy)
-                .with_hash(hash)
-                .optimize(&logical)
-                .unwrap_or_else(|e| panic!("{} failed to plan: {e}", strategy.name()));
-            let (mut rows, _) = plan
-                .execute(catalog)
-                .unwrap_or_else(|e| panic!("{} failed to run: {e}", strategy.name()));
+            session.set_strategy(strategy);
+            session.set_hash_operators(hash);
+            let result = session
+                .sql(sql)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
+            let mut rows = result.into_rows();
             if strategy == Strategy::pyro_o() && hash {
                 pyro_o_rows = rows.clone();
             }
@@ -53,19 +40,19 @@ fn assert_strategy_invariance(catalog: &Catalog, sql: &str) -> Vec<Tuple> {
     pyro_o_rows
 }
 
-fn tpch_catalog() -> Catalog {
-    let mut catalog = Catalog::new();
-    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.002)).unwrap();
-    catalog
+fn tpch_session() -> Session {
+    let mut session = Session::new();
+    tpch::load(session.catalog_mut(), tpch::TpchConfig::scaled(0.002)).unwrap();
+    session
 }
 
 #[test]
 fn query1_order_by_on_lineitem() {
     // Experiment A1's query: ORDER BY (l_suppkey, l_partkey) served by the
     // covering index + partial sort.
-    let catalog = tpch_catalog();
+    let mut session = tpch_session();
     let rows = assert_strategy_invariance(
-        &catalog,
+        &mut session,
         "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
     );
     assert!(!rows.is_empty());
@@ -74,21 +61,21 @@ fn query1_order_by_on_lineitem() {
         .iter()
         .map(|t| (t.get(0).as_int().unwrap(), t.get(1).as_int().unwrap()))
         .collect();
-    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+    assert!(
+        keys.windows(2).all(|w| w[0] <= w[1]),
+        "output must be sorted"
+    );
 }
 
 #[test]
 fn query1_pyro_o_plan_uses_covering_index_and_partial_sort() {
-    let catalog = tpch_catalog();
-    let logical = lower(
-        &parse_query("SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey")
-            .unwrap(),
-        &catalog,
-    )
-    .unwrap();
-    let plan = Optimizer::new(&catalog).optimize(&logical).unwrap();
+    let session = tpch_session();
+    let plan = session
+        .plan("SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey")
+        .unwrap();
     assert_eq!(
-        plan.root.count_nodes(&|n| matches!(n.op, PhysOp::CoveringIndexScan { .. })),
+        plan.root
+            .count_nodes(&|n| matches!(n.op, PhysOp::CoveringIndexScan { .. })),
         1,
         "{}",
         plan.explain()
@@ -101,7 +88,8 @@ fn query1_pyro_o_plan_uses_covering_index_and_partial_sort() {
         plan.explain()
     );
     assert_eq!(
-        plan.root.count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. })),
+        plan.root
+            .count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. })),
         0,
         "no full sort wanted:\n{}",
         plan.explain()
@@ -111,9 +99,9 @@ fn query1_pyro_o_plan_uses_covering_index_and_partial_sort() {
 #[test]
 fn query2_count_per_supplier_part() {
     // Experiment A4's query.
-    let catalog = tpch_catalog();
+    let mut session = tpch_session();
     let rows = assert_strategy_invariance(
-        &catalog,
+        &mut session,
         "SELECT ps_suppkey, ps_partkey, ps_availqty, count(l_partkey) AS n \
          FROM partsupp, lineitem \
          WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
@@ -125,9 +113,9 @@ fn query2_count_per_supplier_part() {
 
 #[test]
 fn query3_stock_outage() {
-    let catalog = tpch_catalog();
+    let mut session = tpch_session();
     let rows = assert_strategy_invariance(
-        &catalog,
+        &mut session,
         "SELECT ps_suppkey, ps_partkey, ps_availqty, sum(l_quantity) AS total \
          FROM partsupp, lineitem \
          WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey AND l_linestatus = 'O' \
@@ -145,10 +133,10 @@ fn query3_stock_outage() {
 
 #[test]
 fn query4_double_full_outer_join() {
-    let mut catalog = Catalog::new();
-    qtables::load_q4(&mut catalog, 400).unwrap();
+    let mut session = Session::new();
+    qtables::load_q4(session.catalog_mut(), 400).unwrap();
     let rows = assert_strategy_invariance(
-        &catalog,
+        &mut session,
         "SELECT * FROM r1 FULL OUTER JOIN r2 \
          ON (r1.c5 = r2.c5 AND r1.c4 = r2.c4 AND r1.c3 = r2.c3) \
          FULL OUTER JOIN r3 \
@@ -162,22 +150,15 @@ fn query4_double_full_outer_join() {
 fn query4_pyro_o_joins_share_prefix() {
     // Experiment B2's headline: the two join orders share the (c4, c5)
     // prefix after phase-2 refinement (paper Fig. 14b).
-    let mut catalog = Catalog::new();
-    qtables::load_q4(&mut catalog, 400).unwrap();
-    let logical = lower(
-        &parse_query(
+    let mut session = Session::new();
+    qtables::load_q4(session.catalog_mut(), 400).unwrap();
+    let plan = session
+        .plan(
             "SELECT * FROM r1 FULL OUTER JOIN r2 \
              ON (r1.c5 = r2.c5 AND r1.c4 = r2.c4 AND r1.c3 = r2.c3) \
              FULL OUTER JOIN r3 \
              ON (r3.c1 = r1.c1 AND r3.c4 = r1.c4 AND r3.c5 = r1.c5)",
         )
-        .unwrap(),
-        &catalog,
-    )
-    .unwrap();
-    let plan = Optimizer::new(&catalog)
-        .with_strategy(Strategy::pyro_o())
-        .optimize(&logical)
         .unwrap();
     let mut orders = Vec::new();
     plan.root.walk(&mut |n| {
@@ -186,8 +167,7 @@ fn query4_pyro_o_joins_share_prefix() {
         }
     });
     assert_eq!(orders.len(), 2, "{}", plan.explain());
-    let bare =
-        |o: &pyro::ordering::SortOrder, i: usize| o.attrs()[i].rsplit('.').next().unwrap().to_string();
+    let bare = |o: &pyro::SortOrder, i: usize| o.attrs()[i].rsplit('.').next().unwrap().to_string();
     let shared: Vec<String> = (0..2)
         .take_while(|&i| bare(&orders[0], i) == bare(&orders[1], i))
         .map(|i| bare(&orders[0], i))
@@ -200,10 +180,10 @@ fn query4_pyro_o_joins_share_prefix() {
 
 #[test]
 fn query5_trading_self_join() {
-    let mut catalog = Catalog::new();
-    qtables::load_tran(&mut catalog, 2_000).unwrap();
+    let mut session = Session::new();
+    qtables::load_tran(session.catalog_mut(), 2_000).unwrap();
     let rows = assert_strategy_invariance(
-        &catalog,
+        &mut session,
         "SELECT t1.userid, t1.basketid, t1.parentorderid, t1.waveid, t1.childorderid, \
                 min(t1.quantity * t1.price) AS ordervalue, \
                 sum(t2.quantity * t2.price) AS executedvalue \
@@ -219,10 +199,10 @@ fn query5_trading_self_join() {
 
 #[test]
 fn query6_basket_analytics() {
-    let mut catalog = Catalog::new();
-    qtables::load_basket_analytics(&mut catalog, 2_000).unwrap();
+    let mut session = Session::new();
+    qtables::load_basket_analytics(session.catalog_mut(), 2_000).unwrap();
     let rows = assert_strategy_invariance(
-        &catalog,
+        &mut session,
         "SELECT * FROM basket b, analytics a \
          WHERE b.prodtype = a.prodtype AND b.symbol = a.symbol AND b.exchange = a.exchange",
     );
@@ -233,10 +213,10 @@ fn query6_basket_analytics() {
 
 #[test]
 fn example1_consolidation_query() {
-    let mut catalog = Catalog::new();
-    consolidation::load(&mut catalog, 3_000).unwrap();
+    let mut session = Session::new();
+    consolidation::load(session.catalog_mut(), 3_000).unwrap();
     let rows = assert_strategy_invariance(
-        &catalog,
+        &mut session,
         "SELECT c1.make, c1.year, c1.city, c1.color, c1.sellreason, c2.breakdowns, r.rating \
          FROM catalog1 c1, catalog2 c2, rating r \
          WHERE c1.city = c2.city AND c1.make = c2.make AND c1.year = c2.year \
@@ -256,30 +236,25 @@ fn example1_consolidation_query() {
 
 #[test]
 fn pyro_e_is_never_worse_than_others_on_paper_queries() {
-    let catalog = tpch_catalog();
-    let logical = lower(
-        &parse_query(
-            "SELECT ps_suppkey, ps_partkey, ps_availqty, sum(l_quantity) AS total \
+    let mut session = tpch_session();
+    session.set_hash_operators(false);
+    let sql = "SELECT ps_suppkey, ps_partkey, ps_availqty, sum(l_quantity) AS total \
              FROM partsupp, lineitem \
              WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey AND l_linestatus = 'O' \
              GROUP BY ps_availqty, ps_partkey, ps_suppkey \
              HAVING sum(l_quantity) > ps_availqty \
-             ORDER BY ps_partkey",
-        )
-        .unwrap(),
-        &catalog,
-    )
-    .unwrap();
-    let cost = |s: Strategy| {
-        Optimizer::new(&catalog)
-            .with_strategy(s)
-            .with_hash(false)
-            .optimize(&logical)
-            .unwrap()
-            .cost()
+             ORDER BY ps_partkey";
+    let mut cost = |s: Strategy| {
+        session.set_strategy(s);
+        session.plan(sql).unwrap().cost()
     };
     let e = cost(Strategy::pyro_e());
-    for s in [Strategy::pyro(), Strategy::pyro_p(), Strategy::pyro_o(), Strategy::pyro_o_minus()] {
+    for s in [
+        Strategy::pyro(),
+        Strategy::pyro_p(),
+        Strategy::pyro_o(),
+        Strategy::pyro_o_minus(),
+    ] {
         assert!(
             e <= cost(s) + 1e-6,
             "exhaustive must be the floor, but {} beat it",
@@ -292,24 +267,13 @@ fn pyro_e_is_never_worse_than_others_on_paper_queries() {
 fn pyro_o_costs_at_most_pyro_p_and_pyro_on_paper_queries() {
     // The paper's Fig. 15 ordering (sort-based plan space): PYRO-O ≤ PYRO-P
     // on the complex queries, and PYRO-O well below plain PYRO.
-    let mut catalog = Catalog::new();
-    qtables::load_basket_analytics(&mut catalog, 5_000).unwrap();
-    let logical = lower(
-        &parse_query(
-            "SELECT * FROM basket b, analytics a \
-             WHERE b.prodtype = a.prodtype AND b.symbol = a.symbol AND b.exchange = a.exchange",
-        )
-        .unwrap(),
-        &catalog,
-    )
-    .unwrap();
-    let cost = |s: Strategy| {
-        Optimizer::new(&catalog)
-            .with_strategy(s)
-            .with_hash(false)
-            .optimize(&logical)
-            .unwrap()
-            .cost()
+    let mut session = Session::builder().hash_operators(false).build();
+    qtables::load_basket_analytics(session.catalog_mut(), 5_000).unwrap();
+    let sql = "SELECT * FROM basket b, analytics a \
+             WHERE b.prodtype = a.prodtype AND b.symbol = a.symbol AND b.exchange = a.exchange";
+    let mut cost = |s: Strategy| {
+        session.set_strategy(s);
+        session.plan(sql).unwrap().cost()
     };
     assert!(cost(Strategy::pyro_o()) <= cost(Strategy::pyro_p()) + 1e-6);
     assert!(cost(Strategy::pyro_o()) < cost(Strategy::pyro()));

@@ -3,34 +3,23 @@
 //! strategy and query. This is the invariant that separates "the plan looks
 //! like the paper's figure" from "the plan is correct" — and the test
 //! pattern that exposed the merge-full-outer-join NULL-ordering bug during
-//! development.
+//! development. All plans come through the `pyro::Session` front door.
 
-use pyro::catalog::Catalog;
 use pyro::common::Value;
-use pyro::core::{Optimizer, Strategy};
 use pyro::datagen::{consolidation, qtables, tpch};
-use pyro::sql::{lower, parse_query};
+use pyro::{Session, Strategy};
 
 /// Executes `sql` under every strategy/hash combination and asserts the
 /// stream is sorted by the root's claimed output order.
-fn assert_order_claims(catalog: &Catalog, sql: &str) {
-    let logical = lower(&parse_query(sql).unwrap(), catalog).unwrap();
-    for strategy in [
-        Strategy::pyro(),
-        Strategy::pyro_o_minus(),
-        Strategy::pyro_p(),
-        Strategy::pyro_o(),
-        Strategy::pyro_e(),
-    ] {
+fn assert_order_claims(session: &mut Session, sql: &str) {
+    for strategy in Strategy::all() {
         for hash in [true, false] {
-            let plan = Optimizer::new(catalog)
-                .with_strategy(strategy)
-                .with_hash(hash)
-                .optimize(&logical)
-                .unwrap();
+            session.set_strategy(strategy);
+            session.set_hash_operators(hash);
+            let plan = session.plan(sql).unwrap();
             let claimed = plan.root.out_order.clone();
             let schema = plan.root.schema.clone();
-            let (rows, _) = plan.execute(catalog).unwrap();
+            let rows = plan.execute(session.catalog()).unwrap().rows;
             if claimed.is_empty() {
                 continue;
             }
@@ -62,20 +51,20 @@ fn assert_order_claims(catalog: &Catalog, sql: &str) {
 
 #[test]
 fn claims_hold_on_simple_order_by() {
-    let mut catalog = Catalog::new();
-    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.002)).unwrap();
+    let mut session = Session::new();
+    tpch::load(session.catalog_mut(), tpch::TpchConfig::scaled(0.002)).unwrap();
     assert_order_claims(
-        &catalog,
+        &mut session,
         "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
     );
 }
 
 #[test]
 fn claims_hold_on_query3() {
-    let mut catalog = Catalog::new();
-    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.002)).unwrap();
+    let mut session = Session::new();
+    tpch::load(session.catalog_mut(), tpch::TpchConfig::scaled(0.002)).unwrap();
     assert_order_claims(
-        &catalog,
+        &mut session,
         "SELECT ps_suppkey, ps_partkey, ps_availqty, sum(l_quantity) AS total \
          FROM partsupp, lineitem \
          WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey AND l_linestatus = 'O' \
@@ -88,10 +77,10 @@ fn claims_hold_on_query3() {
 #[test]
 fn claims_hold_on_full_outer_joins() {
     // The regression case: FO merge joins interleaving NULL-padded rows.
-    let mut catalog = Catalog::new();
-    qtables::load_q4(&mut catalog, 500).unwrap();
+    let mut session = Session::new();
+    qtables::load_q4(session.catalog_mut(), 500).unwrap();
     assert_order_claims(
-        &catalog,
+        &mut session,
         "SELECT * FROM r1 FULL OUTER JOIN r2 \
          ON (r1.c5 = r2.c5 AND r1.c4 = r2.c4 AND r1.c3 = r2.c3) \
          FULL OUTER JOIN r3 \
@@ -102,10 +91,10 @@ fn claims_hold_on_full_outer_joins() {
 
 #[test]
 fn claims_hold_on_consolidation_query() {
-    let mut catalog = Catalog::new();
-    consolidation::load(&mut catalog, 2_000).unwrap();
+    let mut session = Session::new();
+    consolidation::load(session.catalog_mut(), 2_000).unwrap();
     assert_order_claims(
-        &catalog,
+        &mut session,
         "SELECT c1.make, c1.year, c1.color, c1.city, c2.breakdowns, r.rating \
          FROM catalog1 c1, catalog2 c2, rating r \
          WHERE c1.city = c2.city AND c1.make = c2.make AND c1.year = c2.year \
@@ -116,21 +105,22 @@ fn claims_hold_on_consolidation_query() {
 
 #[test]
 fn distinct_agrees_across_strategies_and_orders_hold() {
-    let mut catalog = Catalog::new();
-    qtables::load_basket_analytics(&mut catalog, 2_000).unwrap();
+    let mut session = Session::new();
+    qtables::load_basket_analytics(session.catalog_mut(), 2_000).unwrap();
     let sql = "SELECT DISTINCT prodtype, exchange FROM basket ORDER BY prodtype, exchange";
-    assert_order_claims(&catalog, sql);
+    assert_order_claims(&mut session, sql);
     // Result equality across strategies.
-    let logical = lower(&parse_query(sql).unwrap(), &catalog).unwrap();
     let mut reference: Option<Vec<_>> = None;
-    for strategy in [Strategy::pyro(), Strategy::pyro_p(), Strategy::pyro_o(), Strategy::pyro_e()] {
+    for strategy in [
+        Strategy::pyro(),
+        Strategy::pyro_p(),
+        Strategy::pyro_o(),
+        Strategy::pyro_e(),
+    ] {
         for hash in [true, false] {
-            let plan = Optimizer::new(&catalog)
-                .with_strategy(strategy)
-                .with_hash(hash)
-                .optimize(&logical)
-                .unwrap();
-            let (rows, _) = plan.execute(&catalog).unwrap();
+            session.set_strategy(strategy);
+            session.set_hash_operators(hash);
+            let rows = session.sql(sql).unwrap().into_rows();
             // DISTINCT must actually deduplicate.
             let mut dedup = rows.clone();
             dedup.dedup();
@@ -147,17 +137,10 @@ fn distinct_agrees_across_strategies_and_orders_hold() {
 fn distinct_exploits_clustering_via_sort_distinct() {
     // basket is clustered on (prodtype, symbol): a DISTINCT over exactly
     // those columns should stream off the clustered scan without any sort.
-    let mut catalog = Catalog::new();
-    qtables::load_basket_analytics(&mut catalog, 2_000).unwrap();
-    let logical = lower(
-        &parse_query("SELECT DISTINCT prodtype, symbol FROM basket").unwrap(),
-        &catalog,
-    )
-    .unwrap();
-    let plan = Optimizer::new(&catalog)
-        .with_strategy(Strategy::pyro_o())
-        .with_hash(false)
-        .optimize(&logical)
+    let mut session = Session::builder().hash_operators(false).build();
+    qtables::load_basket_analytics(session.catalog_mut(), 2_000).unwrap();
+    let plan = session
+        .plan("SELECT DISTINCT prodtype, symbol FROM basket")
         .unwrap();
     assert_eq!(
         plan.root.count_nodes(&|n| matches!(
@@ -168,24 +151,20 @@ fn distinct_exploits_clustering_via_sort_distinct() {
         "clustering satisfies the DISTINCT order:\n{}",
         plan.explain()
     );
-    let (rows, _) = plan.execute(&catalog).unwrap();
-    assert!(!rows.is_empty());
+    let result = session
+        .sql("SELECT DISTINCT prodtype, symbol FROM basket")
+        .unwrap();
+    assert!(!result.is_empty());
 }
 
 #[test]
 fn limit_truncates_and_preserves_order() {
-    let mut catalog = Catalog::new();
-    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.002)).unwrap();
-    let logical = lower(
-        &parse_query(
-            "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey LIMIT 50",
-        )
-        .unwrap(),
-        &catalog,
-    )
-    .unwrap();
-    let plan = Optimizer::new(&catalog).optimize(&logical).unwrap();
-    let (rows, _) = plan.execute(&catalog).unwrap();
+    let mut session = Session::new();
+    tpch::load(session.catalog_mut(), tpch::TpchConfig::scaled(0.002)).unwrap();
+    let rows = session
+        .sql("SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey LIMIT 50")
+        .unwrap()
+        .into_rows();
     assert_eq!(rows.len(), 50);
     let keys: Vec<(i64, i64)> = rows
         .iter()
@@ -194,16 +173,10 @@ fn limit_truncates_and_preserves_order() {
     assert!(keys.windows(2).all(|w| w[0] <= w[1]));
 
     // The Top-K must be the *global* minimum prefix, not an arbitrary 50.
-    let logical_all = lower(
-        &parse_query(
-            "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
-        )
-        .unwrap(),
-        &catalog,
-    )
-    .unwrap();
-    let plan_all = Optimizer::new(&catalog).optimize(&logical_all).unwrap();
-    let (all_rows, _) = plan_all.execute(&catalog).unwrap();
+    let all_rows = session
+        .sql("SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey")
+        .unwrap()
+        .into_rows();
     assert_eq!(&all_rows[..50], &rows[..]);
 }
 
@@ -211,17 +184,14 @@ fn limit_truncates_and_preserves_order() {
 fn top_k_via_mrs_reads_less() {
     // §3.1 benefit 2: with a partial sort in the pipeline, LIMIT stops after
     // the first segments — far fewer comparisons than draining everything.
-    let mut catalog = Catalog::new();
-    tpch::load(&mut catalog, tpch::TpchConfig::scaled(0.02)).unwrap();
+    let mut session = Session::new();
+    tpch::load(session.catalog_mut(), tpch::TpchConfig::scaled(0.02)).unwrap();
     let run = |sql: &str| {
-        let logical = lower(&parse_query(sql).unwrap(), &catalog).unwrap();
-        let plan = Optimizer::new(&catalog).optimize(&logical).unwrap();
-        let (rows, metrics) = plan.execute(&catalog).unwrap();
-        (rows.len(), metrics.comparisons())
+        let result = session.sql(sql).unwrap();
+        (result.len(), result.metrics().comparisons())
     };
-    let (n_limited, cmp_limited) = run(
-        "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey LIMIT 100",
-    );
+    let (n_limited, cmp_limited) =
+        run("SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey LIMIT 100");
     let (n_full, cmp_full) =
         run("SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey");
     assert_eq!(n_limited, 100);
