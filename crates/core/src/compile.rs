@@ -17,15 +17,26 @@ use pyro_exec::limit::Limit;
 use pyro_exec::project::Project;
 use pyro_exec::scan::FileScan;
 use pyro_exec::sort::{PartialSort, SortBudget, StandardReplacementSort};
-use pyro_exec::{BoxOp, ExecMetrics, Expr, MetricsRef, Pipeline};
+use pyro_exec::{BoxOp, ExecMetrics, Expr, MetricsRef, Pipeline, DEFAULT_BATCH_SIZE};
 use pyro_ordering::SortOrder;
 use std::rc::Rc;
 
 /// Compiles a physical plan into a runnable [`Pipeline`] (operator tree +
-/// shared metrics block).
+/// shared metrics block) at the default batch size.
 pub fn compile(root: &Rc<PhysNode>, catalog: &Catalog) -> Result<Pipeline> {
+    compile_with_batch(root, catalog, DEFAULT_BATCH_SIZE)
+}
+
+/// Compiles a physical plan with an explicit batch granularity: every
+/// operator in the tree is configured to exchange `batch_size`-row batches
+/// (the `SessionBuilder::batch_size` knob ends up here).
+pub fn compile_with_batch(
+    root: &Rc<PhysNode>,
+    catalog: &Catalog,
+    batch_size: usize,
+) -> Result<Pipeline> {
     let metrics = ExecMetrics::new();
-    let op = compile_node(root, catalog, &metrics)?;
+    let op = compile_node(root, catalog, &metrics, batch_size.max(1))?;
     Ok(Pipeline::new(op, metrics))
 }
 
@@ -86,8 +97,13 @@ fn compile_aggs(aggs: &[AggSpec], schema: &Schema) -> Result<Vec<AggExpr>> {
         .collect()
 }
 
-fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) -> Result<BoxOp> {
-    Ok(match &node.op {
+fn compile_node(
+    node: &Rc<PhysNode>,
+    catalog: &Catalog,
+    metrics: &MetricsRef,
+    batch: usize,
+) -> Result<BoxOp> {
+    let mut op: BoxOp = match &node.op {
         PhysOp::TableScan { table, .. } | PhysOp::ClusteredIndexScan { table, .. } => {
             let handle = catalog.table(table)?;
             Box::new(FileScan::new(node.schema.clone(), &handle.heap))
@@ -100,12 +116,12 @@ fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) ->
             Box::new(FileScan::new(node.schema.clone(), file))
         }
         PhysOp::Filter { predicate } => {
-            let child = compile_node(&node.children[0], catalog, metrics)?;
+            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
             let pred = compile_expr(predicate, child.schema())?;
             Box::new(Filter::new(child, pred))
         }
         PhysOp::Project { items } => {
-            let child = compile_node(&node.children[0], catalog, metrics)?;
+            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
             let exprs = items
                 .iter()
                 .map(|it| compile_expr(&it.expr, child.schema()))
@@ -113,7 +129,7 @@ fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) ->
             Box::new(Project::new(child, exprs, node.schema.clone()))
         }
         PhysOp::Sort { target } => {
-            let child = compile_node(&node.children[0], catalog, metrics)?;
+            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
             let key = key_spec(child.schema(), target)?;
             Box::new(StandardReplacementSort::new(
                 child,
@@ -124,7 +140,7 @@ fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) ->
             ))
         }
         PhysOp::PartialSort { prefix_len, target } => {
-            let child = compile_node(&node.children[0], catalog, metrics)?;
+            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
             let key = key_spec(child.schema(), target)?;
             Box::new(PartialSort::new(
                 child,
@@ -136,8 +152,8 @@ fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) ->
             ))
         }
         PhysOp::MergeJoin { kind, pairs, order } => {
-            let left = compile_node(&node.children[0], catalog, metrics)?;
-            let right = compile_node(&node.children[1], catalog, metrics)?;
+            let left = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let right = compile_node(&node.children[1], catalog, metrics, batch)?;
             // The chosen order's attributes are left-side pair columns; the
             // matching right-side columns come from the pairs.
             let mut l_cols = Vec::with_capacity(order.len());
@@ -159,8 +175,8 @@ fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) ->
             ))
         }
         PhysOp::HashJoin { kind, pairs } => {
-            let left = compile_node(&node.children[0], catalog, metrics)?;
-            let right = compile_node(&node.children[1], catalog, metrics)?;
+            let left = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let right = compile_node(&node.children[1], catalog, metrics, batch)?;
             let l_cols = pairs
                 .iter()
                 .map(|p| left.schema().index_of(&p.left))
@@ -178,8 +194,8 @@ fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) ->
             ))
         }
         PhysOp::NestedLoopsJoin { kind, pairs } => {
-            let left = compile_node(&node.children[0], catalog, metrics)?;
-            let right = compile_node(&node.children[1], catalog, metrics)?;
+            let left = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let right = compile_node(&node.children[1], catalog, metrics, batch)?;
             let l_cols = pairs
                 .iter()
                 .map(|p| left.schema().index_of(&p.left))
@@ -197,7 +213,7 @@ fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) ->
             ))
         }
         PhysOp::SortAggregate { group_by, aggs } => {
-            let child = compile_node(&node.children[0], catalog, metrics)?;
+            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
             let group_cols = group_by
                 .iter()
                 .map(|g| child.schema().index_of(g))
@@ -206,7 +222,7 @@ fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) ->
             Box::new(GroupAggregate::new(child, group_cols, aggs))
         }
         PhysOp::HashAggregate { group_by, aggs } => {
-            let child = compile_node(&node.children[0], catalog, metrics)?;
+            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
             let group_cols = group_by
                 .iter()
                 .map(|g| child.schema().index_of(g))
@@ -215,19 +231,21 @@ fn compile_node(node: &Rc<PhysNode>, catalog: &Catalog, metrics: &MetricsRef) ->
             Box::new(HashAggregate::new(child, group_cols, aggs))
         }
         PhysOp::SortDistinct { order } => {
-            let child = compile_node(&node.children[0], catalog, metrics)?;
+            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
             let key = key_spec(child.schema(), order)?;
             Box::new(SortDistinct::new(child, key, metrics.clone()))
         }
         PhysOp::HashDistinct => {
-            let child = compile_node(&node.children[0], catalog, metrics)?;
+            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
             Box::new(HashDistinct::new(child))
         }
         PhysOp::Limit { k } => {
-            let child = compile_node(&node.children[0], catalog, metrics)?;
+            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
             Box::new(Limit::new(child, *k))
         }
-    })
+    };
+    op.set_batch_size(batch);
+    Ok(op)
 }
 
 #[cfg(test)]

@@ -129,9 +129,20 @@ impl OptimizedPlan {
         self.root.explain()
     }
 
-    /// Compiles to a runnable operator [`pyro_exec::Pipeline`].
+    /// Compiles to a runnable operator [`pyro_exec::Pipeline`] at the
+    /// default batch size.
     pub fn compile(&self, catalog: &Catalog) -> Result<pyro_exec::Pipeline> {
         crate::compile::compile(&self.root, catalog)
+    }
+
+    /// Compiles with an explicit batch granularity (rows exchanged per
+    /// `next_batch` call throughout the pipeline).
+    pub fn compile_with_batch(
+        &self,
+        catalog: &Catalog,
+        batch_size: usize,
+    ) -> Result<pyro_exec::Pipeline> {
+        crate::compile::compile_with_batch(&self.root, catalog, batch_size)
     }
 
     /// Compiles and drains the pipeline; the returned [`pyro_exec::Rows`]

@@ -8,7 +8,7 @@
 //! Query 3 is the paper's example of getting this wrong).
 
 use crate::expr::Expr;
-use crate::op::{BoxOp, Operator};
+use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{Column, DataType, KeySpec, Result, Schema, Tuple, Value};
 use std::collections::HashMap;
 
@@ -150,6 +150,8 @@ pub struct GroupAggregate {
     schema: Schema,
     current: Option<(Tuple, Vec<AccState>)>,
     done: bool,
+    stash: Stash,
+    batch: usize,
 }
 
 impl GroupAggregate {
@@ -165,6 +167,8 @@ impl GroupAggregate {
             schema,
             current: None,
             done: false,
+            stash: Stash::new(),
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -173,19 +177,14 @@ impl GroupAggregate {
         values.extend(states.into_iter().map(AccState::finish));
         Tuple::new(values)
     }
-}
 
-impl Operator for GroupAggregate {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    /// Consumes input until one group closes (or input ends).
+    fn next_group(&mut self, batched: bool) -> Result<Option<Tuple>> {
         if self.done {
             return Ok(None);
         }
         loop {
-            match self.child.next()? {
+            match pull_row(&mut self.child, &mut self.stash, batched)? {
                 Some(t) => {
                     let same = match &self.current {
                         Some((rep, _)) => self.group_key.eq_on(rep, &t),
@@ -221,6 +220,35 @@ impl Operator for GroupAggregate {
     }
 }
 
+impl Operator for GroupAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        self.next_group(false)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        let mut out = Vec::new();
+        while out.len() < self.batch {
+            match self.next_group(true)? {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
+    }
+}
+
 /// Hash aggregate: no input-order requirement; emits groups in an arbitrary
 /// but deterministic (sorted-by-group-key) order once the input is drained.
 pub struct HashAggregate {
@@ -229,6 +257,8 @@ pub struct HashAggregate {
     aggs: Vec<AggExpr>,
     schema: Schema,
     output: Option<std::vec::IntoIter<Tuple>>,
+    stash: Stash,
+    batch: usize,
 }
 
 impl HashAggregate {
@@ -241,7 +271,34 @@ impl HashAggregate {
             aggs,
             schema,
             output: None,
+            stash: Stash::new(),
+            batch: DEFAULT_BATCH_SIZE,
         }
+    }
+
+    /// Drains the input and materializes the sorted group rows.
+    fn build(&mut self, batched: bool) -> Result<()> {
+        let mut table: HashMap<Vec<Value>, Vec<AccState>> = HashMap::new();
+        while let Some(t) = pull_row(&mut self.child, &mut self.stash, batched)? {
+            let key = t.key(&self.group_cols);
+            let states = table
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(|a| AccState::new(a.func)).collect());
+            for (agg, st) in self.aggs.iter().zip(states.iter_mut()) {
+                st.update(agg.arg.eval(&t)?);
+            }
+        }
+        let mut rows: Vec<Tuple> = table
+            .into_iter()
+            .map(|(key, states)| {
+                let mut values = key;
+                values.extend(states.into_iter().map(AccState::finish));
+                Tuple::new(values)
+            })
+            .collect();
+        rows.sort();
+        self.output = Some(rows.into_iter());
+        Ok(())
     }
 }
 
@@ -252,28 +309,26 @@ impl Operator for HashAggregate {
 
     fn next(&mut self) -> Result<Option<Tuple>> {
         if self.output.is_none() {
-            let mut table: HashMap<Vec<Value>, Vec<AccState>> = HashMap::new();
-            while let Some(t) = self.child.next()? {
-                let key = t.key(&self.group_cols);
-                let states = table
-                    .entry(key)
-                    .or_insert_with(|| self.aggs.iter().map(|a| AccState::new(a.func)).collect());
-                for (agg, st) in self.aggs.iter().zip(states.iter_mut()) {
-                    st.update(agg.arg.eval(&t)?);
-                }
-            }
-            let mut rows: Vec<Tuple> = table
-                .into_iter()
-                .map(|(key, states)| {
-                    let mut values = key;
-                    values.extend(states.into_iter().map(AccState::finish));
-                    Tuple::new(values)
-                })
-                .collect();
-            rows.sort();
-            self.output = Some(rows.into_iter());
+            self.build(false)?;
         }
         Ok(self.output.as_mut().expect("materialized").next())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        if self.output.is_none() {
+            self.build(true)?;
+        }
+        let it = self.output.as_mut().expect("materialized");
+        let out: Vec<Tuple> = it.by_ref().take(self.batch).collect();
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
     }
 }
 

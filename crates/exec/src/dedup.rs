@@ -4,8 +4,7 @@
 //! merge joins.
 
 use crate::metrics::MetricsRef;
-use crate::op::{BoxOp, Operator};
-use crate::sort::compare_counted;
+use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{KeySpec, Result, Schema, Tuple, Value};
 use std::cmp::Ordering;
 use std::collections::HashSet;
@@ -17,6 +16,8 @@ pub struct SortDistinct {
     key: KeySpec,
     metrics: MetricsRef,
     last: Option<Tuple>,
+    stash: Stash,
+    batch: usize,
 }
 
 impl SortDistinct {
@@ -28,7 +29,28 @@ impl SortDistinct {
             key,
             metrics,
             last: None,
+            stash: Stash::new(),
+            batch: DEFAULT_BATCH_SIZE,
         }
+    }
+
+    /// The next fresh (non-duplicate) row; comparisons accumulate in `acc`.
+    fn next_fresh(&mut self, batched: bool, acc: &mut u64) -> Result<Option<Tuple>> {
+        while let Some(t) = pull_row(&mut self.child, &mut self.stash, batched)? {
+            let fresh = match &self.last {
+                None => true,
+                Some(prev) => {
+                    let (ord, n) = self.key.compare_counting(prev, &t);
+                    *acc += n;
+                    ord != Ordering::Equal
+                }
+            };
+            if fresh {
+                self.last = Some(t.clone());
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -38,19 +60,35 @@ impl Operator for SortDistinct {
     }
 
     fn next(&mut self) -> Result<Option<Tuple>> {
-        while let Some(t) = self.child.next()? {
-            let fresh = match &self.last {
-                None => true,
-                Some(prev) => {
-                    compare_counted(&self.key, prev, &t, &self.metrics) != Ordering::Equal
+        let mut acc = 0;
+        let out = self.next_fresh(false, &mut acc);
+        self.metrics.add_comparisons(acc);
+        out
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        let mut acc = 0;
+        let mut out = Vec::new();
+        while out.len() < self.batch {
+            match self.next_fresh(true, &mut acc) {
+                Ok(Some(t)) => out.push(t),
+                Ok(None) => break,
+                Err(e) => {
+                    self.metrics.add_comparisons(acc);
+                    return Err(e);
                 }
-            };
-            if fresh {
-                self.last = Some(t.clone());
-                return Ok(Some(t));
             }
         }
-        Ok(None)
+        self.metrics.add_comparisons(acc);
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
     }
 }
 
@@ -82,6 +120,32 @@ impl Operator for HashDistinct {
             }
         }
         Ok(None)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        loop {
+            let Some(mut batch) = self.child.next_batch()? else {
+                return Ok(None);
+            };
+            batch.retain(|t| {
+                if self.seen.contains(t.values()) {
+                    false
+                } else {
+                    self.seen.insert(t.values().to_vec())
+                }
+            });
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+    }
+
+    fn batch_size(&self) -> usize {
+        self.child.batch_size()
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.child.set_batch_size(rows);
     }
 }
 

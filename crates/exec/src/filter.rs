@@ -30,6 +30,28 @@ impl Operator for Filter {
         }
         Ok(None)
     }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        loop {
+            let Some(mut batch) = self.child.next_batch()? else {
+                return Ok(None);
+            };
+            // Compiles the predicate to a closure once per *batch* (cheap
+            // relative to the ~1k rows it then filters without a tree walk).
+            self.predicate.retain_passing(&mut batch)?;
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+    }
+
+    fn batch_size(&self) -> usize {
+        self.child.batch_size()
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.child.set_batch_size(rows);
+    }
 }
 
 #[cfg(test)]

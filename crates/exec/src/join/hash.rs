@@ -6,7 +6,7 @@
 //! padded by the outer variants).
 
 use super::JoinKind;
-use crate::op::{BoxOp, Operator};
+use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{KeySpec, Result, Schema, Tuple, Value};
 use std::collections::HashMap;
 
@@ -24,6 +24,12 @@ pub struct HashJoin {
     pending: std::vec::IntoIter<Tuple>,
     /// Full-outer only: after probe ends, emit unmatched build rows.
     drain_unmatched: bool,
+    /// Reused probe-key buffer: the table lookup borrows it as a slice, so
+    /// probing allocates nothing per row.
+    probe_key: Vec<Value>,
+    build_stash: Stash,
+    probe_stash: Stash,
+    batch: usize,
 }
 
 struct BuildState {
@@ -55,14 +61,18 @@ impl HashJoin {
             build_input: Some(left),
             pending: Vec::new().into_iter(),
             drain_unmatched: false,
+            probe_key: Vec::new(),
+            build_stash: Stash::new(),
+            probe_stash: Stash::new(),
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
-    fn build(&mut self) -> Result<BuildState> {
+    fn build(&mut self, batched: bool) -> Result<BuildState> {
         let mut input = self.build_input.take().expect("build once");
         let mut table: HashMap<Vec<Value>, Vec<(Tuple, std::cell::Cell<bool>)>> = HashMap::new();
         let mut null_rows = Vec::new();
-        while let Some(t) = input.next()? {
+        while let Some(t) = pull_row(&mut input, &mut self.build_stash, batched)? {
             let key = t.key(self.left_key.cols());
             if key.iter().any(Value::is_null) {
                 null_rows.push(t);
@@ -74,6 +84,76 @@ impl HashJoin {
             }
         }
         Ok(BuildState { table, null_rows })
+    }
+
+    /// Probes one right row against the build table, appending all
+    /// produced rows (matches, or the full-outer pad) to `out`. Shared by
+    /// both pull paths so match semantics can never diverge.
+    fn probe_row(&mut self, probe: &Tuple, out: &mut Vec<Tuple>) {
+        probe.key_into(self.right_key.cols(), &mut self.probe_key);
+        let state = self.state.as_ref().expect("built");
+        let before = out.len();
+        if !self.probe_key.iter().any(Value::is_null) {
+            if let Some(matches) = state.table.get(self.probe_key.as_slice()) {
+                for (l, seen) in matches {
+                    seen.set(true);
+                    out.push(l.concat(probe));
+                }
+            }
+        }
+        if out.len() == before && matches!(self.kind, JoinKind::FullOuter) {
+            // Right row without partner.
+            out.push(Tuple::nulls(self.left_schema_len).concat(probe));
+        }
+    }
+
+    /// Probes one right row (or, at probe end, stages the outer-join
+    /// drains), leaving produced rows in `self.pending`. `Ok(false)` means
+    /// the stream is complete.
+    fn step(&mut self, batched: bool) -> Result<bool> {
+        if self.state.is_none() {
+            let built = self.build(batched)?;
+            self.state = Some(built);
+        }
+        if self.drain_unmatched {
+            return Ok(false);
+        }
+        match pull_row(&mut self.right, &mut self.probe_stash, batched)? {
+            Some(probe) => {
+                let mut out = Vec::new();
+                self.probe_row(&probe, &mut out);
+                if !out.is_empty() {
+                    self.pending = out.into_iter();
+                }
+            }
+            None => {
+                // Probe exhausted. Left/Full outer: emit unmatched build
+                // rows once.
+                self.drain_unmatched = true;
+                if matches!(self.kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
+                    let state = self.state.as_ref().expect("built");
+                    let pad = Tuple::nulls(self.right_schema_len);
+                    let mut out: Vec<Tuple> = Vec::new();
+                    for bucket in state.table.values() {
+                        for (l, seen) in bucket {
+                            if !seen.get() {
+                                out.push(l.concat(&pad));
+                            }
+                        }
+                    }
+                    for l in &state.null_rows {
+                        out.push(l.concat(&pad));
+                    }
+                    // Deterministic order for tests.
+                    out.sort();
+                    self.pending = out.into_iter();
+                }
+                if self.pending.len() == 0 {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
     }
 }
 
@@ -87,61 +167,61 @@ impl Operator for HashJoin {
             if let Some(t) = self.pending.next() {
                 return Ok(Some(t));
             }
-            if self.state.is_none() {
-                self.state = Some(self.build()?);
-            }
-            if self.drain_unmatched {
+            if !self.step(false)? {
                 return Ok(None);
             }
-            match self.right.next()? {
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        // Leftovers from the row path or the unmatched-rows drain.
+        let mut out: Vec<Tuple> = Vec::new();
+        while out.len() < self.batch {
+            match self.pending.next() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        if out.len() >= self.batch {
+            return Ok(Some(out));
+        }
+        if self.state.is_none() {
+            let built = self.build(true)?;
+            self.state = Some(built);
+        }
+        // Probe loop: matches go straight into the output batch — no
+        // per-probe-row staging vector. A probe row with several matches
+        // may overshoot the batch size by one match set (allowed by the
+        // trait contract).
+        while !self.drain_unmatched && out.len() < self.batch {
+            match pull_row(&mut self.right, &mut self.probe_stash, true)? {
                 Some(probe) => {
-                    let key = probe.key(self.right_key.cols());
-                    let state = self.state.as_ref().expect("built");
-                    let mut out = Vec::new();
-                    if !key.iter().any(Value::is_null) {
-                        if let Some(matches) = state.table.get(&key) {
-                            for (l, seen) in matches {
-                                seen.set(true);
-                                out.push(l.concat(&probe));
-                            }
-                        }
-                    }
-                    if out.is_empty() && matches!(self.kind, JoinKind::FullOuter) {
-                        // Right row without partner.
-                        out.push(Tuple::nulls(self.left_schema_len).concat(&probe));
-                    }
-                    if !out.is_empty() {
-                        self.pending = out.into_iter();
-                    }
+                    self.probe_row(&probe, &mut out);
                 }
                 None => {
-                    // Probe exhausted. Left/Full outer: emit unmatched build
-                    // rows once.
-                    self.drain_unmatched = true;
-                    if matches!(self.kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
-                        let state = self.state.as_ref().expect("built");
-                        let pad = Tuple::nulls(self.right_schema_len);
-                        let mut out: Vec<Tuple> = Vec::new();
-                        for bucket in state.table.values() {
-                            for (l, seen) in bucket {
-                                if !seen.get() {
-                                    out.push(l.concat(&pad));
-                                }
-                            }
-                        }
-                        for l in &state.null_rows {
-                            out.push(l.concat(&pad));
-                        }
-                        // Deterministic order for tests.
-                        out.sort();
-                        self.pending = out.into_iter();
+                    // Stage the outer-join drain through the shared path.
+                    if !self.step(true)? && self.pending.len() == 0 {
+                        break;
                     }
-                    if self.pending.len() == 0 {
-                        return Ok(None);
+                    while out.len() < self.batch {
+                        match self.pending.next() {
+                            Some(t) => out.push(t),
+                            None => break,
+                        }
                     }
+                    break;
                 }
             }
         }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
     }
 }
 

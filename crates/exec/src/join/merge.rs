@@ -21,8 +21,7 @@
 
 use super::JoinKind;
 use crate::metrics::MetricsRef;
-use crate::op::{BoxOp, Operator};
-use crate::sort::compare_counted;
+use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{KeySpec, Result, Schema, Tuple};
 use std::cmp::Ordering;
 
@@ -46,6 +45,9 @@ pub struct MergeJoin {
     /// the output stays sorted on the left key columns (NULLS LAST).
     deferred_right: Vec<Tuple>,
     deferred_flushed: bool,
+    left_stash: Stash,
+    right_stash: Stash,
+    batch: usize,
 }
 
 impl MergeJoin {
@@ -77,26 +79,33 @@ impl MergeJoin {
             pending: Vec::new().into_iter(),
             deferred_right: Vec::new(),
             deferred_flushed: false,
+            left_stash: Stash::new(),
+            right_stash: Stash::new(),
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
-    /// Reads the next maximal equal-key group from one side.
+    /// Reads the next maximal equal-key group from one side; key
+    /// comparisons accumulate in `acc`.
     fn read_group(
         source: &mut BoxOp,
+        stash: &mut Stash,
+        batched: bool,
         key: &KeySpec,
         head: &mut Option<Tuple>,
-        metrics: &MetricsRef,
+        acc: &mut u64,
     ) -> Result<Vec<Tuple>> {
         let Some(first) = head.take() else {
             return Ok(Vec::new());
         };
         let mut group = vec![first];
         loop {
-            match source.next()? {
+            match pull_row(source, stash, batched)? {
                 None => break,
                 Some(t) => {
-                    let same = compare_counted(key, &group[0], &t, metrics) == Ordering::Equal;
-                    if same {
+                    let (ord, n) = key.compare_counting(&group[0], &t);
+                    *acc += n;
+                    if ord == Ordering::Equal {
                         group.push(t);
                     } else {
                         *head = Some(t);
@@ -108,22 +117,45 @@ impl MergeJoin {
         Ok(group)
     }
 
+    fn refill_left(&mut self, batched: bool, acc: &mut u64) -> Result<()> {
+        self.left_group = Self::read_group(
+            &mut self.left,
+            &mut self.left_stash,
+            batched,
+            &self.left_key,
+            &mut self.left_next,
+            acc,
+        )?;
+        Ok(())
+    }
+
+    fn refill_right(&mut self, batched: bool, acc: &mut u64) -> Result<()> {
+        self.right_group = Self::read_group(
+            &mut self.right,
+            &mut self.right_stash,
+            batched,
+            &self.right_key,
+            &mut self.right_next,
+            acc,
+        )?;
+        Ok(())
+    }
+
     fn key_has_null(&self, t: &Tuple, key: &KeySpec) -> bool {
         key.cols().iter().any(|&c| t.get(c).is_null())
     }
 
-    /// Compares the current group keys across sides.
-    fn cross_compare(&self, l: &Tuple, r: &Tuple) -> Ordering {
-        let mut n = 0;
+    /// Compares the current group keys across sides, accumulating the
+    /// scalar comparisons in `acc`.
+    fn cross_compare(&self, l: &Tuple, r: &Tuple, acc: &mut u64) -> Ordering {
         let mut ord = Ordering::Equal;
         for (&lc, &rc) in self.left_key.cols().iter().zip(self.right_key.cols()) {
-            n += 1;
+            *acc += 1;
             ord = l.get(lc).cmp(r.get(rc));
             if ord != Ordering::Equal {
                 break;
             }
         }
-        self.metrics.add_comparisons(n);
         ord
     }
 
@@ -142,24 +174,22 @@ impl MergeJoin {
         }
     }
 
-    /// Advances group state and produces the next batch of output rows.
-    fn advance(&mut self) -> Result<Vec<Tuple>> {
+    /// Advances group state and produces the next batch of output rows;
+    /// comparisons are charged to the metrics once per call.
+    fn advance(&mut self, batched: bool) -> Result<Vec<Tuple>> {
+        let mut acc = 0;
+        let out = self.advance_inner(batched, &mut acc);
+        self.metrics.add_comparisons(acc);
+        out
+    }
+
+    fn advance_inner(&mut self, batched: bool, acc: &mut u64) -> Result<Vec<Tuple>> {
         if !self.started {
             self.started = true;
-            self.left_next = self.left.next()?;
-            self.right_next = self.right.next()?;
-            self.left_group = Self::read_group(
-                &mut self.left,
-                &self.left_key,
-                &mut self.left_next,
-                &self.metrics,
-            )?;
-            self.right_group = Self::read_group(
-                &mut self.right,
-                &self.right_key,
-                &mut self.right_next,
-                &self.metrics,
-            )?;
+            self.left_next = pull_row(&mut self.left, &mut self.left_stash, batched)?;
+            self.right_next = pull_row(&mut self.right, &mut self.right_stash, batched)?;
+            self.refill_left(batched, acc)?;
+            self.refill_right(batched, acc)?;
         }
         let mut out = Vec::new();
         while out.is_empty() {
@@ -168,12 +198,7 @@ impl MergeJoin {
                 (false, true) => {
                     let g = std::mem::take(&mut self.left_group);
                     self.emit_left_unmatched(g, &mut out);
-                    self.left_group = Self::read_group(
-                        &mut self.left,
-                        &self.left_key,
-                        &mut self.left_next,
-                        &self.metrics,
-                    )?;
+                    self.refill_left(batched, acc)?;
                     if out.is_empty() && self.left_group.is_empty() {
                         return Ok(out);
                     }
@@ -182,12 +207,7 @@ impl MergeJoin {
                 (true, false) => {
                     let g = std::mem::take(&mut self.right_group);
                     self.emit_right_unmatched(g);
-                    self.right_group = Self::read_group(
-                        &mut self.right,
-                        &self.right_key,
-                        &mut self.right_next,
-                        &self.metrics,
-                    )?;
+                    self.refill_right(batched, acc)?;
                     if out.is_empty() && self.right_group.is_empty() {
                         return Ok(out);
                     }
@@ -197,34 +217,20 @@ impl MergeJoin {
             }
             let lnull = self.key_has_null(&self.left_group[0], &self.left_key);
             let rnull = self.key_has_null(&self.right_group[0], &self.right_key);
-            let ord = if lnull || rnull {
-                // NULL keys never match; drain the NULL-keyed side(s) as
-                // unmatched. NULLs sort last, so these groups surface after
-                // all joinable keys on their side.
-                self.cross_compare(&self.left_group[0], &self.right_group[0])
-            } else {
-                self.cross_compare(&self.left_group[0], &self.right_group[0])
-            };
+            // NULL keys never match; NULLs sort last, so NULL-keyed groups
+            // surface after all joinable keys on their side and drain as
+            // unmatched.
+            let ord = self.cross_compare(&self.left_group[0], &self.right_group[0], acc);
             match ord {
                 Ordering::Less => {
                     let g = std::mem::take(&mut self.left_group);
                     self.emit_left_unmatched(g, &mut out);
-                    self.left_group = Self::read_group(
-                        &mut self.left,
-                        &self.left_key,
-                        &mut self.left_next,
-                        &self.metrics,
-                    )?;
+                    self.refill_left(batched, acc)?;
                 }
                 Ordering::Greater => {
                     let g = std::mem::take(&mut self.right_group);
                     self.emit_right_unmatched(g);
-                    self.right_group = Self::read_group(
-                        &mut self.right,
-                        &self.right_key,
-                        &mut self.right_next,
-                        &self.metrics,
-                    )?;
+                    self.refill_right(batched, acc)?;
                 }
                 Ordering::Equal if lnull || rnull => {
                     // Equal but NULL-keyed: both groups are unmatched.
@@ -232,18 +238,8 @@ impl MergeJoin {
                     let gr = std::mem::take(&mut self.right_group);
                     self.emit_left_unmatched(gl, &mut out);
                     self.emit_right_unmatched(gr);
-                    self.left_group = Self::read_group(
-                        &mut self.left,
-                        &self.left_key,
-                        &mut self.left_next,
-                        &self.metrics,
-                    )?;
-                    self.right_group = Self::read_group(
-                        &mut self.right,
-                        &self.right_key,
-                        &mut self.right_next,
-                        &self.metrics,
-                    )?;
+                    self.refill_left(batched, acc)?;
+                    self.refill_right(batched, acc)?;
                 }
                 Ordering::Equal => {
                     let gl = std::mem::take(&mut self.left_group);
@@ -254,22 +250,32 @@ impl MergeJoin {
                             out.push(l.concat(r));
                         }
                     }
-                    self.left_group = Self::read_group(
-                        &mut self.left,
-                        &self.left_key,
-                        &mut self.left_next,
-                        &self.metrics,
-                    )?;
-                    self.right_group = Self::read_group(
-                        &mut self.right,
-                        &self.right_key,
-                        &mut self.right_next,
-                        &self.metrics,
-                    )?;
+                    self.refill_left(batched, acc)?;
+                    self.refill_right(batched, acc)?;
                 }
             }
         }
         Ok(out)
+    }
+
+    /// Produces pending rows if none are buffered. `Ok(false)` means the
+    /// stream (including the deferred full-outer tail) is complete.
+    fn replenish(&mut self, batched: bool) -> Result<bool> {
+        let produced = self.advance(batched)?;
+        if produced.is_empty() {
+            // End of the merged stream: release the deferred right-padded
+            // rows (NULL left keys sort last).
+            if !self.deferred_flushed {
+                self.deferred_flushed = true;
+                if !self.deferred_right.is_empty() {
+                    self.pending = std::mem::take(&mut self.deferred_right).into_iter();
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        self.pending = produced.into_iter();
+        Ok(true)
     }
 }
 
@@ -283,21 +289,56 @@ impl Operator for MergeJoin {
             if let Some(t) = self.pending.next() {
                 return Ok(Some(t));
             }
-            let batch = self.advance()?;
-            if batch.is_empty() {
-                // End of the merged stream: release the deferred
-                // right-padded rows (NULL left keys sort last).
-                if !self.deferred_flushed {
-                    self.deferred_flushed = true;
-                    if !self.deferred_right.is_empty() {
-                        self.pending = std::mem::take(&mut self.deferred_right).into_iter();
-                        continue;
-                    }
-                }
+            if !self.replenish(false)? {
                 return Ok(None);
             }
-            self.pending = batch.into_iter();
         }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        // Leftovers buffered by a previous oversized pairing drain first.
+        let mut out = Vec::new();
+        while out.len() < self.batch {
+            match self.pending.next() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        if !out.is_empty() {
+            return Ok(Some(out));
+        }
+        let produced = self.advance(true)?;
+        if produced.is_empty() {
+            // End of the merged stream: release the deferred right-padded
+            // rows (NULL left keys sort last).
+            if !self.deferred_flushed {
+                self.deferred_flushed = true;
+                if !self.deferred_right.is_empty() {
+                    let tail = std::mem::take(&mut self.deferred_right);
+                    if tail.len() <= self.batch {
+                        return Ok(Some(tail));
+                    }
+                    self.pending = tail.into_iter();
+                    return self.next_batch();
+                }
+            }
+            return Ok(None);
+        }
+        // Hand a whole group pairing over without re-buffering; only
+        // oversized pairings go through the pending cursor.
+        if produced.len() <= self.batch {
+            return Ok(Some(produced));
+        }
+        self.pending = produced.into_iter();
+        self.next_batch()
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
     }
 }
 

@@ -5,7 +5,7 @@
 //! against.
 
 use super::JoinKind;
-use crate::op::{BoxOp, Operator};
+use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{KeySpec, Result, Schema, Tuple, Value};
 
 /// Materializing nested-loops join (inner side buffered).
@@ -20,6 +20,8 @@ pub struct NestedLoopsJoin {
     right_source: Option<BoxOp>,
     pending: std::vec::IntoIter<Tuple>,
     drained_right: bool,
+    left_stash: Stash,
+    batch: usize,
 }
 
 impl NestedLoopsJoin {
@@ -44,6 +46,8 @@ impl NestedLoopsJoin {
             right_source: Some(right),
             pending: Vec::new().into_iter(),
             drained_right: false,
+            left_stash: Stash::new(),
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -59,6 +63,78 @@ impl NestedLoopsJoin {
     }
 }
 
+impl NestedLoopsJoin {
+    /// Buffers the inner side, pulling in the given granularity.
+    fn materialize_right(&mut self, batched: bool) -> Result<()> {
+        if self.right_rows.is_none() {
+            let mut src = self.right_source.take().expect("materialize once");
+            let mut stash = Stash::new();
+            let mut rows = Vec::new();
+            while let Some(t) = pull_row(&mut src, &mut stash, batched)? {
+                rows.push((t, std::cell::Cell::new(false)));
+            }
+            self.right_rows = Some(rows);
+        }
+        Ok(())
+    }
+
+    /// Joins one left row against the buffered inner side, appending all
+    /// produced rows (matches, or the outer pad) to `out`. Shared by both
+    /// pull paths so match semantics can never diverge.
+    fn join_left_row(&self, l: &Tuple, out: &mut Vec<Tuple>) {
+        let rows = self.right_rows.as_ref().expect("materialized");
+        let before = out.len();
+        for (r, seen) in rows {
+            if self.keys_match(l, r) {
+                seen.set(true);
+                out.push(l.concat(r));
+            }
+        }
+        if out.len() == before && matches!(self.kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
+            out.push(l.concat(&Tuple::nulls(self.right_schema_len)));
+        }
+    }
+
+    /// Processes one left row (or the full-outer drain), leaving produced
+    /// rows in `self.pending`. `Ok(false)` means the stream is complete.
+    fn step(&mut self, batched: bool) -> Result<bool> {
+        self.materialize_right(batched)?;
+        match pull_row(&mut self.left, &mut self.left_stash, batched)? {
+            Some(l) => {
+                let mut out = Vec::new();
+                self.join_left_row(&l, &mut out);
+                if !out.is_empty() {
+                    self.pending = out.into_iter();
+                }
+                Ok(true)
+            }
+            None => {
+                if self.drained_right {
+                    return Ok(false);
+                }
+                self.drained_right = true;
+                if matches!(self.kind, JoinKind::FullOuter) {
+                    let rows = self.right_rows.as_ref().expect("materialized");
+                    let pad_len = self.schema.len() - self.right_schema_len;
+                    let pad = Tuple::nulls(pad_len);
+                    let out: Vec<Tuple> = rows
+                        .iter()
+                        .filter(|(_, seen)| !seen.get())
+                        .map(|(r, _)| pad.concat(r))
+                        .collect();
+                    if out.is_empty() {
+                        return Ok(false);
+                    }
+                    self.pending = out.into_iter();
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+}
+
 impl Operator for NestedLoopsJoin {
     fn schema(&self) -> &Schema {
         &self.schema
@@ -69,57 +145,55 @@ impl Operator for NestedLoopsJoin {
             if let Some(t) = self.pending.next() {
                 return Ok(Some(t));
             }
-            if self.right_rows.is_none() {
-                let mut src = self.right_source.take().expect("materialize once");
-                let mut rows = Vec::new();
-                while let Some(t) = src.next()? {
-                    rows.push((t, std::cell::Cell::new(false)));
-                }
-                self.right_rows = Some(rows);
+            if !self.step(false)? {
+                return Ok(None);
             }
-            match self.left.next()? {
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        // Leftovers from the row path or the full-outer drain.
+        let mut out: Vec<Tuple> = Vec::new();
+        while out.len() < self.batch {
+            match self.pending.next() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        if out.len() >= self.batch {
+            return Ok(Some(out));
+        }
+        self.materialize_right(true)?;
+        // Join loop: matched rows go straight into the output batch.
+        while !self.drained_right && out.len() < self.batch {
+            match pull_row(&mut self.left, &mut self.left_stash, true)? {
                 Some(l) => {
-                    let rows = self.right_rows.as_ref().expect("materialized");
-                    let mut out = Vec::new();
-                    for (r, seen) in rows {
-                        if self.keys_match(&l, r) {
-                            seen.set(true);
-                            out.push(l.concat(r));
-                        }
-                    }
-                    if out.is_empty()
-                        && matches!(self.kind, JoinKind::LeftOuter | JoinKind::FullOuter)
-                    {
-                        out.push(l.concat(&Tuple::nulls(self.right_schema_len)));
-                    }
-                    if !out.is_empty() {
-                        self.pending = out.into_iter();
-                    }
+                    self.join_left_row(&l, &mut out);
                 }
                 None => {
-                    if self.drained_right {
-                        return Ok(None);
+                    // Stage the full-outer drain through the shared path.
+                    if !self.step(true)? && self.pending.len() == 0 {
+                        break;
                     }
-                    self.drained_right = true;
-                    if matches!(self.kind, JoinKind::FullOuter) {
-                        let rows = self.right_rows.as_ref().expect("materialized");
-                        let pad_len = self.schema.len() - self.right_schema_len;
-                        let pad = Tuple::nulls(pad_len);
-                        let out: Vec<Tuple> = rows
-                            .iter()
-                            .filter(|(_, seen)| !seen.get())
-                            .map(|(r, _)| pad.concat(r))
-                            .collect();
-                        if out.is_empty() {
-                            return Ok(None);
+                    while out.len() < self.batch {
+                        match self.pending.next() {
+                            Some(t) => out.push(t),
+                            None => break,
                         }
-                        self.pending = out.into_iter();
-                    } else {
-                        return Ok(None);
                     }
+                    break;
                 }
             }
         }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
     }
 }
 

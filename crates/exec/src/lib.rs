@@ -1,7 +1,10 @@
 //! # pyro-exec
 //!
-//! A Volcano-style (pull-based iterator) execution engine, built to make the
-//! paper's §3 claims observable:
+//! A Volcano-style (pull-based) execution engine that exchanges rows
+//! **batch-at-a-time** — every operator implements both tuple-wise
+//! [`Operator::next`] and the batch pull [`Operator::next_batch`] (see
+//! `op.rs` for the batch contract; counter totals are identical on either
+//! path) — built to make the paper's §3 claims observable:
 //!
 //! * [`sort::StandardReplacementSort`] (SRS) — classical replacement
 //!   selection with run spilling and multi-pass merging; falls back to a
@@ -33,4 +36,6 @@ pub mod union;
 
 pub use expr::{CmpOp, Expr};
 pub use metrics::{ExecMetrics, MetricsRef};
-pub use op::{collect, BoxOp, Operator, Pipeline, Rows, ValuesOp};
+pub use op::{
+    collect, collect_batched, BoxOp, Operator, Pipeline, Rows, Stash, ValuesOp, DEFAULT_BATCH_SIZE,
+};

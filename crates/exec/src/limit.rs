@@ -5,13 +5,14 @@
 //! pipeline stops after the first segments instead of sorting everything —
 //! the `fig08` bench demonstrates exactly that.
 
-use crate::op::{BoxOp, Operator};
+use crate::op::{BoxOp, Operator, DEFAULT_BATCH_SIZE};
 use pyro_common::{Result, Schema, Tuple};
 
 /// Emits at most `k` child tuples, then stops pulling.
 pub struct Limit {
     child: BoxOp,
     remaining: u64,
+    batch: usize,
 }
 
 impl Limit {
@@ -20,6 +21,7 @@ impl Limit {
         Limit {
             child,
             remaining: k,
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -43,6 +45,40 @@ impl Operator for Limit {
                 Ok(None)
             }
         }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        // Narrow the child's batch to the rows still wanted, so Top-K over
+        // a demand-driven producer (the partial sort) closes exactly the
+        // segments — and charges exactly the same ExecMetrics — that
+        // `remaining` tuple-at-a-time pulls would. (Base-table scans below
+        // may still read ahead by up to one batch; see the op.rs contract.)
+        let want = (self.batch as u64).min(self.remaining) as usize;
+        self.child.set_batch_size(want);
+        match self.child.next_batch()? {
+            Some(mut batch) => {
+                if batch.len() as u64 > self.remaining {
+                    batch.truncate(self.remaining as usize);
+                }
+                self.remaining -= batch.len() as u64;
+                Ok(Some(batch))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
     }
 }
 

@@ -2,13 +2,18 @@
 
 use crate::expr::Expr;
 use crate::op::{BoxOp, Operator};
-use pyro_common::{Result, Schema, Tuple};
+use pyro_common::{Result, Schema, Tuple, Value};
 
 /// Evaluates one expression per output column.
 pub struct Project {
     child: BoxOp,
     exprs: Vec<Expr>,
     schema: Schema,
+    /// Set when every expression is a plain column reference (the
+    /// `Project::keep` shape): the batch path then projects through one
+    /// reused scratch buffer instead of interpreting expressions.
+    cols: Option<Vec<usize>>,
+    scratch: Vec<Value>,
 }
 
 impl Project {
@@ -16,10 +21,19 @@ impl Project {
     /// computed columns).
     pub fn new(child: BoxOp, exprs: Vec<Expr>, schema: Schema) -> Self {
         debug_assert_eq!(exprs.len(), schema.len());
+        let cols = exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Col(i) => Some(*i),
+                _ => None,
+            })
+            .collect::<Option<Vec<usize>>>();
         Project {
             child,
             exprs,
             schema,
+            cols,
+            scratch: Vec::new(),
         }
     }
 
@@ -27,11 +41,15 @@ impl Project {
     pub fn keep(child: BoxOp, indices: &[usize]) -> Self {
         let schema = child.schema().project(indices);
         let exprs = indices.iter().map(|&i| Expr::Col(i)).collect();
-        Project {
-            child,
-            exprs,
-            schema,
+        Project::new(child, exprs, schema)
+    }
+
+    fn project_row(&self, t: &Tuple) -> Result<Tuple> {
+        let mut values = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            values.push(e.eval(t)?);
         }
+        Ok(Tuple::new(values))
     }
 }
 
@@ -43,15 +61,36 @@ impl Operator for Project {
     fn next(&mut self) -> Result<Option<Tuple>> {
         match self.child.next()? {
             None => Ok(None),
-            Some(t) => {
-                let values = self
-                    .exprs
-                    .iter()
-                    .map(|e| e.eval(&t))
-                    .collect::<Result<Vec<_>>>()?;
-                Ok(Some(Tuple::new(values)))
+            Some(t) => Ok(Some(self.project_row(&t)?)),
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        let Some(mut batch) = self.child.next_batch()? else {
+            return Ok(None);
+        };
+        if let Some(cols) = &self.cols {
+            for t in batch.iter_mut() {
+                *t = t.project_into(cols, &mut self.scratch);
+            }
+        } else {
+            for t in batch.iter_mut() {
+                let mut values = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    values.push(e.eval(t)?);
+                }
+                *t = Tuple::new(values);
             }
         }
+        Ok(Some(batch))
+    }
+
+    fn batch_size(&self) -> usize {
+        self.child.batch_size()
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.child.set_batch_size(rows);
     }
 }
 

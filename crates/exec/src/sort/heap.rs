@@ -4,10 +4,11 @@
 //! number, then by sort key — so the entries of the *current* run always
 //! surface before entries demoted to the next run, which is exactly what
 //! replacement selection needs. A manual implementation (rather than
-//! `BinaryHeap`) lets every key comparison be charged to the pipeline's
-//! metrics.
+//! `BinaryHeap`) lets every key comparison be counted. Comparisons
+//! accumulate in a local counter per `push`/`pop` and the caller charges
+//! the pipeline metrics in batches, keeping the shared `Cell` out of the
+//! sift loops.
 
-use super::compare_counted;
 use crate::metrics::MetricsRef;
 use pyro_common::{KeySpec, Tuple};
 use std::cmp::Ordering;
@@ -19,6 +20,8 @@ pub(crate) struct RsHeap {
     metrics: MetricsRef,
     /// Total `byte_size` of buffered tuples.
     bytes: usize,
+    /// Comparisons performed but not yet charged to `metrics`.
+    uncharged: u64,
 }
 
 impl RsHeap {
@@ -28,7 +31,14 @@ impl RsHeap {
             key,
             metrics,
             bytes: 0,
+            uncharged: 0,
         }
+    }
+
+    /// Flushes locally accumulated comparison counts to the shared metrics.
+    pub(crate) fn flush_comparisons(&mut self) {
+        self.metrics.add_comparisons(self.uncharged);
+        self.uncharged = 0;
     }
 
     /// Test/diagnostic accessors — replacement selection itself only needs
@@ -49,12 +59,15 @@ impl RsHeap {
         self.bytes
     }
 
-    fn less(&self, a: &(u32, Tuple), b: &(u32, Tuple)) -> bool {
+    fn less(&mut self, i: usize, j: usize) -> bool {
+        let (a, b) = (&self.data[i], &self.data[j]);
         match a.0.cmp(&b.0) {
             Ordering::Less => true,
             Ordering::Greater => false,
             Ordering::Equal => {
-                compare_counted(&self.key, &a.1, &b.1, &self.metrics) == Ordering::Less
+                let (ord, n) = self.key.compare_counting(&a.1, &b.1);
+                self.uncharged += n;
+                ord == Ordering::Less
             }
         }
     }
@@ -65,7 +78,7 @@ impl RsHeap {
         let mut i = self.data.len() - 1;
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.less(&self.data[i], &self.data[parent]) {
+            if self.less(i, parent) {
                 self.data.swap(i, parent);
                 i = parent;
             } else {
@@ -92,10 +105,10 @@ impl RsHeap {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut smallest = i;
-            if l < self.data.len() && self.less(&self.data[l], &self.data[smallest]) {
+            if l < self.data.len() && self.less(l, smallest) {
                 smallest = l;
             }
-            if r < self.data.len() && self.less(&self.data[r], &self.data[smallest]) {
+            if r < self.data.len() && self.less(r, smallest) {
                 smallest = r;
             }
             if smallest == i {
@@ -105,6 +118,13 @@ impl RsHeap {
             i = smallest;
         }
         Some(out)
+    }
+}
+
+impl Drop for RsHeap {
+    fn drop(&mut self) {
+        // Never lose counted comparisons, even on early teardown.
+        self.flush_comparisons();
     }
 }
 
@@ -130,7 +150,21 @@ mod tests {
         assert_eq!(h.pop().unwrap(), (0, t(9)));
         assert_eq!(h.pop().unwrap(), (1, t(1)));
         assert!(h.pop().is_none());
+        h.flush_comparisons();
         assert!(m.comparisons() > 0);
+    }
+
+    #[test]
+    fn drop_flushes_uncharged_comparisons() {
+        let m = ExecMetrics::new();
+        {
+            let mut h = RsHeap::new(KeySpec::new(vec![0]), m.clone());
+            for v in [5i64, 3, 8, 1] {
+                h.push(0, t(v));
+            }
+            assert_eq!(m.comparisons(), 0, "charged only on flush/drop");
+        }
+        assert!(m.comparisons() > 0, "drop flushed the local counter");
     }
 
     #[test]

@@ -17,7 +17,6 @@ pub use srs::StandardReplacementSort;
 
 use crate::metrics::MetricsRef;
 use pyro_common::{KeySpec, Tuple};
-use std::cmp::Ordering;
 
 /// Memory budget for a sort, expressed like the paper: `M` blocks.
 #[derive(Debug, Clone, Copy)]
@@ -48,20 +47,16 @@ impl SortBudget {
     }
 }
 
-/// Sorts a buffer by `key`, charging one comparison count per scalar
-/// comparison performed.
+/// Sorts a buffer by `key`. Scalar comparisons accumulate in a local
+/// counter and are charged to the metrics **once per call** — the counter
+/// total is identical to per-comparison charging, without a shared-`Cell`
+/// bump inside the sort's inner loop.
 pub(crate) fn sort_buffer(buf: &mut [Tuple], key: &KeySpec, metrics: &MetricsRef) {
-    buf.sort_by(|a, b| compare_counted(key, a, b, metrics));
-}
-
-/// Key comparison that charges the metrics counter.
-pub(crate) fn compare_counted(
-    key: &KeySpec,
-    a: &Tuple,
-    b: &Tuple,
-    metrics: &MetricsRef,
-) -> Ordering {
-    let (ord, n) = key.compare_counting(a, b);
-    metrics.add_comparisons(n);
-    ord
+    let mut acc: u64 = 0;
+    buf.sort_by(|a, b| {
+        let (ord, n) = key.compare_counting(a, b);
+        acc += n;
+        ord
+    });
+    metrics.add_comparisons(acc);
 }

@@ -21,7 +21,7 @@
 use super::runs::{InMemorySortStream, MergeStream};
 use super::{sort_buffer, SortBudget};
 use crate::metrics::MetricsRef;
-use crate::op::{BoxOp, Operator};
+use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{KeySpec, Result, Schema, Tuple};
 use pyro_storage::{DeviceRef, TupleFile};
 
@@ -55,6 +55,8 @@ pub struct PartialSort {
     output: Option<Output>,
     input_done: bool,
     segments_seen: u64,
+    stash: Stash,
+    batch: usize,
 }
 
 impl PartialSort {
@@ -90,6 +92,8 @@ impl PartialSort {
             output: None,
             input_done: false,
             segments_seen: 0,
+            stash: Stash::new(),
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -163,11 +167,11 @@ impl PartialSort {
 
     /// Accumulates input until the current segment ends (or input does).
     /// Returns `true` if a segment was closed.
-    fn fill_segment(&mut self) -> Result<bool> {
+    fn fill_segment(&mut self, batched: bool) -> Result<bool> {
         loop {
             let t = match self.pending.take() {
                 Some(t) => Some(t),
-                None => self.child.next()?,
+                None => pull_row(&mut self.child, &mut self.stash, batched)?,
             };
             let Some(t) = t else {
                 self.input_done = true;
@@ -219,10 +223,45 @@ impl Operator for PartialSort {
             if self.input_done && self.buffer.is_empty() && self.segment_runs.is_empty() {
                 return Ok(None);
             }
-            if !self.fill_segment()? {
+            if !self.fill_segment(false)? {
                 return Ok(None);
             }
         }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        // One chunk of the current segment per call — a whole segment when
+        // it fits the batch (handed over zero-copy by the sort stream).
+        // Short batches are fine under the batch contract, and demand-
+        // driven behaviour (Top-K closing only the segments it needs) is
+        // preserved: no segment beyond the emitted chunk is filled or
+        // sorted (input read-ahead is bounded by one child batch).
+        loop {
+            if let Some(o) = &mut self.output {
+                let chunk = match o {
+                    Output::Buffered(s) => s.next_chunk(self.batch),
+                    Output::Merging(m) => m.next_chunk(self.batch)?,
+                };
+                match chunk {
+                    Some(c) => return Ok(Some(c)),
+                    None => self.output = None,
+                }
+            }
+            if self.input_done && self.buffer.is_empty() && self.segment_runs.is_empty() {
+                return Ok(None);
+            }
+            if !self.fill_segment(true)? {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
     }
 }
 

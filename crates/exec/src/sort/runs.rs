@@ -1,10 +1,11 @@
 //! Spill-run plumbing shared by SRS and MRS: writing runs, k-way merging
 //! with bounded fan-in, and the streaming output adapters.
 
-use super::{compare_counted, SortBudget};
+use super::SortBudget;
 use crate::metrics::MetricsRef;
 use pyro_common::{KeySpec, Result, Tuple};
 use pyro_storage::{DeviceRef, TupleFile, TupleFileScan, TupleFileWriter};
+use std::cmp::Ordering;
 
 /// Writes `tuples` (already sorted) as one spill run, charging run I/O.
 pub(crate) fn write_run(
@@ -81,8 +82,36 @@ impl MergeStream {
         Ok(MergeStream { runs, key, metrics })
     }
 
-    /// Pops the globally smallest head tuple.
+    /// Pops the globally smallest head tuple, charging comparisons once per
+    /// call.
     pub fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        let mut acc = 0;
+        let out = self.pop_smallest(&mut acc);
+        self.metrics.add_comparisons(acc);
+        out
+    }
+
+    /// Pops up to `max_rows` tuples in merge order; comparisons accumulate
+    /// locally and hit the shared metrics once per chunk. `Ok(None)` only
+    /// at end of the merged stream.
+    pub fn next_chunk(&mut self, max_rows: usize) -> Result<Option<Vec<Tuple>>> {
+        let mut acc = 0;
+        let mut out = Vec::new();
+        while out.len() < max_rows.max(1) {
+            match self.pop_smallest(&mut acc) {
+                Ok(Some(t)) => out.push(t),
+                Ok(None) => break,
+                Err(e) => {
+                    self.metrics.add_comparisons(acc);
+                    return Err(e);
+                }
+            }
+        }
+        self.metrics.add_comparisons(acc);
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+
+    fn pop_smallest(&mut self, acc: &mut u64) -> Result<Option<Tuple>> {
         // Linear scan over ≤ fan-in heads: simple and cache-friendly for the
         // small fan-ins used here.
         let mut best: Option<usize> = None;
@@ -97,8 +126,9 @@ impl MergeStream {
                         self.runs[i].head.as_ref().expect("head is some"),
                         self.runs[b].head.as_ref().expect("head is some"),
                     );
-                    if compare_counted(&self.key, ta, tb, &self.metrics) == std::cmp::Ordering::Less
-                    {
+                    let (ord, n) = self.key.compare_counting(ta, tb);
+                    *acc += n;
+                    if ord == Ordering::Less {
                         i
                     } else {
                         b
@@ -121,20 +151,48 @@ impl MergeStream {
 
 /// Output adapter for a fully in-memory sorted buffer.
 pub struct InMemorySortStream {
-    buf: std::vec::IntoIter<Tuple>,
+    buf: Vec<Tuple>,
+    pos: usize,
 }
 
 impl InMemorySortStream {
     /// Wraps an already-sorted buffer.
     pub fn new(sorted: Vec<Tuple>) -> Self {
         InMemorySortStream {
-            buf: sorted.into_iter(),
+            buf: sorted,
+            pos: 0,
         }
     }
 
-    /// Next tuple of the sorted buffer.
+    /// Next tuple of the sorted buffer (O(1) move-out, no clone).
     pub fn next_tuple(&mut self) -> Option<Tuple> {
-        self.buf.next()
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let t = std::mem::take(&mut self.buf[self.pos]);
+        self.pos += 1;
+        Some(t)
+    }
+
+    /// Next chunk of up to `max_rows` tuples; `None` at end of buffer. An
+    /// untouched buffer that fits the chunk is handed over whole — zero
+    /// copies, zero allocation — which is the common case for a
+    /// partial-sort segment smaller than the batch size.
+    pub fn next_chunk(&mut self, max_rows: usize) -> Option<Vec<Tuple>> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining == 0 {
+            return None;
+        }
+        let n = remaining.min(max_rows.max(1));
+        if self.pos == 0 && n == self.buf.len() {
+            return Some(std::mem::take(&mut self.buf));
+        }
+        let mut out = Vec::with_capacity(n);
+        for slot in &mut self.buf[self.pos..self.pos + n] {
+            out.push(std::mem::take(slot));
+        }
+        self.pos += n;
+        Some(out)
     }
 }
 

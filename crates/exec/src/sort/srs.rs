@@ -16,9 +16,9 @@
 
 use super::heap::RsHeap;
 use super::runs::{InMemorySortStream, MergeStream};
-use super::{compare_counted, sort_buffer, SortBudget};
+use super::{sort_buffer, SortBudget};
 use crate::metrics::MetricsRef;
-use crate::op::{BoxOp, Operator};
+use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{KeySpec, Result, Schema, Tuple};
 use pyro_storage::{DeviceRef, TupleFile, TupleFileWriter};
 use std::cmp::Ordering;
@@ -42,6 +42,8 @@ pub struct StandardReplacementSort {
     budget: SortBudget,
     metrics: MetricsRef,
     state: State,
+    stash: Stash,
+    batch: usize,
 }
 
 impl StandardReplacementSort {
@@ -63,11 +65,15 @@ impl StandardReplacementSort {
             budget,
             metrics,
             state: State::Pending,
+            stash: Stash::new(),
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
-    /// Consumes the input: in-memory sort or replacement selection into runs.
-    fn build(&mut self) -> Result<State> {
+    /// Consumes the input: in-memory sort or replacement selection into
+    /// runs. Run-formation comparisons (heap sifts and admission checks)
+    /// accumulate locally and are charged in bulk, not per row.
+    fn build(&mut self, batched: bool) -> Result<State> {
         let mut child = self.child.take().expect("build called once");
         let budget_bytes = self.budget.bytes();
 
@@ -75,7 +81,7 @@ impl StandardReplacementSort {
         let mut buffer: Vec<Tuple> = Vec::new();
         let mut bytes = 0usize;
         let mut overflow: Option<Tuple> = None;
-        while let Some(t) = child.next()? {
+        while let Some(t) = pull_row(&mut child, &mut self.stash, batched)? {
             if bytes + t.byte_size() > budget_bytes && !buffer.is_empty() {
                 overflow = Some(t);
                 break;
@@ -95,6 +101,7 @@ impl StandardReplacementSort {
         for t in buffer {
             heap.push(0, t);
         }
+        let mut admission_cmps: u64 = 0;
         let mut next_input = overflow;
         let mut runs: Vec<TupleFile> = Vec::new();
         let mut current_run: u32 = 0;
@@ -121,17 +128,19 @@ impl StandardReplacementSort {
             // tuple is the floor for current-run admission: anything smaller
             // must wait for the next run or the run would become unsorted.
             if let Some(incoming) = next_input.take() {
-                let run = if compare_counted(&self.key, &incoming, &tuple, &self.metrics)
-                    == Ordering::Less
-                {
+                let (ord, n) = self.key.compare_counting(&incoming, &tuple);
+                admission_cmps += n;
+                let run = if ord == Ordering::Less {
                     current_run + 1
                 } else {
                     current_run
                 };
                 heap.push(run, incoming);
-                next_input = child.next()?;
+                next_input = pull_row(&mut child, &mut self.stash, batched)?;
             }
         }
+        heap.flush_comparisons();
+        self.metrics.add_comparisons(admission_cmps);
         // Seal the final run.
         let file = writer.finish()?;
         self.metrics.add_run_pages_written(file.block_count());
@@ -158,7 +167,7 @@ impl Operator for StandardReplacementSort {
         loop {
             match &mut self.state {
                 State::Pending => {
-                    self.state = self.build()?;
+                    self.state = self.build(false)?;
                 }
                 State::InMemory(s) => {
                     let t = s.next_tuple();
@@ -177,6 +186,39 @@ impl Operator for StandardReplacementSort {
                 State::Done => return Ok(None),
             }
         }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        loop {
+            match &mut self.state {
+                State::Pending => {
+                    self.state = self.build(true)?;
+                }
+                State::InMemory(s) => {
+                    let c = s.next_chunk(self.batch);
+                    if c.is_none() {
+                        self.state = State::Done;
+                    }
+                    return Ok(c);
+                }
+                State::Merging(m) => {
+                    let c = m.next_chunk(self.batch)?;
+                    if c.is_none() {
+                        self.state = State::Done;
+                    }
+                    return Ok(c);
+                }
+                State::Done => return Ok(None),
+            }
+        }
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
     }
 }
 

@@ -6,8 +6,7 @@
 //! factorial choice of interesting orders.
 
 use crate::metrics::MetricsRef;
-use crate::op::{BoxOp, Operator};
-use crate::sort::compare_counted;
+use crate::op::{BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{KeySpec, Result, Schema, Tuple};
 use std::cmp::Ordering;
 
@@ -46,6 +45,28 @@ impl Operator for UnionAll {
         }
         Ok(None)
     }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        while self.current < self.inputs.len() {
+            if let Some(batch) = self.inputs[self.current].next_batch()? {
+                return Ok(Some(batch));
+            }
+            self.current += 1;
+        }
+        Ok(None)
+    }
+
+    fn batch_size(&self) -> usize {
+        self.inputs
+            .first()
+            .map_or(DEFAULT_BATCH_SIZE, |i| i.batch_size())
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        for input in &mut self.inputs {
+            input.set_batch_size(rows);
+        }
+    }
 }
 
 /// Merge union over inputs sorted on the same key: preserves the order and
@@ -54,6 +75,7 @@ impl Operator for UnionAll {
 /// columns for complete SQL semantics).
 pub struct MergeUnion {
     inputs: Vec<BoxOp>,
+    stashes: Vec<Stash>,
     heads: Vec<Option<Tuple>>,
     key: KeySpec,
     distinct: bool,
@@ -61,6 +83,7 @@ pub struct MergeUnion {
     metrics: MetricsRef,
     last_emitted: Option<Tuple>,
     started: bool,
+    batch: usize,
 }
 
 impl MergeUnion {
@@ -69,8 +92,10 @@ impl MergeUnion {
         assert!(!inputs.is_empty());
         let schema = inputs[0].schema().clone();
         let heads = inputs.iter().map(|_| None).collect();
+        let stashes = inputs.iter().map(|_| Stash::new()).collect();
         MergeUnion {
             inputs,
+            stashes,
             heads,
             key,
             distinct,
@@ -78,20 +103,26 @@ impl MergeUnion {
             metrics,
             last_emitted: None,
             started: false,
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
-}
 
-impl Operator for MergeUnion {
-    fn schema(&self) -> &Schema {
-        &self.schema
+    fn refill(&mut self, i: usize, batched: bool) -> Result<()> {
+        self.heads[i] = if batched {
+            self.stashes[i].next_row(&mut self.inputs[i])?
+        } else {
+            self.inputs[i].next()?
+        };
+        Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    /// Produces the next merged row; key comparisons go into `acc` so the
+    /// caller can charge metrics once per pull (or per batch).
+    fn advance_one(&mut self, batched: bool, acc: &mut u64) -> Result<Option<Tuple>> {
         if !self.started {
             self.started = true;
             for i in 0..self.inputs.len() {
-                self.heads[i] = self.inputs[i].next()?;
+                self.refill(i, batched)?;
             }
         }
         loop {
@@ -107,7 +138,9 @@ impl Operator for MergeUnion {
                             self.heads[i].as_ref().expect("head"),
                             self.heads[b].as_ref().expect("head"),
                         );
-                        if compare_counted(&self.key, ta, tb, &self.metrics) == Ordering::Less {
+                        let (ord, n) = self.key.compare_counting(ta, tb);
+                        *acc += n;
+                        if ord == Ordering::Less {
                             i
                         } else {
                             b
@@ -117,7 +150,7 @@ impl Operator for MergeUnion {
             }
             let Some(i) = best else { return Ok(None) };
             let t = self.heads[i].take().expect("winner head");
-            self.heads[i] = self.inputs[i].next()?;
+            self.refill(i, batched)?;
             if self.distinct {
                 if let Some(last) = &self.last_emitted {
                     if last == &t {
@@ -128,6 +161,44 @@ impl Operator for MergeUnion {
             }
             return Ok(Some(t));
         }
+    }
+}
+
+impl Operator for MergeUnion {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        let mut acc = 0;
+        let out = self.advance_one(false, &mut acc);
+        self.metrics.add_comparisons(acc);
+        out
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        let mut acc = 0;
+        let mut out = Vec::new();
+        while out.len() < self.batch {
+            match self.advance_one(true, &mut acc) {
+                Ok(Some(t)) => out.push(t),
+                Ok(None) => break,
+                Err(e) => {
+                    self.metrics.add_comparisons(acc);
+                    return Err(e);
+                }
+            }
+        }
+        self.metrics.add_comparisons(acc);
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
     }
 }
 

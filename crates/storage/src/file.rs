@@ -148,6 +148,43 @@ impl TupleFileScan {
             self.buffer = decode_page(&data)?.into_iter();
         }
     }
+
+    /// Pulls one page's worth of tuples at a time: the decoded page vector
+    /// is handed over whole, with no per-tuple iterator step. `Ok(None)` at
+    /// end of file. Any rows buffered by a previous `next_tuple` call are
+    /// returned first, so the two pull styles compose.
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<Tuple>>> {
+        if self.buffer.len() > 0 {
+            return Ok(Some(self.buffer.by_ref().collect()));
+        }
+        loop {
+            if self.page_idx >= self.file.pages.len() {
+                return Ok(None);
+            }
+            let data = self.file.device.read_page(self.file.pages[self.page_idx])?;
+            self.page_idx += 1;
+            let tuples = decode_page(&data)?;
+            if !tuples.is_empty() {
+                return Ok(Some(tuples));
+            }
+        }
+    }
+
+    /// Decodes pages directly into `out` until it holds at least `target`
+    /// rows or the file ends (no intermediate page vector). Returns `true`
+    /// iff any rows were appended.
+    pub fn fill_chunk(&mut self, out: &mut Vec<Tuple>, target: usize) -> Result<bool> {
+        let start = out.len();
+        if self.buffer.len() > 0 {
+            out.extend(self.buffer.by_ref());
+        }
+        while out.len() < target && self.page_idx < self.file.pages.len() {
+            let data = self.file.device.read_page(self.file.pages[self.page_idx])?;
+            self.page_idx += 1;
+            crate::page::decode_page_into(&data, out)?;
+        }
+        Ok(out.len() > start)
+    }
 }
 
 impl Iterator for TupleFileScan {
@@ -206,6 +243,29 @@ mod tests {
         assert_eq!(f.tuple_count(), 0);
         assert_eq!(f.block_count(), 0);
         assert_eq!(f.scan().count(), 0);
+    }
+
+    #[test]
+    fn chunked_scan_matches_tuple_scan() {
+        let dev = SimDevice::with_block_size(128);
+        let data = rows(100);
+        let f = write_file(&dev, &data).unwrap();
+        let mut scan = f.scan();
+        let mut chunked = Vec::new();
+        let mut chunks = 0;
+        while let Some(mut c) = scan.next_chunk().unwrap() {
+            chunks += 1;
+            chunked.append(&mut c);
+        }
+        assert_eq!(chunked, data);
+        assert_eq!(chunks as u64, f.block_count(), "one chunk per page");
+        // Mixing styles: a chunk pull after a tuple pull returns the rest
+        // of the buffered page first.
+        let mut scan = f.scan();
+        let first = scan.next_tuple().unwrap().unwrap();
+        let rest = scan.next_chunk().unwrap().unwrap();
+        assert_eq!(first, data[0]);
+        assert_eq!(rest[0], data[1]);
     }
 
     #[test]

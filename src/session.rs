@@ -23,6 +23,7 @@ use pyro_catalog::Catalog;
 use pyro_common::{Result, Schema, Tuple};
 use pyro_core::cost::CostParams;
 use pyro_core::{OptimizedPlan, Optimizer, Strategy};
+use pyro_exec::DEFAULT_BATCH_SIZE;
 use pyro_ordering::SortOrder;
 use std::time::Instant;
 
@@ -30,13 +31,15 @@ use std::time::Instant;
 ///
 /// Defaults match the paper's full machinery: the `PYRO-O` strategy,
 /// hash-join/aggregate alternatives enabled, a 100-block sort memory budget,
-/// and cost constants derived from the backing device.
+/// 1024-row execution batches, and cost constants derived from the backing
+/// device.
 #[derive(Debug, Default)]
 pub struct SessionBuilder {
     strategy: Option<Strategy>,
     cost_params: Option<CostParams>,
     hash_operators: Option<bool>,
     sort_memory_blocks: Option<u64>,
+    batch_size: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -81,6 +84,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the execution batch size in rows (default: 1024; floor 1) —
+    /// how many tuples each operator hands its parent per `next_batch`
+    /// call. Counter totals are batch-size invariant; only CPU efficiency
+    /// changes. `1` degenerates to tuple-at-a-time pull.
+    pub fn batch_size(mut self, rows: usize) -> SessionBuilder {
+        self.batch_size = Some(rows);
+        self
+    }
+
     /// Builds the session over a fresh simulated device.
     pub fn build(self) -> Session {
         let mut catalog = Catalog::new();
@@ -92,6 +104,7 @@ impl SessionBuilder {
             strategy: self.strategy.unwrap_or_else(Strategy::pyro_o),
             cost_params: self.cost_params,
             hash_operators: self.hash_operators.unwrap_or(true),
+            batch_size: self.batch_size.unwrap_or(DEFAULT_BATCH_SIZE).max(1),
         }
     }
 }
@@ -109,6 +122,7 @@ pub struct Session {
     strategy: Strategy,
     cost_params: Option<CostParams>,
     hash_operators: bool,
+    batch_size: usize,
 }
 
 impl Session {
@@ -222,15 +236,26 @@ impl Session {
         self.catalog.set_sort_memory_blocks(blocks);
     }
 
+    /// The execution batch size in rows.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Sets the execution batch size for subsequent queries (floor 1).
+    pub fn set_batch_size(&mut self, rows: usize) {
+        self.batch_size = rows.max(1);
+    }
+
     // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
 
-    /// Runs a SQL query end to end and returns the typed result.
+    /// Runs a SQL query end to end and returns the typed result. Execution
+    /// is batch-at-a-time at the session's configured batch size.
     pub fn sql(&self, sql: &str) -> Result<QueryResult> {
         let plan = self.plan(sql)?;
         let start = Instant::now();
-        let pipeline = plan.compile(&self.catalog)?;
+        let pipeline = plan.compile_with_batch(&self.catalog, self.batch_size)?;
         let schema = pipeline.schema().clone();
         let out = pipeline.run()?;
         Ok(QueryResult {

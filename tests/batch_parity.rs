@@ -1,0 +1,413 @@
+//! Batch/row parity: every operator must produce identical rows AND
+//! identical `ExecMetrics` totals whether a pipeline is drained
+//! tuple-at-a-time or batch-at-a-time, at batch sizes {1, 3, 1024}.
+//!
+//! This is the invariant that lets the batch engine claim the paper's
+//! Experiment A figures unchanged: batching may only change CPU
+//! efficiency, never what work is done. Covered here: the end-to-end and
+//! order-claims SQL workloads through the `Session` front door, plus
+//! direct operator-level checks for operators the SQL layer doesn't reach
+//! (unions, nested loops) and for spill paths (external SRS, oversized MRS
+//! segments).
+
+use pyro::common::{KeySpec, Schema, Tuple, Value};
+use pyro::datagen::{consolidation, qtables, tpch};
+use pyro::exec::agg::{AggExpr, AggFunc, GroupAggregate, HashAggregate};
+use pyro::exec::dedup::{HashDistinct, SortDistinct};
+use pyro::exec::join::{HashJoin, JoinKind, MergeJoin, NestedLoopsJoin};
+use pyro::exec::limit::Limit;
+use pyro::exec::sort::{PartialSort, SortBudget, StandardReplacementSort};
+use pyro::exec::union::{MergeUnion, UnionAll};
+use pyro::exec::{collect, collect_batched, BoxOp, CmpOp, ExecMetrics, Expr, MetricsRef, ValuesOp};
+use pyro::storage::SimDevice;
+use pyro::{Session, Strategy};
+
+const BATCH_SIZES: [usize; 3] = [1, 3, 1024];
+
+/// Runs `sql` tuple-at-a-time as the reference, then batch-at-a-time at
+/// every probe batch size, asserting identical rows and counters.
+fn assert_sql_parity(session: &Session, sql: &str) {
+    let plan = session.plan(sql).unwrap();
+    let reference = plan
+        .compile(session.catalog())
+        .unwrap()
+        .run_tuple_at_a_time()
+        .unwrap();
+    for &bs in &BATCH_SIZES {
+        let out = plan
+            .compile_with_batch(session.catalog(), bs)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            reference.rows, out.rows,
+            "rows diverged (batch={bs}): {sql}"
+        );
+        assert_metrics_eq(&reference.metrics, &out.metrics, bs, sql);
+    }
+}
+
+fn assert_metrics_eq(a: &MetricsRef, b: &MetricsRef, bs: usize, what: &str) {
+    assert_eq!(
+        a.comparisons(),
+        b.comparisons(),
+        "comparisons diverged (batch={bs}): {what}"
+    );
+    assert_eq!(
+        a.run_pages_written(),
+        b.run_pages_written(),
+        "run pages written diverged (batch={bs}): {what}"
+    );
+    assert_eq!(
+        a.run_pages_read(),
+        b.run_pages_read(),
+        "run pages read diverged (batch={bs}): {what}"
+    );
+    assert_eq!(
+        a.runs_created(),
+        b.runs_created(),
+        "runs created diverged (batch={bs}): {what}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// SQL workloads (the end_to_end + order_claims suites' queries)
+// ---------------------------------------------------------------------
+
+#[test]
+fn tpch_queries_parity_across_strategies() {
+    let mut session = Session::new();
+    tpch::load(session.catalog_mut(), tpch::TpchConfig::scaled(0.002)).unwrap();
+    let queries = [
+        "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
+        "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey LIMIT 50",
+        "SELECT ps_suppkey, ps_partkey, ps_availqty, count(l_partkey) AS n \
+         FROM partsupp, lineitem \
+         WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
+         GROUP BY ps_suppkey, ps_partkey, ps_availqty \
+         ORDER BY ps_suppkey, ps_partkey",
+        "SELECT ps_suppkey, ps_partkey, ps_availqty, sum(l_quantity) AS total \
+         FROM partsupp, lineitem \
+         WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey AND l_linestatus = 'O' \
+         GROUP BY ps_availqty, ps_partkey, ps_suppkey \
+         HAVING sum(l_quantity) > ps_availqty \
+         ORDER BY ps_partkey",
+    ];
+    for strategy in Strategy::all() {
+        for hash in [true, false] {
+            session.set_strategy(strategy);
+            session.set_hash_operators(hash);
+            for sql in &queries {
+                assert_sql_parity(&session, sql);
+            }
+        }
+    }
+}
+
+#[test]
+fn full_outer_join_query_parity() {
+    let mut session = Session::new();
+    qtables::load_q4(session.catalog_mut(), 400).unwrap();
+    for hash in [true, false] {
+        session.set_hash_operators(hash);
+        assert_sql_parity(
+            &session,
+            "SELECT * FROM r1 FULL OUTER JOIN r2 \
+             ON (r1.c5 = r2.c5 AND r1.c4 = r2.c4 AND r1.c3 = r2.c3) \
+             FULL OUTER JOIN r3 \
+             ON (r3.c1 = r1.c1 AND r3.c4 = r1.c4 AND r3.c5 = r1.c5)",
+        );
+        assert_sql_parity(
+            &session,
+            "SELECT * FROM r1 FULL OUTER JOIN r2 \
+             ON (r1.c5 = r2.c5 AND r1.c4 = r2.c4 AND r1.c3 = r2.c3) \
+             FULL OUTER JOIN r3 \
+             ON (r3.c1 = r1.c1 AND r3.c4 = r1.c4 AND r3.c5 = r1.c5) \
+             ORDER BY r1.c4, r1.c5",
+        );
+    }
+}
+
+#[test]
+fn trading_and_basket_queries_parity() {
+    let mut session = Session::new();
+    qtables::load_tran(session.catalog_mut(), 1_000).unwrap();
+    assert_sql_parity(
+        &session,
+        "SELECT t1.userid, t1.basketid, t1.parentorderid, t1.waveid, t1.childorderid, \
+                min(t1.quantity * t1.price) AS ordervalue, \
+                sum(t2.quantity * t2.price) AS executedvalue \
+         FROM tran t1, tran t2 \
+         WHERE t1.userid = t2.userid AND t1.parentorderid = t2.parentorderid \
+           AND t1.basketid = t2.basketid AND t1.waveid = t2.waveid \
+           AND t1.childorderid = t2.childorderid \
+           AND t1.trantype = 'New' AND t2.trantype = 'Executed' \
+         GROUP BY t1.userid, t1.basketid, t1.parentorderid, t1.waveid, t1.childorderid",
+    );
+
+    let mut session = Session::new();
+    qtables::load_basket_analytics(session.catalog_mut(), 1_000).unwrap();
+    for hash in [true, false] {
+        session.set_hash_operators(hash);
+        assert_sql_parity(
+            &session,
+            "SELECT * FROM basket b, analytics a \
+             WHERE b.prodtype = a.prodtype AND b.symbol = a.symbol AND b.exchange = a.exchange",
+        );
+        assert_sql_parity(
+            &session,
+            "SELECT DISTINCT prodtype, exchange FROM basket ORDER BY prodtype, exchange",
+        );
+    }
+}
+
+#[test]
+fn consolidation_query_parity() {
+    let mut session = Session::new();
+    consolidation::load(session.catalog_mut(), 1_500).unwrap();
+    assert_sql_parity(
+        &session,
+        "SELECT c1.make, c1.year, c1.color, c1.city, c2.breakdowns, r.rating \
+         FROM catalog1 c1, catalog2 c2, rating r \
+         WHERE c1.city = c2.city AND c1.make = c2.make AND c1.year = c2.year \
+           AND c1.color = c2.color AND c1.make = r.make AND c1.year = r.year \
+         ORDER BY c1.make, c1.year, c1.color",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Direct operator-level parity (operators + paths SQL plans don't reach)
+// ---------------------------------------------------------------------
+
+/// Builds the same operator twice via `build` and checks row/batch parity.
+fn assert_op_parity(what: &str, build: &dyn Fn() -> (BoxOp, MetricsRef)) {
+    let (op, reference_metrics) = build();
+    let reference_rows = collect(op).unwrap();
+    for &bs in &BATCH_SIZES {
+        let (mut op, metrics) = build();
+        op.set_batch_size(bs);
+        let rows = collect_batched(op).unwrap();
+        assert_eq!(reference_rows, rows, "rows diverged (batch={bs}): {what}");
+        assert_metrics_eq(&reference_metrics, &metrics, bs, what);
+    }
+}
+
+fn int_rows(vals: &[(i64, i64)]) -> Vec<Tuple> {
+    vals.iter()
+        .map(|&(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+        .collect()
+}
+
+/// Deterministically scrambled two-column rows, first column grouped.
+fn segmented(segments: i64, per_segment: i64) -> Vec<Tuple> {
+    let mut rows = Vec::new();
+    let mut state = 7u64;
+    for s in 0..segments {
+        for _ in 0..per_segment {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rows.push(Tuple::new(vec![
+                Value::Int(s),
+                Value::Int((state >> 40) as i64),
+            ]));
+        }
+    }
+    rows
+}
+
+fn values(rows: Vec<Tuple>) -> BoxOp {
+    Box::new(ValuesOp::new(Schema::ints(&["a", "b"]), rows))
+}
+
+fn values_cd(rows: Vec<Tuple>) -> BoxOp {
+    Box::new(ValuesOp::new(Schema::ints(&["c", "d"]), rows))
+}
+
+#[test]
+fn union_operators_parity() {
+    assert_op_parity("union_all", &|| {
+        let m = ExecMetrics::new();
+        let op = UnionAll::new(vec![
+            values(int_rows(&[(1, 1), (2, 2)])),
+            values(Vec::new()),
+            values(int_rows(&[(3, 3)])),
+        ]);
+        (Box::new(op), m)
+    });
+    for distinct in [false, true] {
+        assert_op_parity(&format!("merge_union distinct={distinct}"), &|| {
+            let m = ExecMetrics::new();
+            let op = MergeUnion::new(
+                vec![
+                    values(int_rows(&[(1, 1), (3, 3), (3, 3), (5, 5)])),
+                    values(int_rows(&[(2, 2), (3, 3), (6, 6)])),
+                    values(int_rows(&[(0, 0), (9, 9)])),
+                ],
+                KeySpec::new(vec![0]),
+                distinct,
+                m.clone(),
+            );
+            (Box::new(op), m)
+        });
+    }
+}
+
+#[test]
+fn join_operators_parity() {
+    let left = [(1, 10), (1, 11), (2, 20), (4, 40), (6, 60)];
+    let right = [(1, 100), (2, 200), (2, 201), (5, 500)];
+    for kind in [JoinKind::Inner, JoinKind::LeftOuter, JoinKind::FullOuter] {
+        assert_op_parity(&format!("nested_loops {kind:?}"), &|| {
+            let m = ExecMetrics::new();
+            let op = NestedLoopsJoin::new(
+                values(int_rows(&left)),
+                values_cd(int_rows(&right)),
+                KeySpec::new(vec![0]),
+                KeySpec::new(vec![0]),
+                kind,
+            );
+            (Box::new(op), m)
+        });
+        assert_op_parity(&format!("hash_join {kind:?}"), &|| {
+            let m = ExecMetrics::new();
+            let op = HashJoin::new(
+                values(int_rows(&left)),
+                values_cd(int_rows(&right)),
+                KeySpec::new(vec![0]),
+                KeySpec::new(vec![0]),
+                kind,
+            );
+            (Box::new(op), m)
+        });
+        assert_op_parity(&format!("merge_join {kind:?}"), &|| {
+            let m = ExecMetrics::new();
+            let op = MergeJoin::new(
+                values(int_rows(&left)),
+                values_cd(int_rows(&right)),
+                KeySpec::new(vec![0]),
+                KeySpec::new(vec![0]),
+                kind,
+                m.clone(),
+            );
+            (Box::new(op), m)
+        });
+    }
+}
+
+#[test]
+fn aggregate_and_distinct_parity() {
+    let sorted = int_rows(&[(1, 5), (1, 7), (2, 1), (3, 3), (3, 3), (3, 9)]);
+    assert_op_parity("group_aggregate", &|| {
+        let m = ExecMetrics::new();
+        let op = GroupAggregate::new(
+            values(sorted.clone()),
+            vec![0],
+            vec![
+                AggExpr::new(AggFunc::Count, Expr::col(1), "c"),
+                AggExpr::new(AggFunc::Sum, Expr::col(1), "s"),
+            ],
+        );
+        (Box::new(op), m)
+    });
+    assert_op_parity("hash_aggregate", &|| {
+        let m = ExecMetrics::new();
+        let op = HashAggregate::new(
+            values(sorted.clone()),
+            vec![0],
+            vec![AggExpr::new(AggFunc::Avg, Expr::col(1), "m")],
+        );
+        (Box::new(op), m)
+    });
+    assert_op_parity("sort_distinct", &|| {
+        let m = ExecMetrics::new();
+        let op = SortDistinct::new(values(sorted.clone()), KeySpec::new(vec![0, 1]), m.clone());
+        (Box::new(op), m)
+    });
+    assert_op_parity("hash_distinct", &|| {
+        let m = ExecMetrics::new();
+        let op = HashDistinct::new(values(sorted.clone()));
+        (Box::new(op), m)
+    });
+}
+
+#[test]
+fn filter_project_limit_parity() {
+    let rows = segmented(10, 30);
+    assert_op_parity("filter", &|| {
+        let m = ExecMetrics::new();
+        let op = pyro::exec::filter::Filter::new(
+            values(rows.clone()),
+            Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit(0i64)),
+        );
+        (Box::new(op), m)
+    });
+    assert_op_parity("project", &|| {
+        let m = ExecMetrics::new();
+        let op = pyro::exec::project::Project::keep(values(rows.clone()), &[1, 0]);
+        (Box::new(op), m)
+    });
+    assert_op_parity("limit", &|| {
+        let m = ExecMetrics::new();
+        let op = Limit::new(values(rows.clone()), 17);
+        (Box::new(op), m)
+    });
+}
+
+#[test]
+fn sort_spill_paths_parity() {
+    // External SRS: reverse-sorted input with a tiny budget forces
+    // replacement selection + multi-run merging on both paths.
+    assert_op_parity("srs_external", &|| {
+        let dev = SimDevice::with_block_size(128);
+        let m = ExecMetrics::new();
+        let rows: Vec<Tuple> = (0..300)
+            .rev()
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 7)]))
+            .collect();
+        let op = StandardReplacementSort::new(
+            values(rows),
+            KeySpec::new(vec![0, 1]),
+            dev,
+            SortBudget::new(3, 128),
+            m.clone(),
+        );
+        (Box::new(op), m)
+    });
+    // MRS with an oversized segment: the per-segment spill/merge path.
+    assert_op_parity("mrs_oversized_segment", &|| {
+        let dev = SimDevice::with_block_size(128);
+        let m = ExecMetrics::new();
+        let mut rows = segmented(1, 400);
+        rows.extend(segmented(5, 10).into_iter().map(|t| {
+            Tuple::new(vec![
+                Value::Int(t.get(0).as_int().unwrap() + 1),
+                t.get(1).clone(),
+            ])
+        }));
+        let op = PartialSort::new(
+            values(rows),
+            KeySpec::new(vec![0, 1]),
+            1,
+            dev,
+            SortBudget::new(3, 128),
+            m.clone(),
+        );
+        (Box::new(op), m)
+    });
+    // Top-K over MRS: the demand-bounded pull must close the same segments
+    // (and so charge the same comparisons) on both paths.
+    assert_op_parity("limit_over_mrs", &|| {
+        let dev = SimDevice::new();
+        let m = ExecMetrics::new();
+        let op = PartialSort::new(
+            values(segmented(20, 25)),
+            KeySpec::new(vec![0, 1]),
+            1,
+            dev,
+            SortBudget::new(100, 4096),
+            m.clone(),
+        );
+        (Box::new(Limit::new(Box::new(op), 60)), m)
+    });
+}

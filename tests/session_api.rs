@@ -39,9 +39,33 @@ fn builder_defaults() {
         100,
         "default sort budget"
     );
+    assert_eq!(session.batch_size(), 1024, "default execution batch size");
     // `Session::new` and `Session::default` agree with the builder.
     assert_eq!(Session::new().strategy(), Strategy::pyro_o());
     assert_eq!(Session::default().strategy(), Strategy::pyro_o());
+}
+
+#[test]
+fn batch_size_knob_is_result_invariant() {
+    // Any batch size — including the degenerate tuple-at-a-time 1 — must
+    // produce the same rows and the same counters.
+    let mut session = quickstart_session();
+    let reference = session.sql(QUICKSTART).unwrap();
+    for rows in [1usize, 7, 4096] {
+        session.set_batch_size(rows);
+        assert_eq!(session.batch_size(), rows);
+        let result = session.sql(QUICKSTART).unwrap();
+        assert_eq!(result.rows(), reference.rows(), "batch_size={rows}");
+        assert_eq!(
+            result.metrics().comparisons(),
+            reference.metrics().comparisons(),
+            "batch_size={rows}"
+        );
+        assert_eq!(result.metrics().run_io(), reference.metrics().run_io());
+    }
+    // Builder knob, floor 1.
+    let session = Session::builder().batch_size(0).build();
+    assert_eq!(session.batch_size(), 1);
 }
 
 #[test]
