@@ -14,10 +14,9 @@
 //! cargo run --release --bin bench_batch -- --out out.json
 //! ```
 
-use pyro::common::{Schema, Tuple, Value};
 use pyro::core::PhysOp;
-use pyro::{Session, SortOrder};
-use pyro_bench::banner;
+use pyro::Session;
+use pyro_bench::{banner, workloads};
 use std::time::Instant;
 
 const BATCH_SIZE: usize = 1024;
@@ -148,85 +147,6 @@ fn run_bench(session: &Session, name: &'static str, rows_in: usize, sql: &str) -
     result
 }
 
-/// scan → filter → project over a 3-int-column table; the two-conjunct
-/// predicate keeps ~50% of the rows.
-fn scan_filter_project(n: usize) -> (Session, &'static str) {
-    let mut session = Session::new();
-    let rows: Vec<Tuple> = (0..n as i64)
-        .map(|i| {
-            Tuple::new(vec![
-                Value::Int(i),
-                Value::Int((i * 7919) % 1_000_000),
-                Value::Int(i % 97),
-            ])
-        })
-        .collect();
-    session
-        .register_table(
-            "points",
-            Schema::ints(&["a", "b", "c"]),
-            SortOrder::new(["a"]),
-            &rows,
-        )
-        .expect("register points");
-    (
-        session,
-        "SELECT a, c FROM points WHERE b < 750000 AND c < 65",
-    )
-}
-
-/// Hash join: 1M-row fact probing a 100k-row dim build side.
-fn hash_join(n: usize) -> (Session, &'static str) {
-    let dim_n = (n / 10).max(1);
-    let mut session = Session::new();
-    let dim: Vec<Tuple> = (0..dim_n as i64)
-        .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 3)]))
-        .collect();
-    let fact: Vec<Tuple> = (0..n as i64)
-        .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % dim_n as i64)]))
-        .collect();
-    session
-        .register_table(
-            "dim",
-            Schema::ints(&["d_k", "d_v"]),
-            SortOrder::new(["d_k"]),
-            &dim,
-        )
-        .expect("register dim");
-    session
-        .register_table(
-            "fact",
-            Schema::ints(&["f_k", "f_d"]),
-            SortOrder::new(["f_k"]),
-            &fact,
-        )
-        .expect("register fact");
-    (session, "SELECT * FROM dim, fact WHERE d_k = f_d")
-}
-
-/// The quickstart partial-sort query: ORDER BY (k, v) over clustering (k).
-fn partial_sort(n: usize) -> (Session, &'static str) {
-    let per_segment = 1000.min(n.max(2) / 2) as i64;
-    let mut session = Session::new();
-    let rows: Vec<Tuple> = (0..n as i64)
-        .map(|i| {
-            Tuple::new(vec![
-                Value::Int(i / per_segment),
-                Value::Int((i * 37) % 1_000_000),
-            ])
-        })
-        .collect();
-    session
-        .register_table(
-            "events",
-            Schema::ints(&["k", "v"]),
-            SortOrder::new(["k"]),
-            &rows,
-        )
-        .expect("register events");
-    (session, "SELECT k, v FROM events ORDER BY k, v")
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -236,14 +156,20 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(pyro::datagen::SEED);
     let n: usize = if smoke { 50_000 } else { 1_000_000 };
 
     let mut results = Vec::new();
 
-    let (session, sql) = scan_filter_project(n);
+    let (session, sql) = workloads::scan_filter_project(n, seed);
     results.push(run_bench(&session, "scan_filter_project", n, sql));
 
-    let (session, sql) = hash_join(n);
+    let (session, sql) = workloads::hash_join(n, seed);
     // The optimizer must actually have picked a hash join, or the numbers
     // would describe a different operator.
     let plan = session.plan(sql).expect("plan");
@@ -256,7 +182,7 @@ fn main() {
     );
     results.push(run_bench(&session, "hash_join", n, sql));
 
-    let (session, sql) = partial_sort(n);
+    let (session, sql) = workloads::partial_sort(n, seed);
     let result = run_bench(&session, "quickstart_partial_sort", n, sql);
     assert_eq!(
         result.native.run_io, 0,

@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let degraded = pyro_core::OptimizedPlan {
         root: degrade_partial_sorts(&plan.root),
         strategy: plan.strategy,
+        ordered_output: plan.ordered_output,
     };
     let srs = run_pipeline(degraded.compile(session.catalog())?, session.catalog())?;
 

@@ -146,6 +146,105 @@ pub const EXAMPLE1: &str = "SELECT c1.make, c1.year, c1.city, c1.color, c1.sellr
        AND c1.color = c2.color AND c1.make = r.make AND c1.year = r.year \
      ORDER BY c1.make, c1.year, c1.color, c1.city, c1.sellreason, c2.breakdowns, r.rating";
 
+/// The three micro-bench workloads shared by `bench_batch` and
+/// `bench_parallel`. Each builds a session whose RNG seed is the one knob
+/// (`SessionBuilder::seed`) that decides the generated data, so the two
+/// harnesses — and any two runs — populate bit-identical tables from the
+/// same seed.
+pub mod workloads {
+    use pyro::common::{Schema, Tuple, Value};
+    use pyro::{Session, SortOrder};
+    use pyro_datagen::rng_with;
+
+    /// scan → filter → project over a 3-int-column table; the two-conjunct
+    /// predicate keeps ~50% of the rows.
+    pub fn scan_filter_project(n: usize, seed: u64) -> (Session, &'static str) {
+        let mut session = Session::builder().seed(seed).build();
+        let mut r = rng_with(session.seed());
+        let rows: Vec<Tuple> = (0..n as i64)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::Int(r.gen_range(0..1_000_000)),
+                    Value::Int(r.gen_range(0..97)),
+                ])
+            })
+            .collect();
+        session
+            .register_table(
+                "points",
+                Schema::ints(&["a", "b", "c"]),
+                SortOrder::new(["a"]),
+                &rows,
+            )
+            .expect("register points");
+        (
+            session,
+            "SELECT a, c FROM points WHERE b < 750000 AND c < 65",
+        )
+    }
+
+    /// Hash join: an `n`-row fact probing an `n/10`-row dim build side.
+    pub fn hash_join(n: usize, seed: u64) -> (Session, &'static str) {
+        let dim_n = (n / 10).max(1);
+        let mut session = Session::builder().seed(seed).build();
+        let mut r = rng_with(session.seed());
+        let dim: Vec<Tuple> = (0..dim_n as i64)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 3)]))
+            .collect();
+        let fact: Vec<Tuple> = (0..n as i64)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::Int(r.gen_range(0..dim_n as i64)),
+                ])
+            })
+            .collect();
+        session
+            .register_table(
+                "dim",
+                Schema::ints(&["d_k", "d_v"]),
+                SortOrder::new(["d_k"]),
+                &dim,
+            )
+            .expect("register dim");
+        session
+            .register_table(
+                "fact",
+                Schema::ints(&["f_k", "f_d"]),
+                SortOrder::new(["f_k"]),
+                &fact,
+            )
+            .expect("register fact");
+        (session, "SELECT * FROM dim, fact WHERE d_k = f_d")
+    }
+
+    /// The quickstart partial-sort query: ORDER BY (k, v) over clustering
+    /// (k) — zero run I/O by the paper's §3.1 argument.
+    pub fn partial_sort(n: usize, seed: u64) -> (Session, &'static str) {
+        let per_segment = 1000.min(n.max(2) / 2) as i64;
+        let mut session = Session::builder().seed(seed).build();
+        let mut r = rng_with(session.seed());
+        let rows: Vec<Tuple> = (0..n as i64)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i / per_segment),
+                    Value::Int(r.gen_range(0..1_000_000)),
+                ])
+            })
+            .collect();
+        session
+            .register_table(
+                "events",
+                Schema::ints(&["k", "v"]),
+                SortOrder::new(["k"]),
+                &rows,
+            )
+            .expect("register events");
+        (session, "SELECT k, v FROM events ORDER BY k, v")
+    }
+}
+
 /// Collects rows while recording `(tuples_produced, elapsed)` checkpoints —
 /// the series Fig. 8 plots.
 pub fn run_with_checkpoints(

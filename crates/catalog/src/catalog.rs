@@ -6,7 +6,7 @@ use pyro_common::{PyroError, Result, Schema, Tuple};
 use pyro_ordering::SortOrder;
 use pyro_storage::{write_file, DeviceRef, SimDevice, TupleFile};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A registered table: metadata, its heap file (in clustering order) and
 /// one entry file per secondary index.
@@ -25,7 +25,7 @@ pub struct TableHandle {
 #[derive(Debug)]
 pub struct Catalog {
     device: DeviceRef,
-    tables: BTreeMap<String, Rc<TableHandle>>,
+    tables: BTreeMap<String, Arc<TableHandle>>,
     /// Sort memory budget in blocks — the `M` of the cost model. Defaults
     /// to 100 blocks.
     sort_memory_blocks: u64,
@@ -69,7 +69,7 @@ impl Catalog {
         schema: Schema,
         clustering: SortOrder,
         rows: &[Tuple],
-    ) -> Result<Rc<TableHandle>> {
+    ) -> Result<Arc<TableHandle>> {
         if self.tables.contains_key(name) {
             return Err(PyroError::Plan(format!("table {name} already registered")));
         }
@@ -96,7 +96,7 @@ impl Catalog {
             indexes: Vec::new(),
             stats,
         };
-        let handle = Rc::new(TableHandle {
+        let handle = Arc::new(TableHandle {
             meta,
             heap,
             index_files: BTreeMap::new(),
@@ -141,12 +141,12 @@ impl Catalog {
         entries.sort_by(|a, b| spec.compare(a, b));
         let file = write_file(&self.device, &entries)?;
 
-        // Re-insert an updated handle (Rc is immutable; rebuild).
+        // Re-insert an updated handle (Arc is immutable; rebuild).
         let mut meta = handle.meta.clone();
         meta.indexes.push(idx);
         let mut index_files = handle.index_files.clone();
         index_files.insert(index_name.to_string(), file);
-        let new_handle = Rc::new(TableHandle {
+        let new_handle = Arc::new(TableHandle {
             meta,
             heap: handle.heap.clone(),
             index_files,
@@ -156,7 +156,7 @@ impl Catalog {
     }
 
     /// Looks up a table.
-    pub fn table(&self, name: &str) -> Result<Rc<TableHandle>> {
+    pub fn table(&self, name: &str) -> Result<Arc<TableHandle>> {
         self.tables
             .get(name)
             .cloned()

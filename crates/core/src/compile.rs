@@ -4,6 +4,15 @@
 //! enforcers become the SRS / MRS operators of `pyro-exec`, and scans bind
 //! to the catalog's heap and index files. The whole pipeline shares one
 //! [`ExecMetrics`] so experiments can report comparisons and run I/O.
+//!
+//! With `workers > 1` ([`compile_with_workers`]) the compiler additionally
+//! performs pipeline-breaker detection: maximal subtrees of
+//! parallel-safe operators are instantiated as worker fragments behind
+//! exchange operators (see `crate::parallel`), while breakers — sorts,
+//! merge joins, aggregates, anything whose counters or output depend on the
+//! exact input sequence — stay serial and receive either the exact serial
+//! row sequence (an order-preserving merge over range-partitioned workers)
+//! or an unparallelized child.
 
 use crate::logical::{AggSpec, NExpr};
 use crate::plan::{PhysNode, PhysOp};
@@ -35,16 +44,100 @@ pub fn compile_with_batch(
     catalog: &Catalog,
     batch_size: usize,
 ) -> Result<Pipeline> {
+    compile_with_workers(root, catalog, batch_size, 1)
+}
+
+/// Compiles a physical plan for execution on `workers` threads (the
+/// `SessionBuilder::workers` knob). `workers = 1` takes exactly the serial
+/// path — same operators, same behaviour, bit-identical counters; with more
+/// workers, parallel-safe subtrees become morsel-driven worker fragments
+/// behind exchange operators while pipeline breakers stay serial.
+pub fn compile_with_workers(
+    root: &Rc<PhysNode>,
+    catalog: &Catalog,
+    batch_size: usize,
+    workers: usize,
+) -> Result<Pipeline> {
+    // Standalone callers hand us a bare physical tree, so the query's
+    // ORDER BY demand is unknown; assume any root-guaranteed order must be
+    // delivered (always correct, at worst an ordered merge where an
+    // arrival-order gather would have done). `OptimizedPlan` knows the
+    // actual demand and calls [`compile_with_workers_demand`] instead.
+    compile_with_workers_demand(
+        root,
+        catalog,
+        batch_size,
+        workers,
+        !root.out_order.is_empty(),
+    )
+}
+
+/// [`compile_with_workers`] with the query's output-order demand made
+/// explicit. `ordered_output = true` means the consumer relies on the root
+/// row sequence (the query had an ORDER BY) — essential for ORDER BYs the
+/// clustering already satisfies, where the plan contains no sort enforcer
+/// and order preservation rests entirely on the exchanges; `false` frees
+/// the root to gather worker output in arrival order even when the chosen
+/// plan incidentally guarantees an order.
+pub fn compile_with_workers_demand(
+    root: &Rc<PhysNode>,
+    catalog: &Catalog,
+    batch_size: usize,
+    workers: usize,
+    ordered_output: bool,
+) -> Result<Pipeline> {
     let metrics = ExecMetrics::new();
-    let op = compile_node(root, catalog, &metrics, batch_size.max(1))?;
+    let ctx = CompileCtx {
+        catalog,
+        metrics: metrics.clone(),
+        batch: batch_size.max(1),
+        workers: workers.max(1),
+    };
+    let op = compile_sub(root, &ctx, ordered_output)?;
     Ok(Pipeline::new(op, metrics))
+}
+
+/// Everything a (possibly parallel) plan instantiation threads downward.
+pub(crate) struct CompileCtx<'a> {
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) metrics: MetricsRef,
+    pub(crate) batch: usize,
+    pub(crate) workers: usize,
+}
+
+/// True iff this operator hands its input sequence through untouched *and*
+/// charges no sequence-dependent counters — i.e. an unordered parallel
+/// interleaving below it is observable only as row order, never as
+/// different counter totals or different row multisets.
+fn sequence_insensitive(op: &PhysOp) -> bool {
+    matches!(
+        op,
+        PhysOp::Filter { .. }
+            | PhysOp::Project { .. }
+            | PhysOp::HashJoin { .. }
+            | PhysOp::HashDistinct
+    )
+}
+
+/// Compiles a subtree. `exact` records whether some consumer above this
+/// point depends on the exact serial row sequence (a sort's comparison
+/// count, a Limit's chosen prefix, a merge join's group pairing); when set,
+/// only exact-sequence parallelism (range partitioning + ordered merge) is
+/// allowed here.
+pub(crate) fn compile_sub(node: &Rc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<BoxOp> {
+    if ctx.workers > 1 {
+        if let Some(op) = crate::parallel::try_parallel(node, ctx, exact)? {
+            return Ok(op);
+        }
+    }
+    compile_serial(node, ctx, exact)
 }
 
 fn budget(catalog: &Catalog) -> SortBudget {
     SortBudget::new(catalog.sort_memory_blocks(), catalog.device().block_size())
 }
 
-fn key_spec(schema: &Schema, order: &SortOrder) -> Result<KeySpec> {
+pub(crate) fn key_spec(schema: &Schema, order: &SortOrder) -> Result<KeySpec> {
     Ok(KeySpec::new(
         order
             .attrs()
@@ -97,31 +190,29 @@ fn compile_aggs(aggs: &[AggSpec], schema: &Schema) -> Result<Vec<AggExpr>> {
         .collect()
 }
 
-fn compile_node(
-    node: &Rc<PhysNode>,
-    catalog: &Catalog,
-    metrics: &MetricsRef,
-    batch: usize,
-) -> Result<BoxOp> {
+fn compile_serial(node: &Rc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<BoxOp> {
+    // A sequence-sensitive serial operator demands its children's exact
+    // serial row sequence; a pass-through one just inherits the demand.
+    let child_exact = exact || !sequence_insensitive(&node.op);
     let mut op: BoxOp = match &node.op {
         PhysOp::TableScan { table, .. } | PhysOp::ClusteredIndexScan { table, .. } => {
-            let handle = catalog.table(table)?;
+            let handle = ctx.catalog.table(table)?;
             Box::new(FileScan::new(node.schema.clone(), &handle.heap))
         }
         PhysOp::CoveringIndexScan { table, index, .. } => {
-            let handle = catalog.table(table)?;
+            let handle = ctx.catalog.table(table)?;
             let file = handle.index_files.get(index).ok_or_else(|| {
                 PyroError::Plan(format!("index {index} of {table} has no entry file"))
             })?;
             Box::new(FileScan::new(node.schema.clone(), file))
         }
         PhysOp::Filter { predicate } => {
-            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let child = compile_sub(&node.children[0], ctx, child_exact)?;
             let pred = compile_expr(predicate, child.schema())?;
             Box::new(Filter::new(child, pred))
         }
         PhysOp::Project { items } => {
-            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let child = compile_sub(&node.children[0], ctx, child_exact)?;
             let exprs = items
                 .iter()
                 .map(|it| compile_expr(&it.expr, child.schema()))
@@ -129,31 +220,31 @@ fn compile_node(
             Box::new(Project::new(child, exprs, node.schema.clone()))
         }
         PhysOp::Sort { target } => {
-            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let child = compile_sub(&node.children[0], ctx, child_exact)?;
             let key = key_spec(child.schema(), target)?;
             Box::new(StandardReplacementSort::new(
                 child,
                 key,
-                catalog.device().clone(),
-                budget(catalog),
-                metrics.clone(),
+                ctx.catalog.device().clone(),
+                budget(ctx.catalog),
+                ctx.metrics.clone(),
             ))
         }
         PhysOp::PartialSort { prefix_len, target } => {
-            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let child = compile_sub(&node.children[0], ctx, child_exact)?;
             let key = key_spec(child.schema(), target)?;
             Box::new(PartialSort::new(
                 child,
                 key,
                 *prefix_len,
-                catalog.device().clone(),
-                budget(catalog),
-                metrics.clone(),
+                ctx.catalog.device().clone(),
+                budget(ctx.catalog),
+                ctx.metrics.clone(),
             ))
         }
         PhysOp::MergeJoin { kind, pairs, order } => {
-            let left = compile_node(&node.children[0], catalog, metrics, batch)?;
-            let right = compile_node(&node.children[1], catalog, metrics, batch)?;
+            let left = compile_sub(&node.children[0], ctx, child_exact)?;
+            let right = compile_sub(&node.children[1], ctx, child_exact)?;
             // The chosen order's attributes are left-side pair columns; the
             // matching right-side columns come from the pairs.
             let mut l_cols = Vec::with_capacity(order.len());
@@ -171,12 +262,12 @@ fn compile_node(
                 KeySpec::new(l_cols),
                 KeySpec::new(r_cols),
                 *kind,
-                metrics.clone(),
+                ctx.metrics.clone(),
             ))
         }
         PhysOp::HashJoin { kind, pairs } => {
-            let left = compile_node(&node.children[0], catalog, metrics, batch)?;
-            let right = compile_node(&node.children[1], catalog, metrics, batch)?;
+            let left = compile_sub(&node.children[0], ctx, child_exact)?;
+            let right = compile_sub(&node.children[1], ctx, child_exact)?;
             let l_cols = pairs
                 .iter()
                 .map(|p| left.schema().index_of(&p.left))
@@ -194,8 +285,8 @@ fn compile_node(
             ))
         }
         PhysOp::NestedLoopsJoin { kind, pairs } => {
-            let left = compile_node(&node.children[0], catalog, metrics, batch)?;
-            let right = compile_node(&node.children[1], catalog, metrics, batch)?;
+            let left = compile_sub(&node.children[0], ctx, child_exact)?;
+            let right = compile_sub(&node.children[1], ctx, child_exact)?;
             let l_cols = pairs
                 .iter()
                 .map(|p| left.schema().index_of(&p.left))
@@ -213,7 +304,7 @@ fn compile_node(
             ))
         }
         PhysOp::SortAggregate { group_by, aggs } => {
-            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let child = compile_sub(&node.children[0], ctx, child_exact)?;
             let group_cols = group_by
                 .iter()
                 .map(|g| child.schema().index_of(g))
@@ -222,7 +313,7 @@ fn compile_node(
             Box::new(GroupAggregate::new(child, group_cols, aggs))
         }
         PhysOp::HashAggregate { group_by, aggs } => {
-            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let child = compile_sub(&node.children[0], ctx, child_exact)?;
             let group_cols = group_by
                 .iter()
                 .map(|g| child.schema().index_of(g))
@@ -231,20 +322,20 @@ fn compile_node(
             Box::new(HashAggregate::new(child, group_cols, aggs))
         }
         PhysOp::SortDistinct { order } => {
-            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let child = compile_sub(&node.children[0], ctx, child_exact)?;
             let key = key_spec(child.schema(), order)?;
-            Box::new(SortDistinct::new(child, key, metrics.clone()))
+            Box::new(SortDistinct::new(child, key, ctx.metrics.clone()))
         }
         PhysOp::HashDistinct => {
-            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let child = compile_sub(&node.children[0], ctx, child_exact)?;
             Box::new(HashDistinct::new(child))
         }
         PhysOp::Limit { k } => {
-            let child = compile_node(&node.children[0], catalog, metrics, batch)?;
+            let child = compile_sub(&node.children[0], ctx, child_exact)?;
             Box::new(Limit::new(child, *k))
         }
     };
-    op.set_batch_size(batch);
+    op.set_batch_size(ctx.batch);
     Ok(op)
 }
 

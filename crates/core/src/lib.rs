@@ -30,6 +30,7 @@ pub mod equiv;
 pub mod favorable;
 pub mod logical;
 pub mod optimizer;
+mod parallel;
 pub mod plan;
 pub mod refine;
 pub mod stats;

@@ -89,6 +89,7 @@ impl<'a> Optimizer<'a> {
         Ok(OptimizedPlan {
             root: best,
             strategy: self.strategy,
+            ordered_output: output_is_ordered(plan),
         })
     }
 
@@ -105,7 +106,23 @@ impl<'a> Optimizer<'a> {
         Ok(OptimizedPlan {
             root: best,
             strategy: self.strategy,
+            ordered_output: output_is_ordered(plan),
         })
+    }
+}
+
+/// True iff the query demands ordered output: lowering places the ORDER BY
+/// `Sort` at the logical root, optionally under a `Limit`. This is the
+/// *requirement*; a physical plan may additionally *guarantee* an order the
+/// query never asked for (a clustered scan), which costs nothing to ignore.
+fn output_is_ordered(plan: &LogicalPlan) -> bool {
+    let mut id = plan.root();
+    loop {
+        match plan.node(id) {
+            LogicalOp::Limit { input, .. } => id = *input,
+            LogicalOp::Sort { .. } => return true,
+            _ => return false,
+        }
     }
 }
 
@@ -116,6 +133,11 @@ pub struct OptimizedPlan {
     pub root: Rc<PhysNode>,
     /// Strategy that produced it.
     pub strategy: Strategy,
+    /// Whether the query demands ordered output (it had an ORDER BY). The
+    /// parallel compiler preserves the root sequence exactly when this is
+    /// set, and is free to gather in arrival order when it is not — even if
+    /// the chosen plan incidentally guarantees an order.
+    pub ordered_output: bool,
 }
 
 impl OptimizedPlan {
@@ -133,6 +155,25 @@ impl OptimizedPlan {
     /// default batch size.
     pub fn compile(&self, catalog: &Catalog) -> Result<pyro_exec::Pipeline> {
         crate::compile::compile(&self.root, catalog)
+    }
+
+    /// Compiles for `workers`-thread execution: parallel-safe subtrees run
+    /// as morsel-driven worker fragments behind exchange operators, with
+    /// per-worker metrics merged back deterministically. `workers = 1` is
+    /// exactly the serial path.
+    pub fn compile_with_workers(
+        &self,
+        catalog: &Catalog,
+        batch_size: usize,
+        workers: usize,
+    ) -> Result<pyro_exec::Pipeline> {
+        crate::compile::compile_with_workers_demand(
+            &self.root,
+            catalog,
+            batch_size,
+            workers,
+            self.ordered_output,
+        )
     }
 
     /// Compiles with an explicit batch granularity (rows exchanged per

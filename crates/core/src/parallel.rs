@@ -1,0 +1,385 @@
+//! Parallel plan instantiation: turns maximal parallel-safe subtrees of a
+//! physical plan into morsel-driven worker fragments behind the exchange
+//! operators of `pyro-exec`.
+//!
+//! **What parallelizes.** Scans (heap, clustered, covering index), filters,
+//! projections, and hash joins — operators that charge no `ExecMetrics`
+//! counters, so distributing their rows over workers cannot change the four
+//! paper counters. Everything else (sorts, merge joins, aggregates,
+//! distinct, limits, nested loops) is a pipeline breaker: it runs serially,
+//! and what it consumes must be sequence-faithful.
+//!
+//! **How subtrees attach.** Three cases, decided by the `exact` context the
+//! compiler threads down (see `compile::compile_sub`):
+//!
+//! 1. No sequence-sensitive consumer above → a [`Gather`] streams worker
+//!    batches in arrival order. Workers claim morsels (page ranges) from a
+//!    shared atomic cursor; a hash join additionally repartitions both
+//!    inputs by a deterministic key hash so each worker joins one disjoint
+//!    key partition ([`repartition`]).
+//! 2. A sequence-sensitive consumer above *and* the subtree is a
+//!    scan→filter→project chain with a guaranteed sort order → workers take
+//!    *contiguous* page ranges and a [`GatherMerge`] k-way-merges them on
+//!    the declared order, ties to the lowest worker index. Because the file
+//!    is stored in that order, this reproduces the serial row sequence
+//!    exactly — so the consumer's counters are bit-identical to serial.
+//! 3. Otherwise the subtree stays serial.
+
+use crate::compile::{compile_expr, key_spec, CompileCtx};
+use crate::plan::{PhysNode, PhysOp};
+use pyro_catalog::Catalog;
+use pyro_common::{KeySpec, PyroError, Result};
+use pyro_exec::filter::Filter;
+use pyro_exec::join::HashJoin;
+use pyro_exec::project::Project;
+use pyro_exec::{repartition, BoxOp, Fragment, Gather, GatherMerge, MorselScan, MorselSource};
+use pyro_storage::TupleFile;
+use std::rc::Rc;
+
+/// Attempts to instantiate `node` as a parallel subtree; `Ok(None)` means
+/// "not eligible here — compile serially".
+pub(crate) fn try_parallel(
+    node: &Rc<PhysNode>,
+    ctx: &CompileCtx,
+    exact: bool,
+) -> Result<Option<BoxOp>> {
+    if !parallel_safe(node) {
+        return Ok(None);
+    }
+    if !exact {
+        let frags = fragments(node, ctx, false)?;
+        let mut op: BoxOp = Box::new(Gather::new(node.schema.clone(), frags, ctx.metrics.clone()));
+        op.set_batch_size(ctx.batch);
+        return Ok(Some(op));
+    }
+    // Exact-sequence context: only an order-preserving merge over
+    // contiguous ranges of an order-guaranteed scan chain qualifies.
+    if !node.out_order.is_empty() && is_scan_chain(node) {
+        if let Ok(key) = key_spec(&node.schema, &node.out_order) {
+            let frags = fragments(node, ctx, true)?;
+            let mut op: BoxOp = Box::new(GatherMerge::new(
+                node.schema.clone(),
+                frags,
+                key,
+                ctx.metrics.clone(),
+            ));
+            op.set_batch_size(ctx.batch);
+            return Ok(Some(op));
+        }
+    }
+    Ok(None)
+}
+
+/// True iff the whole subtree consists of counter-free, partitionable
+/// operators.
+fn parallel_safe(node: &PhysNode) -> bool {
+    match &node.op {
+        PhysOp::TableScan { .. }
+        | PhysOp::ClusteredIndexScan { .. }
+        | PhysOp::CoveringIndexScan { .. } => true,
+        PhysOp::Filter { .. } | PhysOp::Project { .. } => parallel_safe(&node.children[0]),
+        PhysOp::HashJoin { .. } => {
+            parallel_safe(&node.children[0]) && parallel_safe(&node.children[1])
+        }
+        _ => false,
+    }
+}
+
+/// True iff the subtree is a single-leaf Filter/Project chain over one scan
+/// — the shape whose serial sequence a range partition can reproduce.
+fn is_scan_chain(node: &PhysNode) -> bool {
+    match &node.op {
+        PhysOp::TableScan { .. }
+        | PhysOp::ClusteredIndexScan { .. }
+        | PhysOp::CoveringIndexScan { .. } => true,
+        PhysOp::Filter { .. } | PhysOp::Project { .. } => is_scan_chain(&node.children[0]),
+        _ => false,
+    }
+}
+
+/// Resolves the file a scan leaf reads.
+fn scan_file(node: &PhysNode, catalog: &Catalog) -> Result<TupleFile> {
+    match &node.op {
+        PhysOp::TableScan { table, .. } | PhysOp::ClusteredIndexScan { table, .. } => {
+            Ok(catalog.table(table)?.heap.clone())
+        }
+        PhysOp::CoveringIndexScan { table, index, .. } => catalog
+            .table(table)?
+            .index_files
+            .get(index)
+            .cloned()
+            .ok_or_else(|| PyroError::Plan(format!("index {index} of {table} has no entry file"))),
+        other => Err(PyroError::Plan(format!(
+            "not a scan leaf: {}",
+            other.name()
+        ))),
+    }
+}
+
+/// Builds the `ctx.workers` fragment operator trees for a parallel-safe
+/// subtree. `ranged` selects the leaf partitioning: `false` → dynamic
+/// morsels off a shared cursor (load-balanced, arrival order free), `true`
+/// → static contiguous page ranges (worker order reproduces file order, as
+/// `GatherMerge` requires; never legal for hash-join subtrees).
+fn fragments(node: &Rc<PhysNode>, ctx: &CompileCtx, ranged: bool) -> Result<Vec<Fragment>> {
+    let frags = match &node.op {
+        PhysOp::TableScan { .. }
+        | PhysOp::ClusteredIndexScan { .. }
+        | PhysOp::CoveringIndexScan { .. } => {
+            let file = scan_file(node, ctx.catalog)?;
+            if ranged {
+                let pages = file.block_count() as usize;
+                (0..ctx.workers)
+                    .map(|w| {
+                        let start = pages * w / ctx.workers;
+                        let end = pages * (w + 1) / ctx.workers;
+                        let op: BoxOp = Box::new(pyro_exec::FileScan::over_pages(
+                            node.schema.clone(),
+                            &file,
+                            start,
+                            end,
+                        ));
+                        Fragment::new(op)
+                    })
+                    .collect()
+            } else {
+                let source = MorselSource::new(&file);
+                (0..ctx.workers)
+                    .map(|_| {
+                        let op: BoxOp =
+                            Box::new(MorselScan::new(node.schema.clone(), source.clone()));
+                        Fragment::new(op)
+                    })
+                    .collect()
+            }
+        }
+        PhysOp::Filter { predicate } => {
+            let child = &node.children[0];
+            let pred = compile_expr(predicate, &child.schema)?;
+            fragments(child, ctx, ranged)?
+                .into_iter()
+                .map(|f| Fragment {
+                    op: Box::new(Filter::new(f.op, pred.clone())),
+                    metrics: f.metrics,
+                })
+                .collect()
+        }
+        PhysOp::Project { items } => {
+            let child = &node.children[0];
+            let exprs = items
+                .iter()
+                .map(|it| compile_expr(&it.expr, &child.schema))
+                .collect::<Result<Vec<_>>>()?;
+            fragments(child, ctx, ranged)?
+                .into_iter()
+                .map(|f| Fragment {
+                    op: Box::new(Project::new(f.op, exprs.clone(), node.schema.clone())),
+                    metrics: f.metrics,
+                })
+                .collect()
+        }
+        PhysOp::HashJoin { kind, pairs } => {
+            debug_assert!(!ranged, "hash-join subtrees cannot be range-partitioned");
+            let (left, right) = (&node.children[0], &node.children[1]);
+            let l_cols = pairs
+                .iter()
+                .map(|p| left.schema.index_of(&p.left))
+                .collect::<Result<Vec<_>>>()?;
+            let r_cols = pairs
+                .iter()
+                .map(|p| right.schema.index_of(&p.right))
+                .collect::<Result<Vec<_>>>()?;
+            // Both inputs are produced by their own worker sets and hashed
+            // across the join workers: worker `p` builds from — and probes
+            // with — partition `p` only (disjoint key sets, so per-partition
+            // joins compose by union).
+            let build = repartition(
+                fragments(left, ctx, false)?,
+                l_cols.clone(),
+                ctx.workers,
+                ctx.batch,
+                left.schema.clone(),
+                ctx.metrics.clone(),
+            );
+            let probe = repartition(
+                fragments(right, ctx, false)?,
+                r_cols.clone(),
+                ctx.workers,
+                ctx.batch,
+                right.schema.clone(),
+                ctx.metrics.clone(),
+            );
+            build
+                .into_iter()
+                .zip(probe)
+                .map(|(b, p)| {
+                    let op: BoxOp = Box::new(HashJoin::new(
+                        Box::new(b),
+                        Box::new(p),
+                        KeySpec::new(l_cols.clone()),
+                        KeySpec::new(r_cols.clone()),
+                        *kind,
+                    ));
+                    Fragment::new(op)
+                })
+                .collect()
+        }
+        other => {
+            return Err(PyroError::Plan(format!(
+                "fragments() on non-parallel-safe operator {}",
+                other.name()
+            )))
+        }
+    };
+    let mut frags: Vec<Fragment> = frags;
+    for f in &mut frags {
+        f.op.set_batch_size(ctx.batch);
+    }
+    Ok(frags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{JoinPair, LogicalPlan};
+    use crate::optimizer::Optimizer;
+    use pyro_common::{Schema, Tuple, Value};
+    use pyro_ordering::SortOrder;
+
+    fn catalog(rows: usize) -> Catalog {
+        let mut cat = Catalog::new();
+        let rows: Vec<Tuple> = (0..rows as i64)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 10)]))
+            .collect();
+        cat.register_table("t", Schema::ints(&["k", "g"]), SortOrder::new(["k"]), &rows)
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_rows_and_counters() {
+        let cat = catalog(5_000);
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t", "t");
+        p.filter(s, crate::logical::NExpr::col_eq_lit("t.g", 3i64));
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        let serial = plan.execute(&cat).unwrap();
+        for workers in [2, 4] {
+            let par = plan
+                .compile_with_workers(&cat, 256, workers)
+                .unwrap()
+                .run()
+                .unwrap();
+            let mut a = serial.rows.clone();
+            let mut b = par.rows.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "workers={workers}");
+            assert_eq!(serial.metrics.comparisons(), par.metrics.comparisons());
+            assert_eq!(serial.metrics.run_io(), par.metrics.run_io());
+        }
+    }
+
+    #[test]
+    fn parallel_ordered_scan_is_sequence_exact() {
+        let cat = catalog(5_000);
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t", "t");
+        // ORDER BY (g, k): a partial sort (breaker) over the clustered scan
+        // — the scan below it must arrive in exact serial sequence.
+        p.order_by(s, SortOrder::new(["t.g", "t.k"]));
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        let serial = plan.execute(&cat).unwrap();
+        for workers in [2, 4] {
+            let par = plan
+                .compile_with_workers(&cat, 256, workers)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(serial.rows, par.rows, "ordered output must be exact");
+            assert_eq!(
+                serial.metrics.comparisons(),
+                par.metrics.comparisons(),
+                "sort comparisons depend on input sequence; must match serial"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_hash_join_partitions_match_serial() {
+        let cat = catalog(3_000);
+        let mut p = LogicalPlan::new();
+        let a = p.scan_as("t", "a");
+        let b = p.scan_as("t", "b");
+        p.join(a, b, vec![JoinPair::new("a.g", "b.g")]);
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        assert!(
+            plan.root
+                .count_nodes(&|n| matches!(n.op, PhysOp::HashJoin { .. }))
+                > 0,
+            "test premise: plan uses a hash join\n{}",
+            plan.explain()
+        );
+        let serial = plan.execute(&cat).unwrap();
+        let par = plan
+            .compile_with_workers(&cat, 256, 4)
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut a = serial.rows.clone();
+        let mut b = par.rows.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(serial.metrics.comparisons(), par.metrics.comparisons());
+    }
+
+    #[test]
+    fn order_by_satisfied_by_clustering_stays_sorted() {
+        // The paper's hallmark free-order case: ORDER BY on the clustering
+        // key compiles to a bare scan with NO sort enforcer, so the
+        // sequence demand starts at the plan root — parallel execution must
+        // use the order-preserving merge, not an arrival-order gather.
+        let cat = catalog(5_000);
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t", "t");
+        p.order_by(s, SortOrder::new(["t.k"]));
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        assert_eq!(
+            plan.root
+                .count_nodes(&|n| matches!(n.op, PhysOp::Sort { .. } | PhysOp::PartialSort { .. })),
+            0,
+            "test premise: clustering satisfies the ORDER BY, no enforcer\n{}",
+            plan.explain()
+        );
+        let serial = plan.execute(&cat).unwrap();
+        for workers in [2, 4] {
+            let par = plan
+                .compile_with_workers(&cat, 256, workers)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(
+                serial.rows, par.rows,
+                "workers={workers}: enforcer-free ORDER BY must stay sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_one_is_the_serial_path() {
+        let cat = catalog(500);
+        let mut p = LogicalPlan::new();
+        let s = p.scan_as("t", "t");
+        p.order_by(s, SortOrder::new(["t.g", "t.k"]));
+        let plan = Optimizer::new(&cat).optimize(&p).unwrap();
+        let a = plan.compile_with_batch(&cat, 256).unwrap().run().unwrap();
+        let b = plan
+            .compile_with_workers(&cat, 256, 1)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.metrics.comparisons(), b.metrics.comparisons());
+    }
+}

@@ -23,9 +23,16 @@ pub use rng::StdRng;
 /// Fixed seed so every run of every experiment sees identical data.
 pub const SEED: u64 = 0x5EED_0DE5;
 
-/// Convenience: seeded RNG.
+/// Convenience: RNG seeded with the fixed default [`SEED`].
 pub fn rng() -> StdRng {
-    StdRng::seed_from_u64(SEED)
+    rng_with(SEED)
+}
+
+/// RNG with an explicit seed — the hook `SessionBuilder::seed` threads
+/// through the `*_with_seed` loader variants so different binaries (e.g.
+/// `bench_batch` and `bench_parallel`) can generate identical tables.
+pub fn rng_with(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
 }
 
 /// Sorts rows by the named columns of `schema` (generator-side clustering).
@@ -90,7 +97,12 @@ pub mod tpch {
     /// * `lineitem` clustered on `l_orderkey`; covering secondary index on
     ///   `l_suppkey` (incl. partkey, quantity, linestatus).
     pub fn load(cat: &mut Catalog, cfg: TpchConfig) -> Result<()> {
-        let mut r = rng();
+        load_with_seed(cat, cfg, super::SEED)
+    }
+
+    /// [`load`] with an explicit RNG seed.
+    pub fn load_with_seed(cat: &mut Catalog, cfg: TpchConfig, seed: u64) -> Result<()> {
+        let mut r = rng_with(seed);
 
         // partsupp: 4 suppliers per part, sorted by (partkey, suppkey).
         let ps_schema = Schema::new(vec![
@@ -184,7 +196,12 @@ pub mod consolidation {
     /// `catalog_rows` scales the 2 M-row catalogs; `rating` keeps the
     /// paper's 1:1000 size ratio (2 K rows at 2 M).
     pub fn load(cat: &mut Catalog, catalog_rows: usize) -> Result<()> {
-        let mut r = rng();
+        load_with_seed(cat, catalog_rows, super::SEED)
+    }
+
+    /// [`load`] with an explicit RNG seed.
+    pub fn load_with_seed(cat: &mut Catalog, catalog_rows: usize, seed: u64) -> Result<()> {
+        let mut r = rng_with(seed);
         let makes = 100i64;
         let years = 30i64;
         let cities = 200i64;
@@ -302,7 +319,17 @@ pub mod rtables {
     /// distinct `c1` value, clustered on `c1`; `c2`, `c3` random. `pad`
     /// bytes of filler let A3 control the on-disk segment size.
     pub fn generate(rows: usize, segments: usize, pad: usize) -> (Schema, Vec<Tuple>) {
-        let mut r = rng();
+        generate_with_seed(rows, segments, pad, super::SEED)
+    }
+
+    /// [`generate`] with an explicit RNG seed.
+    pub fn generate_with_seed(
+        rows: usize,
+        segments: usize,
+        pad: usize,
+        seed: u64,
+    ) -> (Schema, Vec<Tuple>) {
+        let mut r = rng_with(seed);
         let per_segment = (rows / segments.max(1)).max(1);
         let schema = Schema::new(vec![
             Column::new("c1", DataType::Int),
@@ -348,7 +375,12 @@ pub mod qtables {
     /// Query 4 (Experiment B2): `R1`, `R2`, `R3` — identical five-column
     /// tables, no indexes, populated with `rows` records each.
     pub fn load_q4(cat: &mut Catalog, rows: usize) -> Result<()> {
-        let mut r = rng();
+        load_q4_with_seed(cat, rows, super::SEED)
+    }
+
+    /// [`load_q4`] with an explicit RNG seed.
+    pub fn load_q4_with_seed(cat: &mut Catalog, rows: usize, seed: u64) -> Result<()> {
+        let mut r = rng_with(seed);
         let schema = Schema::new(
             (1..=5)
                 .map(|i| Column::new(format!("c{i}"), DataType::Int))
@@ -373,7 +405,12 @@ pub mod qtables {
     /// `(userid, basketid)` so a *prefix* of the five-attribute join is
     /// favorable — the situation where arbitrary secondary orders hurt.
     pub fn load_tran(cat: &mut Catalog, rows: usize) -> Result<()> {
-        let mut r = rng();
+        load_tran_with_seed(cat, rows, super::SEED)
+    }
+
+    /// [`load_tran`] with an explicit RNG seed.
+    pub fn load_tran_with_seed(cat: &mut Catalog, rows: usize, seed: u64) -> Result<()> {
+        let mut r = rng_with(seed);
         let schema = Schema::new(vec![
             Column::new("userid", DataType::Int),
             Column::new("basketid", DataType::Int),
@@ -415,7 +452,16 @@ pub mod qtables {
     /// attributes; `basket` is clustered on a 2-attribute prefix,
     /// `analytics` on a single attribute.
     pub fn load_basket_analytics(cat: &mut Catalog, rows: usize) -> Result<()> {
-        let mut r = rng();
+        load_basket_analytics_with_seed(cat, rows, super::SEED)
+    }
+
+    /// [`load_basket_analytics`] with an explicit RNG seed.
+    pub fn load_basket_analytics_with_seed(
+        cat: &mut Catalog,
+        rows: usize,
+        seed: u64,
+    ) -> Result<()> {
+        let mut r = rng_with(seed);
         let mk_schema = |extra: &str| {
             Schema::new(vec![
                 Column::new("prodtype", DataType::Int),
@@ -519,5 +565,17 @@ mod tests {
         let (_, a) = rtables::generate(100, 4, 0);
         let (_, b) = rtables::generate(100, 4, 0);
         assert_eq!(a, b, "same seed, same data");
+    }
+
+    #[test]
+    fn explicit_seed_is_reproducible_and_distinct() {
+        let (_, a) = rtables::generate_with_seed(100, 4, 0, 1);
+        let (_, b) = rtables::generate_with_seed(100, 4, 0, 1);
+        assert_eq!(a, b, "same explicit seed, same data");
+        let (_, c) = rtables::generate_with_seed(100, 4, 0, 2);
+        assert_ne!(a, c, "different seed, different data");
+        let (_, d) = rtables::generate(100, 4, 0);
+        let (_, e) = rtables::generate_with_seed(100, 4, 0, SEED);
+        assert_eq!(d, e, "default loader == explicit default seed");
     }
 }

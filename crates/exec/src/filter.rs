@@ -52,6 +52,11 @@ impl Operator for Filter {
     fn set_batch_size(&mut self, rows: usize) {
         self.child.set_batch_size(rows);
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // A filter can drop everything but never adds rows.
+        (0, self.child.size_hint().1)
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 
 pub mod agg;
 pub mod dedup;
+pub mod exchange;
 pub mod expr;
 pub mod filter;
 pub mod join;
@@ -34,8 +35,10 @@ pub mod scan;
 pub mod sort;
 pub mod union;
 
+pub use exchange::{hash_key, repartition, Fragment, Gather, GatherMerge, PartitionSource};
 pub use expr::{CmpOp, Expr};
 pub use metrics::{ExecMetrics, MetricsRef};
 pub use op::{
     collect, collect_batched, BoxOp, Operator, Pipeline, Rows, Stash, ValuesOp, DEFAULT_BATCH_SIZE,
 };
+pub use scan::{FileScan, MorselScan, MorselSource};

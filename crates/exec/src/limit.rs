@@ -80,6 +80,14 @@ impl Operator for Limit {
     fn set_batch_size(&mut self, rows: usize) {
         self.batch = rows.max(1);
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // `remaining` caps both bounds, making Limit-topped plans
+        // exact-cardinality whenever the child's lower bound reaches k.
+        let k = self.remaining as usize;
+        let (lower, upper) = self.child.size_hint();
+        (lower.min(k), Some(upper.unwrap_or(k).min(k)))
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +116,19 @@ mod tests {
         let src = ValuesOp::new(Schema::ints(&["a"]), vec![Tuple::new(vec![Value::Int(1)])]);
         let op = Limit::new(Box::new(src), 100);
         assert_eq!(collect(Box::new(op)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn size_hint_is_exact_over_known_child() {
+        let rows: Vec<Tuple> = (0..10).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
+        let src = ValuesOp::new(Schema::ints(&["a"]), rows);
+        let mut op = Limit::new(Box::new(src), 3);
+        assert_eq!(op.size_hint(), (3, Some(3)), "k caps a 10-row child");
+        op.next().unwrap();
+        assert_eq!(op.size_hint(), (2, Some(2)));
+        // k beyond the child: the child's exact count wins.
+        let src = ValuesOp::new(Schema::ints(&["a"]), vec![Tuple::new(vec![Value::Int(1)])]);
+        let op = Limit::new(Box::new(src), 100);
+        assert_eq!(op.size_hint(), (1, Some(1)));
     }
 }

@@ -1,7 +1,7 @@
 //! Shared execution counters.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counters every operator in a pipeline shares.
 ///
@@ -10,74 +10,92 @@ use std::rc::Rc;
 /// count *sort-spill* I/O only — base-table I/O is tracked by the storage
 /// device, so "MRS avoids run generation I/O completely" is the assertion
 /// `run_pages_written == 0 && run_pages_read == 0`.
+///
+/// The counters are relaxed atomics so a metrics block can cross thread
+/// boundaries, but the parallel engine does **not** share one block between
+/// workers: each worker fragment charges its own `ExecMetrics` and the
+/// exchange operator that owns the workers merges them into the pipeline's
+/// block — in worker-index order — when the last fragment finishes (see
+/// [`ExecMetrics::merge_from`]). Addition commutes, so merged totals are
+/// bit-identical to serial execution whenever the per-worker work is.
 #[derive(Debug, Default)]
 pub struct ExecMetrics {
-    comparisons: Cell<u64>,
-    run_pages_written: Cell<u64>,
-    run_pages_read: Cell<u64>,
-    runs_created: Cell<u64>,
+    comparisons: AtomicU64,
+    run_pages_written: AtomicU64,
+    run_pages_read: AtomicU64,
+    runs_created: AtomicU64,
 }
 
 /// Shared handle to pipeline metrics.
-pub type MetricsRef = Rc<ExecMetrics>;
+pub type MetricsRef = Arc<ExecMetrics>;
 
 impl ExecMetrics {
     /// Fresh, zeroed counters.
     pub fn new() -> MetricsRef {
-        Rc::new(ExecMetrics::default())
+        Arc::new(ExecMetrics::default())
     }
 
     /// Adds `n` scalar comparisons.
     pub fn add_comparisons(&self, n: u64) {
-        self.comparisons.set(self.comparisons.get() + n);
+        self.comparisons.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds `n` spill pages written.
     pub fn add_run_pages_written(&self, n: u64) {
-        self.run_pages_written.set(self.run_pages_written.get() + n);
+        self.run_pages_written.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds `n` spill pages read.
     pub fn add_run_pages_read(&self, n: u64) {
-        self.run_pages_read.set(self.run_pages_read.get() + n);
+        self.run_pages_read.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records creation of one spill run.
     pub fn add_run(&self) {
-        self.runs_created.set(self.runs_created.get() + 1);
+        self.runs_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds another counter block into this one (the per-worker metrics
+    /// merge performed at exchange teardown). The source is left untouched.
+    pub fn merge_from(&self, other: &ExecMetrics) {
+        self.add_comparisons(other.comparisons());
+        self.add_run_pages_written(other.run_pages_written());
+        self.add_run_pages_read(other.run_pages_read());
+        self.runs_created
+            .fetch_add(other.runs_created(), Ordering::Relaxed);
     }
 
     /// Total scalar comparisons so far.
     pub fn comparisons(&self) -> u64 {
-        self.comparisons.get()
+        self.comparisons.load(Ordering::Relaxed)
     }
 
     /// Spill pages written so far.
     pub fn run_pages_written(&self) -> u64 {
-        self.run_pages_written.get()
+        self.run_pages_written.load(Ordering::Relaxed)
     }
 
     /// Spill pages read so far.
     pub fn run_pages_read(&self) -> u64 {
-        self.run_pages_read.get()
+        self.run_pages_read.load(Ordering::Relaxed)
     }
 
     /// Spill runs created so far.
     pub fn runs_created(&self) -> u64 {
-        self.runs_created.get()
+        self.runs_created.load(Ordering::Relaxed)
     }
 
     /// Total spill I/O (pages read + written).
     pub fn run_io(&self) -> u64 {
-        self.run_pages_written.get() + self.run_pages_read.get()
+        self.run_pages_written() + self.run_pages_read()
     }
 
     /// Zeroes all counters.
     pub fn reset(&self) {
-        self.comparisons.set(0);
-        self.run_pages_written.set(0);
-        self.run_pages_read.set(0);
-        self.runs_created.set(0);
+        self.comparisons.store(0, Ordering::Relaxed);
+        self.run_pages_written.store(0, Ordering::Relaxed);
+        self.run_pages_read.store(0, Ordering::Relaxed);
+        self.runs_created.store(0, Ordering::Relaxed);
     }
 }
 
@@ -99,5 +117,23 @@ mod tests {
         m.reset();
         assert_eq!(m.comparisons(), 0);
         assert_eq!(m.run_io(), 0);
+    }
+
+    #[test]
+    fn merge_folds_all_four_counters() {
+        let a = ExecMetrics::new();
+        a.add_comparisons(10);
+        let b = ExecMetrics::new();
+        b.add_comparisons(5);
+        b.add_run_pages_written(2);
+        b.add_run_pages_read(1);
+        b.add_run();
+        a.merge_from(&b);
+        assert_eq!(a.comparisons(), 15);
+        assert_eq!(a.run_pages_written(), 2);
+        assert_eq!(a.run_pages_read(), 1);
+        assert_eq!(a.runs_created(), 1);
+        // merge is non-destructive
+        assert_eq!(b.comparisons(), 5);
     }
 }

@@ -64,23 +64,45 @@ pub trait Operator {
     /// narrows its child to the rows still wanted). Default: no-op, for
     /// operators without buffering.
     fn set_batch_size(&mut self, _rows: usize) {}
+
+    /// Bounds on the number of rows this operator will still produce, in
+    /// `Iterator::size_hint` form: `(lower, Some(upper))` when known.
+    /// Collectors use the hint to pre-allocate — a Limit-topped plan knows
+    /// its exact output cardinality, a scan knows its file's tuple count.
+    /// The default `(0, None)` claims nothing; implementations must never
+    /// under-report the upper bound.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
 }
 
-/// Boxed operator, the uniform child type.
-pub type BoxOp = Box<dyn Operator>;
+/// Boxed operator, the uniform child type. `Send`, so a compiled fragment
+/// can be moved into a worker thread by the exchange operators.
+pub type BoxOp = Box<dyn Operator + Send>;
 
-/// Drains an operator into a vector (tests and leaf consumers).
+/// Capacity to pre-allocate for a drain of `op`: the hinted upper bound
+/// (exact for Limit-topped plans and bare scans), clamped so a misreported
+/// hint cannot trigger an absurd allocation.
+fn drain_capacity(op: &BoxOp) -> usize {
+    const CAP: usize = 1 << 20;
+    let (lower, upper) = op.size_hint();
+    upper.unwrap_or(lower).min(CAP)
+}
+
+/// Drains an operator into a vector (tests and leaf consumers),
+/// pre-allocating from the operator's [`Operator::size_hint`].
 pub fn collect(mut op: BoxOp) -> Result<Vec<Tuple>> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(drain_capacity(&op));
     while let Some(t) = op.next()? {
         out.push(t);
     }
     Ok(out)
 }
 
-/// Drains an operator batch-at-a-time into a vector.
+/// Drains an operator batch-at-a-time into a vector, pre-allocating from
+/// the operator's [`Operator::size_hint`].
 pub fn collect_batched(mut op: BoxOp) -> Result<Vec<Tuple>> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(drain_capacity(&op));
     while let Some(mut batch) = op.next_batch()? {
         out.append(&mut batch);
     }
@@ -186,6 +208,12 @@ impl Pipeline {
     pub fn into_parts(self) -> (BoxOp, MetricsRef) {
         (self.op, self.metrics)
     }
+
+    /// Bounds on the rows the pipeline will produce, delegated to the root
+    /// operator's [`Operator::size_hint`]. Exact for Limit-topped plans.
+    pub fn size_hint(&self) -> (usize, Option<usize>) {
+        self.op.size_hint()
+    }
 }
 
 /// Materialized pipeline output: the rows plus the counters accumulated
@@ -196,6 +224,29 @@ pub struct Rows {
     pub rows: Vec<Tuple>,
     /// Counters accumulated during execution.
     pub metrics: MetricsRef,
+}
+
+impl Rows {
+    /// Number of produced rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl IntoIterator for Rows {
+    type Item = Tuple;
+    /// `vec::IntoIter` is an `ExactSizeIterator`, so consumers of a drained
+    /// pipeline can pre-allocate from `len()`.
+    type IntoIter = std::vec::IntoIter<Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
 }
 
 /// An operator yielding a fixed in-memory tuple list — the standard test
@@ -238,6 +289,11 @@ impl Operator for ValuesOp {
     fn set_batch_size(&mut self, rows: usize) {
         self.batch = rows.max(1);
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rows.len();
+        (n, Some(n))
+    }
 }
 
 #[cfg(test)]
@@ -250,7 +306,30 @@ mod tests {
         let schema = Schema::ints(&["a"]);
         let rows: Vec<Tuple> = (0..3).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
         let op = ValuesOp::new(schema.clone(), rows.clone());
+        assert_eq!(op.size_hint(), (3, Some(3)));
         assert_eq!(op.schema(), &schema);
         assert_eq!(collect(Box::new(op)).unwrap(), rows);
+    }
+
+    #[test]
+    fn pipeline_and_rows_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<BoxOp>();
+        assert_send::<Pipeline>();
+        assert_send::<Rows>();
+        assert_send::<crate::metrics::MetricsRef>();
+    }
+
+    #[test]
+    fn rows_into_iter_is_exact_size() {
+        let rows = Rows {
+            rows: (0..5).map(|i| Tuple::new(vec![Value::Int(i)])).collect(),
+            metrics: crate::metrics::ExecMetrics::new(),
+        };
+        assert_eq!(rows.len(), 5);
+        assert!(!rows.is_empty());
+        let it = rows.into_iter();
+        assert_eq!(it.len(), 5, "ExactSizeIterator over drained rows");
+        assert_eq!(it.size_hint(), (5, Some(5)));
     }
 }

@@ -92,6 +92,11 @@ impl Operator for Project {
     fn set_batch_size(&mut self, rows: usize) {
         self.child.set_batch_size(rows);
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Row-for-row: the child's cardinality is ours.
+        self.child.size_hint()
+    }
 }
 
 #[cfg(test)]

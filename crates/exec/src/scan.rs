@@ -1,6 +1,7 @@
-//! Access paths: table scan, clustered scan and covering-index scan.
+//! Access paths: table scan, clustered scan and covering-index scan —
+//! serial ([`FileScan`]) and morsel-driven parallel ([`MorselScan`]).
 //!
-//! All three read a [`TupleFile`] sequentially; what differs is the schema
+//! All of them read a [`TupleFile`] sequentially; what differs is the schema
 //! they expose and the sort order they guarantee (knowledge the *optimizer*
 //! holds — the operators themselves just stream pages, counting I/O via the
 //! device).
@@ -8,6 +9,13 @@
 use crate::op::{Operator, DEFAULT_BATCH_SIZE};
 use pyro_common::{Result, Schema, Tuple};
 use pyro_storage::{TupleFile, TupleFileScan};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pages claimed per morsel. At the default 4 KB block size this is ~128 KB
+/// of encoded tuples per claim — large enough that the shared counter is
+/// touched rarely, small enough that stragglers rebalance.
+pub const MORSEL_PAGES: usize = 32;
 
 /// Sequential scan over a tuple file (base heap or index entry file).
 ///
@@ -21,6 +29,9 @@ pub struct FileScan {
     /// Decoded-but-unemitted rows of the current page (batch path only).
     pending: Vec<Tuple>,
     batch: usize,
+    /// Tuples in the scanned range, for `size_hint`.
+    total: usize,
+    emitted: usize,
 }
 
 impl FileScan {
@@ -32,6 +43,23 @@ impl FileScan {
             scan: file.scan(),
             pending: Vec::new(),
             batch: DEFAULT_BATCH_SIZE,
+            total: file.tuple_count() as usize,
+            emitted: 0,
+        }
+    }
+
+    /// Scans only the half-open page range `[start, end)` of `file` — one
+    /// worker's share of a range-partitioned parallel scan. The tuple count
+    /// of a partial range is unknown up front, so `size_hint` stays
+    /// unbounded.
+    pub fn over_pages(schema: Schema, file: &TupleFile, start: usize, end: usize) -> Self {
+        FileScan {
+            schema,
+            scan: file.scan_pages(start, end),
+            pending: Vec::new(),
+            batch: DEFAULT_BATCH_SIZE,
+            total: usize::MAX,
+            emitted: 0,
         }
     }
 }
@@ -42,13 +70,151 @@ impl Operator for FileScan {
     }
 
     fn next(&mut self) -> Result<Option<Tuple>> {
-        self.scan.next_tuple()
+        let t = self.scan.next_tuple()?;
+        if t.is_some() {
+            self.emitted += 1;
+        }
+        Ok(t)
     }
 
     fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
         // Decode pages straight into the pending buffer until the batch is
         // full (or the file ends), then hand the vector over whole.
         if self.pending.is_empty() && !self.scan.fill_chunk(&mut self.pending, self.batch)? {
+            return Ok(None);
+        }
+        let out: Vec<Tuple> = if self.pending.len() <= self.batch {
+            std::mem::take(&mut self.pending)
+        } else {
+            self.pending.drain(..self.batch).collect()
+        };
+        self.emitted += out.len();
+        Ok(Some(out))
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn set_batch_size(&mut self, rows: usize) {
+        self.batch = rows.max(1);
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.total == usize::MAX {
+            return (self.pending.len(), None);
+        }
+        let rem = self.total.saturating_sub(self.emitted);
+        (rem, Some(rem))
+    }
+}
+
+/// The shared work queue of a morsel-driven parallel scan: worker scans
+/// claim fixed-size page ranges of one file from an atomic cursor, so fast
+/// workers naturally take more morsels (Leis et al.'s load-balancing
+/// property) without any coordination beyond one `fetch_add`.
+#[derive(Debug)]
+pub struct MorselSource {
+    file: TupleFile,
+    next_page: AtomicUsize,
+    pages_per_morsel: usize,
+}
+
+impl MorselSource {
+    /// A shared morsel queue over `file` with [`MORSEL_PAGES`]-page morsels.
+    pub fn new(file: &TupleFile) -> Arc<MorselSource> {
+        MorselSource::with_morsel_pages(file, MORSEL_PAGES)
+    }
+
+    /// A shared morsel queue with an explicit morsel size in pages.
+    pub fn with_morsel_pages(file: &TupleFile, pages: usize) -> Arc<MorselSource> {
+        Arc::new(MorselSource {
+            file: file.clone(),
+            next_page: AtomicUsize::new(0),
+            pages_per_morsel: pages.max(1),
+        })
+    }
+
+    /// Claims the next unclaimed page range, or `None` when the file is
+    /// fully claimed. Each page is claimed exactly once across all workers,
+    /// so total device reads match a serial scan.
+    pub fn claim(&self) -> Option<(usize, usize)> {
+        let total = self.file.block_count() as usize;
+        let start = self
+            .next_page
+            .fetch_add(self.pages_per_morsel, Ordering::Relaxed);
+        if start >= total {
+            return None;
+        }
+        Some((start, (start + self.pages_per_morsel).min(total)))
+    }
+}
+
+/// One worker's scan operator over a shared [`MorselSource`]: streams the
+/// morsels it claims, in claim order. Several `MorselScan`s over the same
+/// source partition the file between them dynamically.
+pub struct MorselScan {
+    schema: Schema,
+    source: Arc<MorselSource>,
+    current: Option<TupleFileScan>,
+    pending: Vec<Tuple>,
+    batch: usize,
+}
+
+impl MorselScan {
+    /// A worker scan pulling morsels from `source`, exposing `schema`.
+    pub fn new(schema: Schema, source: Arc<MorselSource>) -> Self {
+        MorselScan {
+            schema,
+            source,
+            current: None,
+            pending: Vec::new(),
+            batch: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Installs the next claimed morsel; `false` when the file is done.
+    fn advance(&mut self) -> bool {
+        match self.source.claim() {
+            Some((start, end)) => {
+                self.current = Some(self.source.file.scan_pages(start, end));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Operator for MorselScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(scan) = &mut self.current {
+                if let Some(t) = scan.next_tuple()? {
+                    return Ok(Some(t));
+                }
+                self.current = None;
+            }
+            if !self.advance() {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        while self.pending.len() < self.batch {
+            if let Some(scan) = &mut self.current {
+                if !scan.fill_chunk(&mut self.pending, self.batch)? {
+                    self.current = None;
+                }
+            } else if !self.advance() {
+                break;
+            }
+        }
+        if self.pending.is_empty() {
             return Ok(None);
         }
         if self.pending.len() <= self.batch {
@@ -69,19 +235,25 @@ impl Operator for FileScan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::collect;
+    use crate::op::{collect, collect_batched, BoxOp};
     use pyro_common::Value;
     use pyro_storage::{write_file, SimDevice};
 
-    #[test]
-    fn scan_streams_file_counting_io() {
-        let dev = SimDevice::with_block_size(128);
-        let rows: Vec<Tuple> = (0..40)
+    fn sample_file(n: i64, block_size: usize) -> (pyro_storage::DeviceRef, TupleFile, Vec<Tuple>) {
+        let dev = SimDevice::with_block_size(block_size);
+        let rows: Vec<Tuple> = (0..n)
             .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 2)]))
             .collect();
         let file = write_file(&dev, &rows).unwrap();
+        (dev, file, rows)
+    }
+
+    #[test]
+    fn scan_streams_file_counting_io() {
+        let (dev, file, rows) = sample_file(40, 128);
         dev.reset_io();
         let scan = FileScan::new(Schema::ints(&["a", "b"]), &file);
+        assert_eq!(scan.size_hint(), (40, Some(40)));
         let out = collect(Box::new(scan)).unwrap();
         assert_eq!(out, rows);
         assert_eq!(dev.io().reads, file.block_count());
@@ -89,19 +261,86 @@ mod tests {
 
     #[test]
     fn batched_scan_same_rows_and_io() {
-        let dev = SimDevice::with_block_size(128);
-        let rows: Vec<Tuple> = (0..40)
-            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 2)]))
-            .collect();
-        let file = write_file(&dev, &rows).unwrap();
+        let (dev, file, rows) = sample_file(40, 128);
         for batch in [1usize, 3, 1024] {
             dev.reset_io();
-            let mut scan: crate::op::BoxOp =
-                Box::new(FileScan::new(Schema::ints(&["a", "b"]), &file));
+            let mut scan: BoxOp = Box::new(FileScan::new(Schema::ints(&["a", "b"]), &file));
             scan.set_batch_size(batch);
-            let out = crate::op::collect_batched(scan).unwrap();
+            let out = collect_batched(scan).unwrap();
             assert_eq!(out, rows, "batch={batch}");
             assert_eq!(dev.io().reads, file.block_count(), "batch={batch}");
         }
+    }
+
+    #[test]
+    fn size_hint_tracks_consumption() {
+        let (_dev, file, _) = sample_file(40, 128);
+        let mut scan = FileScan::new(Schema::ints(&["a", "b"]), &file);
+        scan.next().unwrap();
+        scan.next().unwrap();
+        assert_eq!(scan.size_hint(), (38, Some(38)));
+    }
+
+    #[test]
+    fn range_scans_cover_file_disjointly() {
+        let (dev, file, rows) = sample_file(60, 128);
+        let pages = file.block_count() as usize;
+        let mid = pages / 2;
+        dev.reset_io();
+        let lo = collect(Box::new(FileScan::over_pages(
+            Schema::ints(&["a", "b"]),
+            &file,
+            0,
+            mid,
+        )) as BoxOp)
+        .unwrap();
+        let hi = collect(Box::new(FileScan::over_pages(
+            Schema::ints(&["a", "b"]),
+            &file,
+            mid,
+            pages,
+        )) as BoxOp)
+        .unwrap();
+        let mut all = lo;
+        all.extend(hi);
+        assert_eq!(all, rows, "range halves concatenate to the full file");
+        assert_eq!(dev.io().reads, file.block_count(), "each page read once");
+    }
+
+    #[test]
+    fn morsel_scans_partition_file_exactly_once() {
+        let (dev, file, rows) = sample_file(200, 128);
+        let source = MorselSource::with_morsel_pages(&file, 3);
+        dev.reset_io();
+        let mut out = Vec::new();
+        // Two workers drain the shared queue serially here; page accounting
+        // and multiset coverage are what we pin (threaded use is exercised
+        // by the exchange tests).
+        for _ in 0..2 {
+            let scan = MorselScan::new(Schema::ints(&["a", "b"]), source.clone());
+            out.extend(collect_batched(Box::new(scan)).unwrap());
+        }
+        assert_eq!(dev.io().reads, file.block_count(), "each page read once");
+        out.sort();
+        let mut expect = rows;
+        expect.sort();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn morsel_scan_row_and_batch_paths_agree() {
+        let (_dev, file, rows) = sample_file(50, 128);
+        let by_row = collect(Box::new(MorselScan::new(
+            Schema::ints(&["a", "b"]),
+            MorselSource::with_morsel_pages(&file, 2),
+        )) as BoxOp)
+        .unwrap();
+        let by_batch = collect_batched(Box::new(MorselScan::new(
+            Schema::ints(&["a", "b"]),
+            MorselSource::with_morsel_pages(&file, 2),
+        )) as BoxOp)
+        .unwrap();
+        assert_eq!(by_row, rows);
+        assert_eq!(by_batch, rows);
     }
 }

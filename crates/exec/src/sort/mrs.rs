@@ -384,14 +384,14 @@ mod tests {
         // MRS must yield the first segment's tuples before reading the whole
         // input; we detect this by pulling one tuple, then checking the
         // source's remaining count.
-        use std::cell::Cell;
-        use std::rc::Rc;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
 
         struct CountingSource {
             schema: Schema,
             rows: Vec<Tuple>,
             idx: usize,
-            reads: Rc<Cell<usize>>,
+            reads: Arc<AtomicUsize>,
         }
         impl Operator for CountingSource {
             fn schema(&self) -> &Schema {
@@ -400,7 +400,7 @@ mod tests {
             fn next(&mut self) -> Result<Option<Tuple>> {
                 if self.idx < self.rows.len() {
                     self.idx += 1;
-                    self.reads.set(self.reads.get() + 1);
+                    self.reads.fetch_add(1, Ordering::Relaxed);
                     Ok(Some(self.rows[self.idx - 1].clone()))
                 } else {
                     Ok(None)
@@ -408,7 +408,7 @@ mod tests {
             }
         }
 
-        let reads = Rc::new(Cell::new(0));
+        let reads = Arc::new(AtomicUsize::new(0));
         let rows = segmented_input(100, 10);
         let n = rows.len();
         let src = CountingSource {
@@ -430,9 +430,9 @@ mod tests {
         let first = op.next().unwrap();
         assert!(first.is_some());
         assert!(
-            reads.get() <= 11,
+            reads.load(Ordering::Relaxed) <= 11,
             "MRS read {} tuples before first output; expected ≈ one segment (SRS would read all {n})",
-            reads.get()
+            reads.load(Ordering::Relaxed)
         );
     }
 

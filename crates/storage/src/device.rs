@@ -1,8 +1,8 @@
 //! The simulated block device.
 
 use pyro_common::{PyroError, Result};
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Identifier of a page on a [`SimDevice`].
 pub type PageId = u64;
@@ -37,20 +37,22 @@ impl IoSnapshot {
 /// An in-memory block device with exact I/O accounting.
 ///
 /// Pages are allocated, written, read and freed through this interface; the
-/// device counts every operation. Single-threaded by design (the engine is a
-/// single-threaded iterator pipeline, like the paper's), hence `Rc` +
-/// interior mutability rather than locks.
+/// device counts every operation. The device is `Send + Sync` so morsel
+/// workers can scan disjoint page ranges of the same file concurrently: the
+/// page store sits behind an `RwLock` (parallel scans take read locks only)
+/// and the I/O counters are relaxed atomics — addition commutes, so the
+/// totals are identical no matter how worker reads interleave.
 #[derive(Debug)]
 pub struct SimDevice {
     block_size: usize,
-    pages: RefCell<Vec<Option<Box<[u8]>>>>,
-    free_list: RefCell<Vec<PageId>>,
-    reads: Cell<u64>,
-    writes: Cell<u64>,
+    pages: RwLock<Vec<Option<Box<[u8]>>>>,
+    free_list: Mutex<Vec<PageId>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
 }
 
 /// Shared handle to a device.
-pub type DeviceRef = Rc<SimDevice>;
+pub type DeviceRef = Arc<SimDevice>;
 
 impl SimDevice {
     /// Creates a device with the default 4 KB block size.
@@ -61,12 +63,9 @@ impl SimDevice {
     /// Creates a device with a custom block size (min 64 bytes).
     pub fn with_block_size(block_size: usize) -> DeviceRef {
         assert!(block_size >= 64, "block size too small: {block_size}");
-        Rc::new(SimDevice {
+        Arc::new(SimDevice {
             block_size,
-            pages: RefCell::new(Vec::new()),
-            free_list: RefCell::new(Vec::new()),
-            reads: Cell::new(0),
-            writes: Cell::new(0),
+            ..SimDevice::default()
         })
     }
 
@@ -76,11 +75,14 @@ impl SimDevice {
     }
 
     /// Allocates a page id (no I/O counted until it is written).
+    ///
+    /// The free list and the page table are locked one after the other,
+    /// never nested, so allocation cannot deadlock against `free_page`.
     pub fn alloc_page(&self) -> PageId {
-        if let Some(id) = self.free_list.borrow_mut().pop() {
+        if let Some(id) = self.free_list.lock().expect("free list poisoned").pop() {
             return id;
         }
-        let mut pages = self.pages.borrow_mut();
+        let mut pages = self.pages.write().expect("page table poisoned");
         pages.push(None);
         (pages.len() - 1) as PageId
     }
@@ -95,54 +97,62 @@ impl SimDevice {
                 self.block_size
             )));
         }
-        let mut pages = self.pages.borrow_mut();
+        let mut pages = self.pages.write().expect("page table poisoned");
         let slot = pages
             .get_mut(id as usize)
             .ok_or_else(|| PyroError::Storage(format!("write to unallocated page {id}")))?;
         *slot = Some(data.to_vec().into_boxed_slice());
-        self.writes.set(self.writes.get() + 1);
+        self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Reads a block. Counts one read.
     pub fn read_page(&self, id: PageId) -> Result<Vec<u8>> {
-        let pages = self.pages.borrow();
+        let pages = self.pages.read().expect("page table poisoned");
         let slot = pages
             .get(id as usize)
             .ok_or_else(|| PyroError::Storage(format!("read of unallocated page {id}")))?;
         let data = slot
             .as_ref()
             .ok_or_else(|| PyroError::Storage(format!("read of never-written page {id}")))?;
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(data.to_vec())
     }
 
     /// Releases a page back to the free list (no I/O counted).
     pub fn free_page(&self, id: PageId) {
-        let mut pages = self.pages.borrow_mut();
-        if let Some(slot) = pages.get_mut(id as usize) {
+        {
+            let mut pages = self.pages.write().expect("page table poisoned");
+            let Some(slot) = pages.get_mut(id as usize) else {
+                return;
+            };
             *slot = None;
-            self.free_list.borrow_mut().push(id);
         }
+        self.free_list.lock().expect("free list poisoned").push(id);
     }
 
     /// Current I/O counters.
     pub fn io(&self) -> IoSnapshot {
         IoSnapshot {
-            reads: self.reads.get(),
-            writes: self.writes.get(),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
         }
     }
 
     /// Resets I/O counters to zero (between experiment phases).
     pub fn reset_io(&self) {
-        self.reads.set(0);
-        self.writes.set(0);
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
     }
 
     /// Number of currently allocated (non-freed) pages.
     pub fn live_pages(&self) -> usize {
-        self.pages.borrow().iter().filter(|p| p.is_some()).count()
+        self.pages
+            .read()
+            .expect("page table poisoned")
+            .iter()
+            .filter(|p| p.is_some())
+            .count()
     }
 }
 
@@ -150,10 +160,10 @@ impl Default for SimDevice {
     fn default() -> Self {
         SimDevice {
             block_size: DEFAULT_BLOCK_SIZE,
-            pages: RefCell::new(Vec::new()),
-            free_list: RefCell::new(Vec::new()),
-            reads: Cell::new(0),
-            writes: Cell::new(0),
+            pages: RwLock::new(Vec::new()),
+            free_list: Mutex::new(Vec::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
         }
     }
 }

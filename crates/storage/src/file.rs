@@ -41,9 +41,19 @@ impl TupleFile {
 
     /// Sequential scan. Each page read is counted by the device.
     pub fn scan(&self) -> TupleFileScan {
+        self.scan_pages(0, self.pages.len())
+    }
+
+    /// Sequential scan over the half-open page range `[start, end)` — the
+    /// unit a morsel-driven parallel scan hands each worker. `end` is
+    /// clamped to the file length; an empty or inverted range yields an
+    /// immediately exhausted scan.
+    pub fn scan_pages(&self, start: usize, end: usize) -> TupleFileScan {
+        let end = end.min(self.pages.len());
         TupleFileScan {
             file: self.clone(),
-            page_idx: 0,
+            page_idx: start.min(end),
+            end_page: end,
             buffer: Vec::new().into_iter(),
         }
     }
@@ -125,10 +135,12 @@ pub fn write_file<'a>(
     w.finish()
 }
 
-/// Streaming scan over a [`TupleFile`]; yields tuples page by page.
+/// Streaming scan over a [`TupleFile`] (or a page range of one); yields
+/// tuples page by page.
 pub struct TupleFileScan {
     file: TupleFile,
     page_idx: usize,
+    end_page: usize,
     buffer: std::vec::IntoIter<Tuple>,
 }
 
@@ -140,7 +152,7 @@ impl TupleFileScan {
             if let Some(t) = self.buffer.next() {
                 return Ok(Some(t));
             }
-            if self.page_idx >= self.file.pages.len() {
+            if self.page_idx >= self.end_page {
                 return Ok(None);
             }
             let data = self.file.device.read_page(self.file.pages[self.page_idx])?;
@@ -158,7 +170,7 @@ impl TupleFileScan {
             return Ok(Some(self.buffer.by_ref().collect()));
         }
         loop {
-            if self.page_idx >= self.file.pages.len() {
+            if self.page_idx >= self.end_page {
                 return Ok(None);
             }
             let data = self.file.device.read_page(self.file.pages[self.page_idx])?;
@@ -171,14 +183,14 @@ impl TupleFileScan {
     }
 
     /// Decodes pages directly into `out` until it holds at least `target`
-    /// rows or the file ends (no intermediate page vector). Returns `true`
-    /// iff any rows were appended.
+    /// rows or the scanned range ends (no intermediate page vector).
+    /// Returns `true` iff any rows were appended.
     pub fn fill_chunk(&mut self, out: &mut Vec<Tuple>, target: usize) -> Result<bool> {
         let start = out.len();
         if self.buffer.len() > 0 {
             out.extend(self.buffer.by_ref());
         }
-        while out.len() < target && self.page_idx < self.file.pages.len() {
+        while out.len() < target && self.page_idx < self.end_page {
             let data = self.file.device.read_page(self.file.pages[self.page_idx])?;
             self.page_idx += 1;
             crate::page::decode_page_into(&data, out)?;

@@ -31,8 +31,8 @@ use std::time::Instant;
 ///
 /// Defaults match the paper's full machinery: the `PYRO-O` strategy,
 /// hash-join/aggregate alternatives enabled, a 100-block sort memory budget,
-/// 1024-row execution batches, and cost constants derived from the backing
-/// device.
+/// 1024-row execution batches, single-threaded execution, and cost
+/// constants derived from the backing device.
 #[derive(Debug, Default)]
 pub struct SessionBuilder {
     strategy: Option<Strategy>,
@@ -40,6 +40,8 @@ pub struct SessionBuilder {
     hash_operators: Option<bool>,
     sort_memory_blocks: Option<u64>,
     batch_size: Option<usize>,
+    workers: Option<usize>,
+    seed: Option<u64>,
 }
 
 impl SessionBuilder {
@@ -93,6 +95,26 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the number of execution worker threads (default: 1; floor 1).
+    /// `1` is today's serial engine, bit-identical to every previous
+    /// release; more workers enable morsel-driven parallelism for
+    /// parallel-safe plan subtrees. Rows and all `ExecMetrics` counters are
+    /// worker-count invariant (ordered outputs exactly, unordered outputs
+    /// as multisets); only wall-clock changes.
+    pub fn workers(mut self, workers: usize) -> SessionBuilder {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the RNG seed handed to data generators that ask the session for
+    /// one (default: [`pyro_datagen::SEED`]). Benches use this so e.g.
+    /// `bench_batch` and `bench_parallel` populate identical tables across
+    /// runs and binaries.
+    pub fn seed(mut self, seed: u64) -> SessionBuilder {
+        self.seed = Some(seed);
+        self
+    }
+
     /// Builds the session over a fresh simulated device.
     pub fn build(self) -> Session {
         let mut catalog = Catalog::new();
@@ -105,12 +127,16 @@ impl SessionBuilder {
             cost_params: self.cost_params,
             hash_operators: self.hash_operators.unwrap_or(true),
             batch_size: self.batch_size.unwrap_or(DEFAULT_BATCH_SIZE).max(1),
+            workers: self.workers.unwrap_or(1).max(1),
+            seed: self.seed.unwrap_or(pyro_datagen::SEED),
         }
     }
 }
 
-/// A single-threaded query session: a catalog plus the optimizer and
-/// executor configuration, behind a one-shot [`Session::sql`].
+/// A query session: a catalog plus the optimizer and executor
+/// configuration, behind a one-shot [`Session::sql`]. Execution is
+/// single-threaded by default and morsel-parallel when
+/// [`SessionBuilder::workers`] is raised.
 ///
 /// Every in-repo consumer — examples, integration tests, figure
 /// reproductions — goes through this type; the layer-by-layer API
@@ -123,6 +149,8 @@ pub struct Session {
     cost_params: Option<CostParams>,
     hash_operators: bool,
     batch_size: usize,
+    workers: usize,
+    seed: u64,
 }
 
 impl Session {
@@ -246,16 +274,33 @@ impl Session {
         self.batch_size = rows.max(1);
     }
 
+    /// The number of execution worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the worker-thread count for subsequent queries (floor 1; `1` is
+    /// the serial engine).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The RNG seed for data generators driven through this session.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
 
     /// Runs a SQL query end to end and returns the typed result. Execution
-    /// is batch-at-a-time at the session's configured batch size.
+    /// is batch-at-a-time at the session's configured batch size, across
+    /// the session's configured worker threads.
     pub fn sql(&self, sql: &str) -> Result<QueryResult> {
         let plan = self.plan(sql)?;
         let start = Instant::now();
-        let pipeline = plan.compile_with_batch(&self.catalog, self.batch_size)?;
+        let pipeline = plan.compile_with_workers(&self.catalog, self.batch_size, self.workers)?;
         let schema = pipeline.schema().clone();
         let out = pipeline.run()?;
         Ok(QueryResult {
