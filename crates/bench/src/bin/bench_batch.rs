@@ -8,6 +8,11 @@
 //! CPU-efficiency change, not a semantics change — and the native path is
 //! expected to be ≥ 1.5× faster on the scan→filter→project workload.
 //!
+//! A fourth section reruns the quickstart workload under a bounded buffer
+//! pool: the cold run reads every heap page from the device, the warm
+//! rerun must report `cache_hits > 0` and strictly fewer device reads
+//! (asserted in every mode, `--smoke` included).
+//!
 //! ```bash
 //! cargo run --release --bin bench_batch                  # 1M rows, writes BENCH_batch.json
 //! cargo run --release --bin bench_batch -- --smoke       # small CI mode
@@ -147,6 +152,86 @@ fn run_bench(session: &Session, name: &'static str, rows_in: usize, sql: &str) -
     result
 }
 
+/// One run's cache-facing stats under the bounded pool.
+#[derive(Debug, Clone, Copy)]
+struct PoolRunStats {
+    elapsed_ms: f64,
+    device_reads: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl PoolRunStats {
+    fn json(&self) -> String {
+        format!(
+            "{{\"elapsed_ms\": {:.3}, \"device_reads\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+            self.elapsed_ms, self.device_reads, self.cache_hits, self.cache_misses
+        )
+    }
+
+    fn hit_rate(&self) -> f64 {
+        pyro::storage::CacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
+            ..Default::default()
+        }
+        .hit_rate()
+    }
+}
+
+fn run_pooled_once(session: &Session, sql: &str) -> PoolRunStats {
+    let before = session.catalog().device().io();
+    let start = Instant::now();
+    let out = session.sql(sql).expect("pooled run");
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    PoolRunStats {
+        elapsed_ms,
+        device_reads: session.catalog().device().io().since(&before).reads,
+        cache_hits: out.metrics().cache_hits(),
+        cache_misses: out.metrics().cache_misses(),
+    }
+}
+
+/// Cold run then warm rerun of the quickstart workload under a pool big
+/// enough to hold the heap; asserts the warm run actually got warm.
+fn run_pool_bench(n: usize, seed: u64, pool_pages: usize) -> String {
+    banner(&format!(
+        "buffer_pool warm rerun  ({n} input rows, {pool_pages}-page pool)"
+    ));
+    let (session, sql) = workloads::partial_sort_with_pool(n, seed, pool_pages);
+    let cold = run_pooled_once(&session, sql);
+    let warm = run_pooled_once(&session, sql);
+    println!(
+        "cold : {:>10.1} ms  {:>8} device reads  ({} misses, {} hits)",
+        cold.elapsed_ms, cold.device_reads, cold.cache_misses, cold.cache_hits
+    );
+    println!(
+        "warm : {:>10.1} ms  {:>8} device reads  ({} misses, {} hits, hit rate {:.2})",
+        warm.elapsed_ms,
+        warm.device_reads,
+        warm.cache_misses,
+        warm.cache_hits,
+        warm.hit_rate()
+    );
+    assert!(
+        warm.cache_hits > 0,
+        "warm rerun under a bounded pool must hit the cache"
+    );
+    assert!(
+        warm.device_reads < cold.device_reads,
+        "warm rerun must read the device less: {} vs {}",
+        warm.device_reads,
+        cold.device_reads
+    );
+    format!(
+        "  \"buffer_pool\": {{\n    \"pool_pages\": {},\n    \"cold\": {},\n    \"warm\": {},\n    \"warm_hit_rate\": {:.3}\n  }},",
+        pool_pages,
+        cold.json(),
+        warm.json(),
+        warm.hit_rate()
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -191,11 +276,17 @@ fn main() {
     assert!(result.native.comparisons > 0);
     results.push(result);
 
+    // Bounded-pool warm rerun: sized to hold the whole events heap
+    // (~20 B/row at 4 KB blocks → n/200 pages, rounded up generously).
+    let pool_pages = (n / 100).max(256);
+    let pool_json = run_pool_bench(n, seed, pool_pages);
+
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_batch\",\n  \"mode\": \"{}\",\n  \"batch_size\": {},\n  \"reps\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"BENCH_batch\",\n  \"mode\": \"{}\",\n  \"batch_size\": {},\n  \"reps\": {},\n{}\n  \"benches\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         BATCH_SIZE,
         REPS,
+        pool_json,
         results
             .iter()
             .map(BenchResult::json)

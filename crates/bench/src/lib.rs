@@ -222,8 +222,22 @@ pub mod workloads {
     /// The quickstart partial-sort query: ORDER BY (k, v) over clustering
     /// (k) — zero run I/O by the paper's §3.1 argument.
     pub fn partial_sort(n: usize, seed: u64) -> (Session, &'static str) {
+        partial_sort_with_pool(n, seed, 0)
+    }
+
+    /// [`partial_sort`] over a session with a `pool_pages`-frame buffer
+    /// pool (`0` = bypass) — the warm-vs-cold rerun workload of
+    /// `bench_batch`.
+    pub fn partial_sort_with_pool(
+        n: usize,
+        seed: u64,
+        pool_pages: usize,
+    ) -> (Session, &'static str) {
         let per_segment = 1000.min(n.max(2) / 2) as i64;
-        let mut session = Session::builder().seed(seed).build();
+        let mut session = Session::builder()
+            .seed(seed)
+            .buffer_pool_pages(pool_pages)
+            .build();
         let mut r = rng_with(session.seed());
         let rows: Vec<Tuple> = (0..n as i64)
             .map(|i| {

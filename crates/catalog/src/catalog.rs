@@ -4,7 +4,7 @@ use crate::stats::TableStats;
 use crate::table::{IndexMeta, TableMeta};
 use pyro_common::{PyroError, Result, Schema, Tuple};
 use pyro_ordering::SortOrder;
-use pyro_storage::{write_file, DeviceRef, SimDevice, TupleFile};
+use pyro_storage::{write_file, DeviceRef, PageStore, SimDevice, StoreRef, TupleFile};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -21,10 +21,11 @@ pub struct TableHandle {
     pub index_files: BTreeMap<String, TupleFile>,
 }
 
-/// The catalog owns the device and every registered table.
+/// The catalog owns the page store (device + optional buffer pool) and
+/// every registered table.
 #[derive(Debug)]
 pub struct Catalog {
-    device: DeviceRef,
+    store: StoreRef,
     tables: BTreeMap<String, Arc<TableHandle>>,
     /// Sort memory budget in blocks — the `M` of the cost model. Defaults
     /// to 100 blocks.
@@ -32,23 +33,43 @@ pub struct Catalog {
 }
 
 impl Catalog {
-    /// Creates a catalog over a fresh default device (4 KB blocks).
+    /// Creates a catalog over a fresh default device (4 KB blocks), with
+    /// no buffer pool (every page read/write hits the device).
     pub fn new() -> Self {
         Catalog::on_device(SimDevice::new())
     }
 
-    /// Creates a catalog over an existing device.
+    /// Creates a catalog over an existing device (no buffer pool).
     pub fn on_device(device: DeviceRef) -> Self {
+        Catalog::on_store(PageStore::bypass(device))
+    }
+
+    /// Creates a catalog over a fresh default device fronted by a
+    /// `pages`-frame buffer pool. Every table heap, index entry file and
+    /// sort spill run of this catalog shares the one pool.
+    pub fn with_buffer_pool(pages: usize) -> Self {
+        Catalog::on_store(PageStore::cached(SimDevice::new(), pages))
+    }
+
+    /// Creates a catalog over an existing page store. The store must be
+    /// fixed before any table is registered — files capture the store they
+    /// were written through.
+    pub fn on_store(store: StoreRef) -> Self {
         Catalog {
-            device,
+            store,
             tables: BTreeMap::new(),
             sort_memory_blocks: 100,
         }
     }
 
-    /// The backing device.
+    /// The backing device (exact cold-I/O counters).
     pub fn device(&self) -> &DeviceRef {
-        &self.device
+        self.store.device()
+    }
+
+    /// The page store every file of this catalog reads and writes through.
+    pub fn store(&self) -> &StoreRef {
+        &self.store
     }
 
     /// Sort memory budget in blocks (`M`).
@@ -88,7 +109,11 @@ impl Catalog {
             );
         }
         let stats = TableStats::compute(&schema.names(), rows);
-        let heap = write_file(&self.device, rows)?;
+        let heap = write_file(&self.store, rows)?;
+        // Bulk loads write through, never warm: flush the load's dirty
+        // pages and drop them, so a later "cold run" measurement is
+        // actually cold. Total device writes match the bypass path.
+        self.store.clear_cache()?;
         let meta = TableMeta {
             name: name.to_string(),
             schema,
@@ -139,7 +164,8 @@ impl Catalog {
         let key_positions: Vec<usize> = (0..key.len()).collect();
         let spec = pyro_common::KeySpec::new(key_positions);
         entries.sort_by(|a, b| spec.compare(a, b));
-        let file = write_file(&self.device, &entries)?;
+        let file = write_file(&self.store, &entries)?;
+        self.store.clear_cache()?;
 
         // Re-insert an updated handle (Arc is immutable; rebuild).
         let mut meta = handle.meta.clone();

@@ -16,6 +16,14 @@ pub enum PyroError {
     UnknownTable(String),
     /// Storage-layer failure (out-of-range page, corrupt encoding, ...).
     Storage(String),
+    /// Every buffer-pool frame is pinned, so no page can be cached or
+    /// evicted. Returned (never dead-locked on) by pool operations that
+    /// would need a free frame; carries the pool capacity so callers can
+    /// report how small the pool was.
+    PoolExhausted {
+        /// Total frames in the pool, all of them pinned.
+        capacity: usize,
+    },
     /// Executor failure (schema mismatch, unsupported expression, ...).
     Exec(String),
     /// Optimizer failure (no plan found, inconsistent properties, ...).
@@ -31,6 +39,9 @@ impl fmt::Display for PyroError {
             PyroError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
             PyroError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             PyroError::Storage(m) => write!(f, "storage error: {m}"),
+            PyroError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
             PyroError::Exec(m) => write!(f, "execution error: {m}"),
             PyroError::Plan(m) => write!(f, "planning error: {m}"),
             PyroError::Sql(m) => write!(f, "SQL error: {m}"),

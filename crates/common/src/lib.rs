@@ -8,6 +8,8 @@
 //! model ([`Value`]), row model ([`Tuple`]), schema model ([`Schema`]) and the
 //! error type ([`PyroError`]) every other crate builds on.
 
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod schema;
 pub mod tuple;

@@ -94,7 +94,9 @@ pub fn compile_with_workers_demand(
         workers: workers.max(1),
     };
     let op = compile_sub(root, &ctx, ordered_output)?;
-    Ok(Pipeline::new(op, metrics))
+    // The pipeline charges the catalog store's buffer-pool counter delta
+    // (cache hits/misses) to its metrics when it is drained.
+    Ok(Pipeline::new(op, metrics).with_store(catalog.store().clone()))
 }
 
 /// Everything a (possibly parallel) plan instantiation threads downward.
@@ -225,7 +227,7 @@ fn compile_serial(node: &Rc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<
             Box::new(StandardReplacementSort::new(
                 child,
                 key,
-                ctx.catalog.device().clone(),
+                ctx.catalog.store().clone(),
                 budget(ctx.catalog),
                 ctx.metrics.clone(),
             ))
@@ -237,7 +239,7 @@ fn compile_serial(node: &Rc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<
                 child,
                 key,
                 *prefix_len,
-                ctx.catalog.device().clone(),
+                ctx.catalog.store().clone(),
                 budget(ctx.catalog),
                 ctx.metrics.clone(),
             ))

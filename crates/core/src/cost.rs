@@ -34,6 +34,15 @@ pub struct CostParams {
     pub tuple_io: f64,
     /// I/O-units per tuple hashed (build or probe).
     pub hash_io: f64,
+    /// Buffer-pool capacity in pages; `0` means the executor bypasses the
+    /// pool (the default), in which case the model charges every block
+    /// access as cold I/O — exactly the pre-pool formulas.
+    pub buffer_pool_pages: f64,
+    /// Cost of re-reading a pool-resident block, as a fraction of a cold
+    /// device read. Applied to the *read* half of external-sort run I/O
+    /// when the run set fits in the pool (runs are written and immediately
+    /// re-read, the pattern a buffer pool absorbs best).
+    pub cached_read_discount: f64,
 }
 
 impl Default for CostParams {
@@ -46,6 +55,8 @@ impl Default for CostParams {
             // Hashing a key + bucket traversal costs several comparisons'
             // worth of CPU per tuple.
             hash_io: 5e-5,
+            buffer_pool_pages: 0.0,
+            cached_read_discount: 0.25,
         }
     }
 }
@@ -57,15 +68,35 @@ impl CostParams {
         self.cmp_io * n * n.log2()
     }
 
+    /// Cost multiplier for re-reading `blocks` spill blocks: `1` when the
+    /// executor bypasses the pool or the run set outgrows it, the
+    /// configured discount when a bounded pool can hold the whole run set
+    /// (each run page is then re-read from a resident frame).
+    pub fn run_read_factor(&self, blocks: f64) -> f64 {
+        if self.buffer_pool_pages > 0.0 && blocks <= self.buffer_pool_pages {
+            self.cached_read_discount
+        } else {
+            1.0
+        }
+    }
+
     /// `coe(e, ε, o)`: full-sort enforcement cost for an input of `rows`
     /// tuples in `blocks` blocks.
+    ///
+    /// The external branch is the paper's `B(e)·(2·passes + 1)` — `passes`
+    /// write+read round trips over the runs plus the final merge read.
+    /// With a bounded buffer pool ([`CostParams::buffer_pool_pages`] > 0)
+    /// that can hold the runs, the read halves are discounted by
+    /// [`CostParams::cached_read_discount`]; with the default bypass the
+    /// factor is 1 and the formula is bit-identical to the paper's.
     pub fn coe_full(&self, rows: f64, blocks: f64) -> f64 {
         let m = self.sort_mem_blocks;
         if blocks <= m {
             self.cpu_sort(rows)
         } else {
             let passes = ((blocks / m).log2() / (m - 1.0).log2()).ceil().max(1.0);
-            blocks * (2.0 * passes + 1.0)
+            let r = self.run_read_factor(blocks);
+            blocks * ((1.0 + r) * passes + r)
         }
     }
 
@@ -130,6 +161,29 @@ mod tests {
             c < 1.0,
             "in-memory sort should cost well under one I/O: {c}"
         );
+    }
+
+    #[test]
+    fn bounded_pool_discounts_run_reads() {
+        let cold = CostParams::default();
+        let pooled = CostParams {
+            buffer_pool_pages: 2000.0,
+            cached_read_discount: 0.25,
+            ..CostParams::default()
+        };
+        let (rows, blocks) = (100_000.0, 1000.0);
+        // One merge pass. Cold: B·3. Pooled (runs fit): write pass full,
+        // both reads at a quarter of a cold read → B·(1 + 0.25 + 0.25).
+        assert_eq!(cold.coe_full(rows, blocks), blocks * 3.0);
+        assert_eq!(pooled.coe_full(rows, blocks), blocks * 1.5);
+        // Runs outgrow the pool → no discount.
+        let small_pool = CostParams {
+            buffer_pool_pages: 10.0,
+            ..pooled
+        };
+        assert_eq!(small_pool.coe_full(rows, blocks), blocks * 3.0);
+        // In-memory sorts are CPU-only either way.
+        assert_eq!(pooled.coe_full(1000.0, 10.0), cold.coe_full(1000.0, 10.0));
     }
 
     #[test]

@@ -37,6 +37,9 @@ impl<'a> Optimizer<'a> {
         let params = CostParams {
             block_size: catalog.device().block_size(),
             sort_mem_blocks: catalog.sort_memory_blocks() as f64,
+            // 0 (= charge everything cold) when the catalog's store
+            // bypasses the pool.
+            buffer_pool_pages: catalog.store().pool_pages().unwrap_or(0) as f64,
             ..CostParams::default()
         };
         Optimizer {

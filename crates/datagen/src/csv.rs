@@ -1,4 +1,4 @@
-//! CSV → tuple parsing for [`pyro::Session::register_csv`]-style ingestion.
+//! CSV → tuple parsing for `Session::register_csv`-style ingestion.
 //!
 //! Deliberately small: comma separation, optional double-quoting for string
 //! fields (with `""` escapes), an optional header row, and the unquoted

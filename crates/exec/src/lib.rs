@@ -21,6 +21,8 @@
 //! evaluation. All operators share an [`ExecMetrics`] counter block so
 //! experiments can report comparisons and run I/O exactly.
 
+#![deny(missing_docs)]
+
 pub mod agg;
 pub mod dedup;
 pub mod exchange;

@@ -9,7 +9,11 @@ use std::sync::Arc;
 /// Experiment A arguments are about); `run_pages_written` / `run_pages_read`
 /// count *sort-spill* I/O only — base-table I/O is tracked by the storage
 /// device, so "MRS avoids run generation I/O completely" is the assertion
-/// `run_pages_written == 0 && run_pages_read == 0`.
+/// `run_pages_written == 0 && run_pages_read == 0`. `cache_hits` /
+/// `cache_misses` report the buffer pool's hot/cold split for one
+/// execution (always 0 when the session bypasses the pool); unlike the
+/// four paper counters they are *not* part of any parity contract —
+/// warmth legitimately varies run to run.
 ///
 /// The counters are relaxed atomics so a metrics block can cross thread
 /// boundaries, but the parallel engine does **not** share one block between
@@ -24,6 +28,8 @@ pub struct ExecMetrics {
     run_pages_written: AtomicU64,
     run_pages_read: AtomicU64,
     runs_created: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 /// Shared handle to pipeline metrics.
@@ -55,6 +61,19 @@ impl ExecMetrics {
         self.runs_created.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` buffer-pool page hits (page reads served from a resident
+    /// frame). Charged by [`crate::Pipeline`] as the pool-counter delta of
+    /// one execution; always 0 when the session bypasses the pool.
+    pub fn add_cache_hits(&self, n: u64) {
+        self.cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` buffer-pool page misses (page reads that went to the
+    /// device cold).
+    pub fn add_cache_misses(&self, n: u64) {
+        self.cache_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Folds another counter block into this one (the per-worker metrics
     /// merge performed at exchange teardown). The source is left untouched.
     pub fn merge_from(&self, other: &ExecMetrics) {
@@ -63,6 +82,8 @@ impl ExecMetrics {
         self.add_run_pages_read(other.run_pages_read());
         self.runs_created
             .fetch_add(other.runs_created(), Ordering::Relaxed);
+        self.add_cache_hits(other.cache_hits());
+        self.add_cache_misses(other.cache_misses());
     }
 
     /// Total scalar comparisons so far.
@@ -90,12 +111,24 @@ impl ExecMetrics {
         self.run_pages_written() + self.run_pages_read()
     }
 
+    /// Buffer-pool hits charged to this pipeline so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool misses charged to this pipeline so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
     /// Zeroes all counters.
     pub fn reset(&self) {
         self.comparisons.store(0, Ordering::Relaxed);
         self.run_pages_written.store(0, Ordering::Relaxed);
         self.run_pages_read.store(0, Ordering::Relaxed);
         self.runs_created.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -128,11 +161,15 @@ mod tests {
         b.add_run_pages_written(2);
         b.add_run_pages_read(1);
         b.add_run();
+        b.add_cache_hits(4);
+        b.add_cache_misses(2);
         a.merge_from(&b);
         assert_eq!(a.comparisons(), 15);
         assert_eq!(a.run_pages_written(), 2);
         assert_eq!(a.run_pages_read(), 1);
         assert_eq!(a.runs_created(), 1);
+        assert_eq!(a.cache_hits(), 4);
+        assert_eq!(a.cache_misses(), 2);
         // merge is non-destructive
         assert_eq!(b.comparisons(), 5);
     }

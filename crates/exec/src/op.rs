@@ -19,6 +19,7 @@
 
 use crate::metrics::MetricsRef;
 use pyro_common::{Result, Schema, Tuple};
+use pyro_storage::StoreRef;
 
 /// Default number of rows per batch (the `SessionBuilder::batch_size`
 /// default).
@@ -26,6 +27,40 @@ pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
 /// A pull-based iterator operator. `next` returns `Ok(None)` at end of
 /// stream; operators are single-use.
+///
+/// Only [`Operator::schema`] and [`Operator::next`] are required — the
+/// batch pull defaults to the row shim, so a minimal operator is a few
+/// lines:
+///
+/// ```
+/// use pyro_common::{Result, Schema, Tuple, Value};
+/// use pyro_exec::{collect_batched, Operator};
+///
+/// /// Yields the integers `0..n` as single-column tuples.
+/// struct Counter {
+///     schema: Schema,
+///     next: i64,
+///     n: i64,
+/// }
+///
+/// impl Operator for Counter {
+///     fn schema(&self) -> &Schema {
+///         &self.schema
+///     }
+///
+///     fn next(&mut self) -> Result<Option<Tuple>> {
+///         if self.next >= self.n {
+///             return Ok(None);
+///         }
+///         self.next += 1;
+///         Ok(Some(Tuple::new(vec![Value::Int(self.next - 1)])))
+///     }
+/// }
+///
+/// let op = Counter { schema: Schema::ints(&["i"]), next: 0, n: 3 };
+/// let rows = collect_batched(Box::new(op)).unwrap();
+/// assert_eq!(rows.len(), 3);
+/// ```
 pub trait Operator {
     /// Output schema.
     fn schema(&self) -> &Schema;
@@ -162,12 +197,37 @@ pub(crate) fn pull_row(
 pub struct Pipeline {
     op: BoxOp,
     metrics: MetricsRef,
+    /// When set, the drain entry points charge the store's buffer-pool
+    /// counter delta (hits/misses) to `metrics` — the per-query slice of
+    /// the catalog-wide pool counters.
+    store: Option<StoreRef>,
 }
 
 impl Pipeline {
     /// Bundles an operator tree with its shared metrics.
     pub fn new(op: BoxOp, metrics: MetricsRef) -> Pipeline {
-        Pipeline { op, metrics }
+        Pipeline {
+            op,
+            metrics,
+            store: None,
+        }
+    }
+
+    /// Attributes `store`'s buffer-pool activity during [`Pipeline::run`] /
+    /// [`Pipeline::run_tuple_at_a_time`] to this pipeline's metrics as
+    /// `cache_hits` / `cache_misses`. A bypass store charges nothing. The
+    /// plan compiler sets this to the catalog's store; streaming consumers
+    /// going through [`Pipeline::into_parts`] read the pool stats
+    /// themselves.
+    ///
+    /// Attribution is a counter *delta* across the drain, so it assumes
+    /// one drain at a time per store: pipelines drained concurrently over
+    /// the same pooled store each observe the combined activity. The
+    /// pool's own [`pyro_storage::CacheStats`] totals stay exact
+    /// regardless.
+    pub fn with_store(mut self, store: StoreRef) -> Pipeline {
+        self.store = Some(store);
+        self
     }
 
     /// Output schema of the root operator.
@@ -185,11 +245,11 @@ impl Pipeline {
     /// Drains the pipeline batch-at-a-time, returning the rows together
     /// with the metrics that produced them.
     pub fn run(self) -> Result<Rows> {
-        let rows = collect_batched(self.op)?;
-        Ok(Rows {
-            rows,
-            metrics: self.metrics,
-        })
+        let Pipeline { op, metrics, store } = self;
+        let before = store.as_ref().map(|s| s.cache_stats());
+        let rows = collect_batched(op)?;
+        charge_cache(&metrics, &store, before);
+        Ok(Rows { rows, metrics })
     }
 
     /// Drains the pipeline tuple-at-a-time through `Operator::next` — the
@@ -197,14 +257,16 @@ impl Pipeline {
     /// `bench_batch` harness) and as the semantic reference the batch path
     /// must match counter-for-counter.
     pub fn run_tuple_at_a_time(self) -> Result<Rows> {
-        let rows = collect(self.op)?;
-        Ok(Rows {
-            rows,
-            metrics: self.metrics,
-        })
+        let Pipeline { op, metrics, store } = self;
+        let before = store.as_ref().map(|s| s.cache_stats());
+        let rows = collect(op)?;
+        charge_cache(&metrics, &store, before);
+        Ok(Rows { rows, metrics })
     }
 
     /// Splits into the raw operator and metrics handle for streaming use.
+    /// Cache accounting is dropped with the pipeline: streaming consumers
+    /// read the pool's counters from the store directly.
     pub fn into_parts(self) -> (BoxOp, MetricsRef) {
         (self.op, self.metrics)
     }
@@ -213,6 +275,20 @@ impl Pipeline {
     /// operator's [`Operator::size_hint`]. Exact for Limit-topped plans.
     pub fn size_hint(&self) -> (usize, Option<usize>) {
         self.op.size_hint()
+    }
+}
+
+/// Adds the store's pool-counter delta since `before` to `metrics` (the
+/// [`Pipeline`] drain epilogue).
+fn charge_cache(
+    metrics: &MetricsRef,
+    store: &Option<StoreRef>,
+    before: Option<pyro_storage::CacheStats>,
+) {
+    if let (Some(store), Some(before)) = (store, before) {
+        let delta = store.cache_stats().since(&before);
+        metrics.add_cache_hits(delta.hits);
+        metrics.add_cache_misses(delta.misses);
     }
 }
 

@@ -23,7 +23,7 @@ use super::{sort_buffer, SortBudget};
 use crate::metrics::MetricsRef;
 use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{KeySpec, Result, Schema, Tuple};
-use pyro_storage::{DeviceRef, TupleFile};
+use pyro_storage::{IntoStore, StoreRef, TupleFile};
 
 enum Output {
     Buffered(InMemorySortStream),
@@ -38,7 +38,7 @@ pub struct PartialSort {
     prefix: KeySpec,
     /// Remaining key columns each segment is sorted on.
     suffix: KeySpec,
-    device: DeviceRef,
+    store: StoreRef,
     budget: SortBudget,
     metrics: MetricsRef,
     /// Buffered tuples of the currently accumulating segment.
@@ -70,7 +70,7 @@ impl PartialSort {
         child: BoxOp,
         key: KeySpec,
         prefix_len: usize,
-        device: DeviceRef,
+        store: impl IntoStore,
         budget: SortBudget,
         metrics: MetricsRef,
     ) -> Self {
@@ -81,7 +81,7 @@ impl PartialSort {
             schema,
             prefix,
             suffix,
-            device,
+            store: store.into_store(),
             budget,
             metrics,
             buffer: Vec::new(),
@@ -126,11 +126,8 @@ impl PartialSort {
     /// Spills the current buffer as one sorted run of the current segment.
     fn spill_buffer(&mut self) -> Result<()> {
         sort_buffer(&mut self.buffer, &self.suffix, &self.metrics);
-        let run = super::runs::write_run(
-            &self.device,
-            std::mem::take(&mut self.buffer),
-            &self.metrics,
-        )?;
+        let run =
+            super::runs::write_run(&self.store, std::mem::take(&mut self.buffer), &self.metrics)?;
         self.segment_runs.push(run);
         self.buffer_bytes = 0;
         Ok(())
@@ -154,7 +151,7 @@ impl PartialSort {
             }
             let runs = std::mem::take(&mut self.segment_runs);
             let merge = MergeStream::new(
-                &self.device,
+                &self.store,
                 runs,
                 self.suffix.clone(),
                 self.budget,

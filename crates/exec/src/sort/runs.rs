@@ -4,16 +4,18 @@
 use super::SortBudget;
 use crate::metrics::MetricsRef;
 use pyro_common::{KeySpec, Result, Tuple};
-use pyro_storage::{DeviceRef, TupleFile, TupleFileScan, TupleFileWriter};
+use pyro_storage::{StoreRef, TupleFile, TupleFileScan, TupleFileWriter};
 use std::cmp::Ordering;
 
 /// Writes `tuples` (already sorted) as one spill run, charging run I/O.
+/// Run pages go through `store`, so a pooled store keeps hot runs cached
+/// (the logical `run_pages_written` charge is unchanged either way).
 pub(crate) fn write_run(
-    device: &DeviceRef,
+    store: &StoreRef,
     tuples: impl IntoIterator<Item = Tuple>,
     metrics: &MetricsRef,
 ) -> Result<TupleFile> {
-    let mut w = TupleFileWriter::new(device.clone());
+    let mut w = TupleFileWriter::new(store);
     for t in tuples {
         w.append(&t)?;
     }
@@ -45,7 +47,7 @@ impl MergeStream {
     /// (reading and re-writing runs, exactly the
     /// `B(e)·(2·passes + 1)`-style cost the paper's model charges).
     pub fn new(
-        device: &DeviceRef,
+        store: &StoreRef,
         mut files: Vec<TupleFile>,
         key: KeySpec,
         budget: SortBudget,
@@ -56,7 +58,7 @@ impl MergeStream {
         while files.len() > fan_in {
             let batch: Vec<TupleFile> = files.drain(..fan_in).collect();
             let mut merged = MergeStream::open(batch, key.clone(), metrics.clone())?;
-            let mut w = TupleFileWriter::new(device.clone());
+            let mut w = TupleFileWriter::new(store);
             while let Some(t) = merged.next_tuple()? {
                 w.append(&t)?;
             }
@@ -201,19 +203,19 @@ mod tests {
     use super::*;
     use crate::metrics::ExecMetrics;
     use pyro_common::Value;
-    use pyro_storage::SimDevice;
+    use pyro_storage::{IntoStore, SimDevice};
 
     fn t(v: i64) -> Tuple {
         Tuple::new(vec![Value::Int(v)])
     }
 
-    fn run_of(device: &DeviceRef, vals: &[i64], m: &MetricsRef) -> TupleFile {
-        write_run(device, vals.iter().map(|&v| t(v)), m).unwrap()
+    fn run_of(store: &StoreRef, vals: &[i64], m: &MetricsRef) -> TupleFile {
+        write_run(store, vals.iter().map(|&v| t(v)), m).unwrap()
     }
 
     #[test]
     fn merge_two_runs() {
-        let dev = SimDevice::with_block_size(128);
+        let dev = SimDevice::with_block_size(128).into_store();
         let m = ExecMetrics::new();
         let r1 = run_of(&dev, &[1, 3, 5], &m);
         let r2 = run_of(&dev, &[2, 4, 6], &m);
@@ -236,7 +238,7 @@ mod tests {
 
     #[test]
     fn multipass_merge_with_tiny_fanin() {
-        let dev = SimDevice::with_block_size(128);
+        let dev = SimDevice::with_block_size(128).into_store();
         let m = ExecMetrics::new();
         // 7 runs but fan-in only 2 → intermediate passes required.
         let files: Vec<TupleFile> = (0..7)
@@ -265,7 +267,7 @@ mod tests {
 
     #[test]
     fn exhausted_runs_free_pages() {
-        let dev = SimDevice::with_block_size(128);
+        let dev = SimDevice::with_block_size(128).into_store();
         let m = ExecMetrics::new();
         let r1 = run_of(&dev, &[1, 2], &m);
         let live_before = dev.live_pages();
@@ -284,7 +286,7 @@ mod tests {
 
     #[test]
     fn empty_merge() {
-        let dev = SimDevice::new();
+        let dev = SimDevice::new().into_store();
         let m = ExecMetrics::new();
         let mut ms = MergeStream::new(
             &dev,

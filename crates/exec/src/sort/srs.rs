@@ -20,7 +20,7 @@ use super::{sort_buffer, SortBudget};
 use crate::metrics::MetricsRef;
 use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
 use pyro_common::{KeySpec, Result, Schema, Tuple};
-use pyro_storage::{DeviceRef, TupleFile, TupleFileWriter};
+use pyro_storage::{IntoStore, StoreRef, TupleFile, TupleFileWriter};
 use std::cmp::Ordering;
 
 enum State {
@@ -38,7 +38,7 @@ pub struct StandardReplacementSort {
     child: Option<BoxOp>,
     schema: Schema,
     key: KeySpec,
-    device: DeviceRef,
+    store: StoreRef,
     budget: SortBudget,
     metrics: MetricsRef,
     state: State,
@@ -47,12 +47,13 @@ pub struct StandardReplacementSort {
 }
 
 impl StandardReplacementSort {
-    /// Sorts `child` by `key` using at most `budget` memory; spill runs live
-    /// on `device`.
+    /// Sorts `child` by `key` using at most `budget` memory; spill runs
+    /// live on `store` (a [`StoreRef`], or a bare device for uncached
+    /// spills).
     pub fn new(
         child: BoxOp,
         key: KeySpec,
-        device: DeviceRef,
+        store: impl IntoStore,
         budget: SortBudget,
         metrics: MetricsRef,
     ) -> Self {
@@ -61,7 +62,7 @@ impl StandardReplacementSort {
             child: Some(child),
             schema,
             key,
-            device,
+            store: store.into_store(),
             budget,
             metrics,
             state: State::Pending,
@@ -105,7 +106,7 @@ impl StandardReplacementSort {
         let mut next_input = overflow;
         let mut runs: Vec<TupleFile> = Vec::new();
         let mut current_run: u32 = 0;
-        let mut writer = TupleFileWriter::new(self.device.clone());
+        let mut writer = TupleFileWriter::new(&self.store);
 
         loop {
             match heap.peek_run() {
@@ -116,7 +117,7 @@ impl StandardReplacementSort {
                     self.metrics.add_run_pages_written(file.block_count());
                     self.metrics.add_run();
                     runs.push(file);
-                    writer = TupleFileWriter::new(self.device.clone());
+                    writer = TupleFileWriter::new(&self.store);
                     current_run = r;
                 }
                 Some(_) => {}
@@ -148,7 +149,7 @@ impl StandardReplacementSort {
         runs.push(file);
 
         let merge = MergeStream::new(
-            &self.device,
+            &self.store,
             runs,
             self.key.clone(),
             self.budget,

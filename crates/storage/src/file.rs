@@ -7,12 +7,15 @@
 
 use crate::device::{DeviceRef, PageId};
 use crate::page::{decode_page, PageBuilder};
+use crate::store::{IntoStore, StoreRef};
 use pyro_common::{Result, Tuple};
 
-/// An immutable sequence of tuples stored across pages of a device.
+/// An immutable sequence of tuples stored across pages of a device,
+/// accessed through a [`crate::PageStore`] (so reads and writes are cached
+/// whenever the store carries a buffer pool).
 #[derive(Debug, Clone)]
 pub struct TupleFile {
-    device: DeviceRef,
+    store: StoreRef,
     pages: Vec<PageId>,
     tuple_count: u64,
     byte_count: u64,
@@ -34,9 +37,14 @@ impl TupleFile {
         self.byte_count
     }
 
-    /// The backing device.
+    /// The backing device (exact cold-I/O counters).
     pub fn device(&self) -> &DeviceRef {
-        &self.device
+        self.store.device()
+    }
+
+    /// The page store this file reads and writes through.
+    pub fn store(&self) -> &StoreRef {
+        &self.store
     }
 
     /// Sequential scan. Each page read is counted by the device.
@@ -58,10 +66,11 @@ impl TupleFile {
         }
     }
 
-    /// Releases all pages back to the device (used for spill runs).
+    /// Releases all pages back to the device (used for spill runs). Cached
+    /// frames of the freed pages are discarded, not written back.
     pub fn delete(self) {
         for p in &self.pages {
-            self.device.free_page(*p);
+            self.store.free_page(*p);
         }
     }
 }
@@ -69,7 +78,7 @@ impl TupleFile {
 /// Appends tuples to a fresh [`TupleFile`].
 #[derive(Debug)]
 pub struct TupleFileWriter {
-    device: DeviceRef,
+    store: StoreRef,
     builder: PageBuilder,
     pages: Vec<PageId>,
     tuple_count: u64,
@@ -77,11 +86,13 @@ pub struct TupleFileWriter {
 }
 
 impl TupleFileWriter {
-    /// Starts a new file on `device`.
-    pub fn new(device: DeviceRef) -> Self {
-        let builder = PageBuilder::new(device.block_size());
+    /// Starts a new file on `store` (a [`StoreRef`], or a bare
+    /// [`DeviceRef`] for an uncached file).
+    pub fn new(store: impl IntoStore) -> Self {
+        let store = store.into_store();
+        let builder = PageBuilder::new(store.block_size());
         TupleFileWriter {
-            device,
+            store,
             builder,
             pages: Vec::new(),
             tuple_count: 0,
@@ -103,8 +114,8 @@ impl TupleFileWriter {
 
     fn flush_page(&mut self) -> Result<()> {
         let data = self.builder.take();
-        let id = self.device.alloc_page();
-        self.device.write_page(id, &data)?;
+        let id = self.store.alloc_page();
+        self.store.write_page(id, &data)?;
         self.pages.push(id);
         Ok(())
     }
@@ -115,7 +126,7 @@ impl TupleFileWriter {
             self.flush_page()?;
         }
         Ok(TupleFile {
-            device: self.device,
+            store: self.store,
             pages: self.pages,
             tuple_count: self.tuple_count,
             byte_count: self.byte_count,
@@ -123,12 +134,13 @@ impl TupleFileWriter {
     }
 }
 
-/// Builds a [`TupleFile`] from an iterator in one call.
+/// Builds a [`TupleFile`] from an iterator in one call. Accepts a
+/// [`StoreRef`] or a bare [`DeviceRef`] (which becomes a bypass store).
 pub fn write_file<'a>(
-    device: &DeviceRef,
+    store: impl IntoStore,
     tuples: impl IntoIterator<Item = &'a Tuple>,
 ) -> Result<TupleFile> {
-    let mut w = TupleFileWriter::new(device.clone());
+    let mut w = TupleFileWriter::new(store);
     for t in tuples {
         w.append(t)?;
     }
@@ -155,7 +167,7 @@ impl TupleFileScan {
             if self.page_idx >= self.end_page {
                 return Ok(None);
             }
-            let data = self.file.device.read_page(self.file.pages[self.page_idx])?;
+            let data = self.file.store.read_page(self.file.pages[self.page_idx])?;
             self.page_idx += 1;
             self.buffer = decode_page(&data)?.into_iter();
         }
@@ -173,7 +185,7 @@ impl TupleFileScan {
             if self.page_idx >= self.end_page {
                 return Ok(None);
             }
-            let data = self.file.device.read_page(self.file.pages[self.page_idx])?;
+            let data = self.file.store.read_page(self.file.pages[self.page_idx])?;
             self.page_idx += 1;
             let tuples = decode_page(&data)?;
             if !tuples.is_empty() {
@@ -191,7 +203,7 @@ impl TupleFileScan {
             out.extend(self.buffer.by_ref());
         }
         while out.len() < target && self.page_idx < self.end_page {
-            let data = self.file.device.read_page(self.file.pages[self.page_idx])?;
+            let data = self.file.store.read_page(self.file.pages[self.page_idx])?;
             self.page_idx += 1;
             crate::page::decode_page_into(&data, out)?;
         }

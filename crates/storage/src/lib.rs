@@ -11,13 +11,27 @@
 //! `run_io == 0` instead of eyeballing timings. Real byte-level tuple
 //! encoding ([`page`]) keeps CPU work honest.
 //!
-//! On top of the device sit [`TupleFile`]s (ordered page sequences used for
-//! base tables, covering-index entry files and sort spill runs).
+//! On top of the device sit two layers:
+//!
+//! * [`PageStore`] — the I/O path, a device plus an optional [`BufferPool`]
+//!   (fixed-capacity CLOCK page cache with pin/unpin frames and write-back).
+//!   In the default **bypass** mode every operation is exactly a device
+//!   operation; in **cached** mode device counters measure cold I/O only and
+//!   [`CacheStats`] measures the hot/cold split.
+//! * [`TupleFile`]s — ordered page sequences used for base tables,
+//!   covering-index entry files and sort spill runs — which read and write
+//!   through a shared [`StoreRef`].
+
+#![deny(missing_docs)]
 
 pub mod device;
 pub mod file;
 pub mod page;
+pub mod pool;
+pub mod store;
 
 pub use device::{DeviceRef, IoSnapshot, PageId, SimDevice};
 pub use file::{write_file, TupleFile, TupleFileScan, TupleFileWriter};
 pub use page::{decode_page, encoded_len, PageBuilder};
+pub use pool::{BufferPool, CacheStats, PinnedPage};
+pub use store::{IntoStore, PageStore, StoreRef};

@@ -1,0 +1,707 @@
+//! A fixed-capacity buffer pool over a [`SimDevice`](crate::SimDevice).
+//!
+//! The pool caches whole pages in **frames**; consumers [`pin`] a page to
+//! hold its frame resident while they read it and drop the returned
+//! [`PinnedPage`] guard to unpin it. Replacement is CLOCK (second chance):
+//! a hand sweeps the frame array, skipping pinned frames, clearing each
+//! frame's reference bit on the first pass and evicting the first frame
+//! found with the bit already clear. Writes are **write-back**: a page
+//! written through the pool is only marked dirty; the device write happens
+//! when the frame is evicted or the pool is [`flush`]ed, so hot spill runs
+//! and rescans never round-trip through the device at all.
+//!
+//! The pool is `Send + Sync` — one `Mutex` guards the frame table (device
+//! reads on a miss happen *outside* it, so workers' hits proceed while a
+//! cold page loads), and the morsel workers of a parallel scan share a
+//! single pool the way the paper's PostgreSQL baseline shares its
+//! shared_buffers. Hit / miss / eviction / write-back counters are relaxed
+//! atomics, summable from any thread. Exhaustion (every frame pinned) is a
+//! typed error on writes and a graceful uncached read on reads — never a
+//! deadlock.
+//!
+//! [`pin`]: BufferPool::pin
+//! [`flush`]: BufferPool::flush
+
+use crate::device::{DeviceRef, PageId};
+use pyro_common::{PyroError, Result};
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Snapshot of buffer-pool counters, in pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Pins satisfied from a resident frame (no device read).
+    pub hits: u64,
+    /// Pins that had to read the page from the device.
+    pub misses: u64,
+    /// Frames reclaimed by the CLOCK hand.
+    pub evictions: u64,
+    /// Dirty pages written back to the device (on eviction or flush).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Counter delta `self − earlier`.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            writebacks: self.writebacks - earlier.writebacks,
+        }
+    }
+
+    /// Fraction of pins that hit, in `[0, 1]`; `0` before any pin.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// One cached page.
+struct Frame {
+    page: PageId,
+    /// Shared so a [`PinnedPage`] guard can keep reading the bytes without
+    /// holding the pool lock.
+    data: Arc<[u8]>,
+    /// Written through the pool but not yet to the device.
+    dirty: bool,
+    /// CLOCK reference bit: set on every pin, cleared by the sweeping hand.
+    referenced: bool,
+    /// Pinned frames are never evicted.
+    pins: u32,
+    /// Unique id of this residency. Guards unpin `(page, serial)` pairs,
+    /// so a stale guard — its frame invalidated, the page id recycled and
+    /// re-cached — can never decrement the pin count of the new frame.
+    serial: u64,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    /// `PageId → frames index` for resident pages.
+    map: HashMap<PageId, usize>,
+    /// The CLOCK hand: index of the next frame to inspect.
+    hand: usize,
+    /// Source of [`Frame::serial`] values.
+    next_serial: u64,
+}
+
+/// A fixed-capacity CLOCK page cache over a [`SimDevice`].
+///
+/// ```
+/// use pyro_storage::{BufferPool, SimDevice};
+///
+/// let device = SimDevice::with_block_size(128);
+/// let id = device.alloc_page();
+/// device.write_page(id, b"hello").unwrap();
+///
+/// let pool = BufferPool::new(device.clone(), 4);
+/// let cold = pool.pin(id).unwrap(); // miss: reads the device
+/// assert_eq!(&cold[..], b"hello");
+/// drop(cold);
+/// let warm = pool.pin(id).unwrap(); // hit: no device read
+/// assert_eq!(pool.stats().hits, 1);
+/// assert_eq!(device.io().reads, 1, "second pin never touched the device");
+/// drop(warm);
+/// ```
+///
+/// [`SimDevice`]: crate::SimDevice
+pub struct BufferPool {
+    device: DeviceRef,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames (floor 1) over `device`.
+    pub fn new(device: DeviceRef, capacity: usize) -> BufferPool {
+        let capacity = capacity.max(1);
+        BufferPool {
+            device,
+            capacity,
+            inner: Mutex::new(PoolInner {
+                frames: Vec::new(),
+                map: HashMap::new(),
+                hand: 0,
+                next_serial: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &DeviceRef {
+        &self.device
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pins `id`'s frame, loading the page from the device on a miss, and
+    /// returns a guard whose `Drop` unpins it. A pinned frame is never
+    /// evicted.
+    ///
+    /// Reads never fail on an exhausted pool: when every frame is pinned,
+    /// the loaded page is handed back **uncached** (counted as a miss,
+    /// resident set unchanged) so a burst of transient pins from many
+    /// workers can only lose caching, not break queries. Only writes —
+    /// which cannot drop their data — surface
+    /// [`PyroError::PoolExhausted`](pyro_common::PyroError::PoolExhausted).
+    pub fn pin(&self, id: PageId) -> Result<PinnedPage<'_>> {
+        {
+            let mut inner = self.inner.lock().expect("buffer pool poisoned");
+            if let Some(&idx) = inner.map.get(&id) {
+                let frame = &mut inner.frames[idx];
+                frame.referenced = true;
+                frame.pins += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PinnedPage {
+                    pool: self,
+                    page: id,
+                    serial: Some(frame.serial),
+                    data: frame.data.clone(),
+                });
+            }
+        }
+        // Miss: read the device *without* holding the pool lock, so other
+        // workers' hits (and misses on other pages) proceed concurrently.
+        let data: Arc<[u8]> = self.device.read_page(id)?.into();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        if let Some(&idx) = inner.map.get(&id) {
+            // Another worker cached the page while we were reading: pin
+            // its frame (whose bytes may be newer than our device copy).
+            // The miss is already counted — the device read did happen.
+            let frame = &mut inner.frames[idx];
+            frame.referenced = true;
+            frame.pins += 1;
+            return Ok(PinnedPage {
+                pool: self,
+                page: id,
+                serial: Some(frame.serial),
+                data: frame.data.clone(),
+            });
+        }
+        let frame = Frame {
+            page: id,
+            data: data.clone(),
+            dirty: false,
+            referenced: true,
+            pins: 1,
+            serial: 0, // assigned by install
+        };
+        let serial = match self.install(&mut inner, frame) {
+            Ok(serial) => Some(serial),
+            // Every frame pinned: serve the bytes uncached instead of
+            // failing the read.
+            Err(PyroError::PoolExhausted { .. }) => None,
+            Err(e) => return Err(e),
+        };
+        Ok(PinnedPage {
+            pool: self,
+            page: id,
+            serial,
+            data,
+        })
+    }
+
+    /// Reads a whole page through the pool (pin, copy, unpin).
+    pub fn read_page(&self, id: PageId) -> Result<Vec<u8>> {
+        Ok(self.pin(id)?.to_vec())
+    }
+
+    /// Writes a page through the pool: the frame is updated (or created)
+    /// and marked dirty; the device write is deferred to eviction or
+    /// [`BufferPool::flush`]. `data` must not exceed the device block
+    /// size. A write needing a frame while every frame is pinned returns
+    /// [`PyroError::PoolExhausted`](pyro_common::PyroError::PoolExhausted)
+    /// — it cannot drop its data the way an overflow read can.
+    pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        if data.len() > self.device.block_size() {
+            return Err(PyroError::Storage(format!(
+                "page overflow: {} > block size {}",
+                data.len(),
+                self.device.block_size()
+            )));
+        }
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        if let Some(&idx) = inner.map.get(&id) {
+            let frame = &mut inner.frames[idx];
+            frame.data = data.to_vec().into();
+            frame.dirty = true;
+            frame.referenced = true;
+            return Ok(());
+        }
+        let frame = Frame {
+            page: id,
+            data: data.to_vec().into(),
+            dirty: true,
+            referenced: true,
+            pins: 0,
+            serial: 0, // assigned by install
+        };
+        self.install(&mut inner, frame).map(|_| ())
+    }
+
+    /// Drops `id`'s frame — **without** write-back — no matter its state.
+    /// This is the "file deleted" path: the page's contents are dead, so
+    /// flushing them would be wasted I/O. Outstanding [`PinnedPage`] guards
+    /// stay valid (they share the bytes), they just no longer pin anything.
+    pub fn invalidate(&self, id: PageId) {
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        if let Some(idx) = inner.map.remove(&id) {
+            let last = inner.frames.len() - 1;
+            inner.frames.swap(idx, last);
+            inner.frames.pop();
+            if idx < inner.frames.len() {
+                let moved = inner.frames[idx].page;
+                inner.map.insert(moved, idx);
+            }
+            if inner.hand > inner.frames.len() {
+                inner.hand = 0;
+            }
+        }
+    }
+
+    /// Writes every dirty frame back to the device (counting write-backs),
+    /// leaving all frames resident and clean.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        for frame in &mut inner.frames {
+            if frame.dirty {
+                self.device.write_page(frame.page, &frame.data)?;
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes dirty frames, then drops every unpinned frame — the state a
+    /// freshly constructed pool has. Pinned frames survive (still resident,
+    /// now clean). Used after bulk loads so cold-run measurements start
+    /// from an actually cold cache.
+    pub fn clear(&self) -> Result<()> {
+        self.flush()?;
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        inner.frames.retain(|f| f.pins > 0);
+        inner.map = inner
+            .frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.page, i))
+            .collect();
+        inner.hand = 0;
+        Ok(())
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("buffer pool poisoned")
+            .frames
+            .len()
+    }
+
+    /// Decrements a frame's pin count (guard drop) — but only if the
+    /// resident frame is the same *residency* the guard pinned. A frame
+    /// invalidated while pinned is gone (no-op), and a recycled page id
+    /// re-cached under a new serial is a different frame the stale guard
+    /// must not touch.
+    fn unpin(&self, id: PageId, serial: u64) {
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        if let Some(&idx) = inner.map.get(&id) {
+            let frame = &mut inner.frames[idx];
+            if frame.serial == serial {
+                frame.pins = frame.pins.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Makes room for `frame` and inserts it: a free slot if the pool is
+    /// not full yet, otherwise the CLOCK victim's slot (writing the victim
+    /// back first when dirty). Returns the serial assigned to the new
+    /// residency.
+    fn install(&self, inner: &mut PoolInner, mut frame: Frame) -> Result<u64> {
+        let serial = inner.next_serial;
+        inner.next_serial += 1;
+        frame.serial = serial;
+        if inner.frames.len() < self.capacity {
+            inner.map.insert(frame.page, inner.frames.len());
+            inner.frames.push(frame);
+            return Ok(serial);
+        }
+        let victim = self.clock_victim(inner)?;
+        // Write-back strictly precedes frame reuse: the victim's bytes are
+        // on the device before the slot holds the new page.
+        {
+            let v = &mut inner.frames[victim];
+            if v.dirty {
+                self.device.write_page(v.page, &v.data)?;
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let old = inner.frames[victim].page;
+        inner.map.remove(&old);
+        inner.map.insert(frame.page, victim);
+        inner.frames[victim] = frame;
+        Ok(serial)
+    }
+
+    /// CLOCK second-chance sweep: skip pinned frames; a referenced frame
+    /// loses its bit and survives one pass; the first unreferenced,
+    /// unpinned frame is the victim. Two full sweeps without a victim mean
+    /// every frame is pinned → typed error, not a deadlock.
+    fn clock_victim(&self, inner: &mut PoolInner) -> Result<usize> {
+        let n = inner.frames.len();
+        for _ in 0..2 * n {
+            let idx = inner.hand % n;
+            inner.hand = (inner.hand + 1) % n;
+            let frame = &mut inner.frames[idx];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Ok(idx);
+        }
+        Err(PyroError::PoolExhausted {
+            capacity: self.capacity,
+        })
+    }
+}
+
+/// A pinned page: zero-copy read access to a resident frame. Dropping the
+/// guard unpins the frame, making it evictable again.
+///
+/// An **overflow read** (every frame was pinned at load time) yields a
+/// guard over uncached bytes instead — same read API, nothing pinned; see
+/// [`PinnedPage::is_cached`].
+pub struct PinnedPage<'a> {
+    pool: &'a BufferPool,
+    page: PageId,
+    /// The pinned residency, or `None` for an overflow read (nothing to
+    /// unpin).
+    serial: Option<u64>,
+    data: Arc<[u8]>,
+}
+
+impl PinnedPage<'_> {
+    /// The pinned page's id.
+    pub fn page_id(&self) -> PageId {
+        self.page
+    }
+
+    /// `false` for an overflow read: the bytes came from the device while
+    /// every frame was pinned, so nothing is resident or pinned.
+    pub fn is_cached(&self) -> bool {
+        self.serial.is_some()
+    }
+}
+
+impl std::fmt::Debug for PinnedPage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedPage")
+            .field("page", &self.page)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+impl Deref for PinnedPage<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Drop for PinnedPage<'_> {
+    fn drop(&mut self) {
+        if let Some(serial) = self.serial {
+            self.pool.unpin(self.page, serial);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimDevice;
+
+    /// Device with `n` pages written as `[i as u8; 4]`.
+    fn device_with_pages(n: usize) -> (DeviceRef, Vec<PageId>) {
+        let dev = SimDevice::with_block_size(64);
+        let ids: Vec<PageId> = (0..n)
+            .map(|i| {
+                let id = dev.alloc_page();
+                dev.write_page(id, &[i as u8; 4]).unwrap();
+                id
+            })
+            .collect();
+        (dev, ids)
+    }
+
+    #[test]
+    fn hit_after_miss_skips_device() {
+        let (dev, ids) = device_with_pages(1);
+        let pool = BufferPool::new(dev.clone(), 2);
+        let reads_before = dev.io().reads;
+        assert_eq!(pool.read_page(ids[0]).unwrap(), vec![0u8; 4]);
+        assert_eq!(pool.read_page(ids[0]).unwrap(), vec![0u8; 4]);
+        assert_eq!(dev.io().reads, reads_before + 1, "one cold read only");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        // Capacity 2; A and B resident with reference bits set. Touching C
+        // must clear both bits on the first sweep and evict on the second —
+        // and a re-referenced frame must survive longer than one never
+        // touched again.
+        let (dev, ids) = device_with_pages(4);
+        let pool = BufferPool::new(dev.clone(), 2);
+        pool.read_page(ids[0]).unwrap(); // A resident, referenced
+        pool.read_page(ids[1]).unwrap(); // B resident, referenced
+        pool.read_page(ids[0]).unwrap(); // A hit
+        pool.read_page(ids[2]).unwrap(); // evicts one of A/B
+        assert_eq!(pool.stats().evictions, 1);
+        // A was re-referenced after the initial fill; with the hand at the
+        // start, the sweep clears A's bit, clears B's bit, then returns to
+        // A... both bits were set, so the evicted frame is the one the hand
+        // reaches first with a clear bit — deterministically A (hand order),
+        // but what we pin down as *behaviour* is just: a later hit on the
+        // survivor is free, the evicted page costs a device read.
+        let reads = dev.io().reads;
+        pool.read_page(ids[1]).unwrap();
+        pool.read_page(ids[2]).unwrap();
+        let cold = dev.io().reads - reads;
+        assert!(cold <= 1, "at most one of B/C was evicted");
+    }
+
+    #[test]
+    fn pinned_frames_are_skipped_by_eviction() {
+        let (dev, ids) = device_with_pages(3);
+        let pool = BufferPool::new(dev.clone(), 2);
+        let guard = pool.pin(ids[0]).unwrap(); // A pinned
+        pool.read_page(ids[1]).unwrap(); // B resident
+        pool.read_page(ids[2]).unwrap(); // must evict B, not pinned A
+        let reads = dev.io().reads;
+        drop(pool.pin(ids[0]).unwrap()); // still resident → hit
+        assert_eq!(dev.io().reads, reads, "pinned page survived eviction");
+        assert_eq!(&guard[..], &[0u8; 4]);
+    }
+
+    #[test]
+    fn all_pinned_pool_returns_typed_error_on_write() {
+        let (dev, ids) = device_with_pages(3);
+        let pool = BufferPool::new(dev.clone(), 2);
+        let _a = pool.pin(ids[0]).unwrap();
+        let _b = pool.pin(ids[1]).unwrap();
+        // A write needs a frame and cannot drop its data: typed error, no
+        // deadlock.
+        let c = dev.alloc_page();
+        match pool.write_page(c, b"cccc") {
+            Err(PyroError::PoolExhausted { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+        // Releasing a pin unblocks the pool.
+        drop(_a);
+        pool.write_page(c, b"cccc").unwrap();
+        assert_eq!(pool.read_page(c).unwrap(), b"cccc");
+    }
+
+    #[test]
+    fn all_pinned_reads_degrade_to_uncached() {
+        let (dev, ids) = device_with_pages(3);
+        let pool = BufferPool::new(dev.clone(), 2);
+        let _a = pool.pin(ids[0]).unwrap();
+        let _b = pool.pin(ids[1]).unwrap();
+        // A read can always fall back to the device copy: correct bytes,
+        // counted as a miss, nothing cached or pinned.
+        let overflow = pool.pin(ids[2]).expect("overflow read must succeed");
+        assert_eq!(&overflow[..], &[2u8; 4]);
+        assert!(!overflow.is_cached());
+        drop(overflow);
+        assert_eq!(pool.resident(), 2, "overflow read cached nothing");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (0, 3));
+        // With a pin released, the same read caches normally again.
+        drop(_a);
+        assert!(pool.pin(ids[2]).unwrap().is_cached());
+    }
+
+    #[test]
+    fn stale_guard_does_not_unpin_recycled_page_id() {
+        let dev = SimDevice::with_block_size(64);
+        let a = dev.alloc_page();
+        dev.write_page(a, b"old!").unwrap();
+        let pool = BufferPool::new(dev.clone(), 2);
+        let stale = pool.pin(a).unwrap(); // residency #1 of id `a`, pinned
+                                          // The file owning `a` is deleted; the id is recycled and re-cached
+                                          // as a brand-new residency, itself pinned by another consumer.
+        pool.invalidate(a);
+        dev.free_page(a);
+        let b = dev.alloc_page();
+        assert_eq!(a, b, "device recycles freed ids");
+        pool.write_page(b, b"new!").unwrap();
+        let fresh = pool.pin(b).unwrap();
+        // Dropping the stale guard must NOT decrement the new frame's pin
+        // count: filling the pool with other pages may evict the unpinned
+        // frame but never the one `fresh` holds.
+        drop(stale);
+        let c = dev.alloc_page();
+        dev.write_page(c, b"cccc").unwrap();
+        let d = dev.alloc_page();
+        dev.write_page(d, b"dddd").unwrap();
+        pool.read_page(c).unwrap();
+        let _ = pool.read_page(d); // may overflow-read; must not evict `fresh`
+        assert_eq!(&fresh[..], b"new!");
+        let still = pool.pin(b).unwrap();
+        assert_eq!(&still[..], b"new!", "pinned frame survived the churn");
+    }
+
+    #[test]
+    fn dirty_pages_write_back_on_eviction_in_order() {
+        let dev = SimDevice::with_block_size(64);
+        let a = dev.alloc_page();
+        let b = dev.alloc_page();
+        let c = dev.alloc_page();
+        let pool = BufferPool::new(dev.clone(), 2);
+        pool.write_page(a, b"aaaa").unwrap();
+        pool.write_page(b, b"bbbb").unwrap();
+        assert_eq!(dev.io().writes, 0, "write-back defers device writes");
+        // Fill a third page: the victim's bytes must land on the device
+        // *before* its frame is reused, so reading the evicted page back
+        // through a fresh pool (device truth) sees the latest contents.
+        pool.write_page(c, b"cccc").unwrap();
+        assert_eq!(dev.io().writes, 1, "exactly the victim written back");
+        assert_eq!(pool.stats().writebacks, 1);
+        pool.flush().unwrap();
+        assert_eq!(dev.io().writes, 3);
+        assert_eq!(dev.read_page(a).unwrap(), b"aaaa");
+        assert_eq!(dev.read_page(b).unwrap(), b"bbbb");
+        assert_eq!(dev.read_page(c).unwrap(), b"cccc");
+    }
+
+    #[test]
+    fn rewrite_of_resident_page_stays_one_frame() {
+        let dev = SimDevice::with_block_size(64);
+        let a = dev.alloc_page();
+        let pool = BufferPool::new(dev.clone(), 2);
+        pool.write_page(a, b"v1").unwrap();
+        pool.write_page(a, b"v2").unwrap();
+        assert_eq!(pool.resident(), 1);
+        assert_eq!(pool.read_page(a).unwrap(), b"v2");
+        pool.flush().unwrap();
+        assert_eq!(dev.io().writes, 1, "one write-back for the final value");
+        assert_eq!(dev.read_page(a).unwrap(), b"v2");
+    }
+
+    #[test]
+    fn invalidate_discards_dirty_frame_without_writeback() {
+        let dev = SimDevice::with_block_size(64);
+        let a = dev.alloc_page();
+        let pool = BufferPool::new(dev.clone(), 2);
+        pool.write_page(a, b"dead").unwrap();
+        pool.invalidate(a);
+        pool.flush().unwrap();
+        assert_eq!(dev.io().writes, 0, "dead page never written back");
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn clear_resets_to_cold() {
+        let (dev, ids) = device_with_pages(2);
+        let pool = BufferPool::new(dev.clone(), 4);
+        pool.read_page(ids[0]).unwrap();
+        pool.read_page(ids[1]).unwrap();
+        pool.clear().unwrap();
+        assert_eq!(pool.resident(), 0);
+        let reads = dev.io().reads;
+        pool.read_page(ids[0]).unwrap();
+        assert_eq!(dev.io().reads, reads + 1, "cold again after clear");
+    }
+
+    #[test]
+    fn oversized_write_rejected_without_caching() {
+        let dev = SimDevice::with_block_size(64);
+        let a = dev.alloc_page();
+        let pool = BufferPool::new(dev, 2);
+        assert!(pool.write_page(a, &[0u8; 65]).is_err());
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn concurrent_pin_unpin_from_four_threads() {
+        let (dev, ids) = device_with_pages(8);
+        let pool = std::sync::Arc::new(BufferPool::new(dev.clone(), 4));
+        const PINS_PER_THREAD: usize = 500;
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let pool = pool.clone();
+                let ids = ids.clone();
+                scope.spawn(move || {
+                    let mut state = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                    for _ in 0..PINS_PER_THREAD {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let id = ids[(state >> 33) as usize % ids.len()];
+                        let page = pool.pin(id).expect("pool has unpinned frames");
+                        assert_eq!(&page[..], &[id as u8; 4]);
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 4 * PINS_PER_THREAD as u64);
+        assert_eq!(
+            dev.io().reads,
+            s.misses,
+            "every miss is exactly one device read"
+        );
+        // All guards dropped: nothing pinned, clear() empties the pool.
+        pool.clear().unwrap();
+        assert_eq!(pool.resident(), 0);
+    }
+}

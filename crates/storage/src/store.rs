@@ -1,0 +1,240 @@
+//! The page store: the I/O path every [`TupleFile`] actually uses — a
+//! [`SimDevice`] with an optional [`BufferPool`] in front of it.
+//!
+//! Two modes, chosen at construction:
+//!
+//! * **bypass** ([`PageStore::bypass`], the default everywhere): reads and
+//!   writes go straight to the device, byte- and counter-identical to the
+//!   pre-pool engine. This is what `From<DeviceRef>` builds, so every API
+//!   that accepts `impl Into<StoreRef>` keeps taking a bare device.
+//! * **cached** ([`PageStore::cached`]): reads pin through the pool, writes
+//!   are write-back. Device counters then measure *cold* I/O only, and the
+//!   pool's [`CacheStats`] measure hot/cold separation.
+//!
+//! Page **allocation** and **free** always talk to the device directly —
+//! the free list is an allocation concern, not a caching one — but freeing
+//! also invalidates any resident frame so a recycled page id can never
+//! serve stale bytes.
+//!
+//! [`TupleFile`]: crate::TupleFile
+//! [`SimDevice`]: crate::SimDevice
+
+use crate::device::{DeviceRef, PageId};
+use crate::pool::{BufferPool, CacheStats, PinnedPage};
+use pyro_common::Result;
+use std::sync::Arc;
+
+/// A device plus optional buffer pool; see the module docs.
+#[derive(Debug)]
+pub struct PageStore {
+    device: DeviceRef,
+    pool: Option<BufferPool>,
+}
+
+/// Shared handle to a page store. Every [`crate::TupleFile`] of one catalog
+/// shares one store, so they share one pool.
+pub type StoreRef = Arc<PageStore>;
+
+impl PageStore {
+    /// A store that passes every operation straight to `device`.
+    pub fn bypass(device: DeviceRef) -> StoreRef {
+        Arc::new(PageStore { device, pool: None })
+    }
+
+    /// A store that caches pages in a `pages`-frame [`BufferPool`] (floor 1).
+    pub fn cached(device: DeviceRef, pages: usize) -> StoreRef {
+        Arc::new(PageStore {
+            pool: Some(BufferPool::new(device.clone(), pages)),
+            device,
+        })
+    }
+
+    /// The underlying device (exact cold-I/O counters).
+    pub fn device(&self) -> &DeviceRef {
+        &self.device
+    }
+
+    /// The pool, when this store is cached.
+    pub fn pool(&self) -> Option<&BufferPool> {
+        self.pool.as_ref()
+    }
+
+    /// Pool capacity in pages; `None` in bypass mode.
+    pub fn pool_pages(&self) -> Option<usize> {
+        self.pool.as_ref().map(BufferPool::capacity)
+    }
+
+    /// The device's block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.device.block_size()
+    }
+
+    /// Allocates a page id (device free list; never cached).
+    pub fn alloc_page(&self) -> PageId {
+        self.device.alloc_page()
+    }
+
+    /// Currently allocated (non-freed) pages. Allocation always goes to
+    /// the device, so this is exact even with dirty pages still in the
+    /// pool.
+    pub fn live_pages(&self) -> usize {
+        self.device.live_pages()
+    }
+
+    /// Reads a page — through the pool when cached (a resident page costs
+    /// no device read), straight from the device otherwise.
+    pub fn read_page(&self, id: PageId) -> Result<Vec<u8>> {
+        match &self.pool {
+            Some(pool) => pool.read_page(id),
+            None => self.device.read_page(id),
+        }
+    }
+
+    /// Pins a page for zero-copy reading; `None` in bypass mode (callers
+    /// fall back to [`PageStore::read_page`]).
+    pub fn pin(&self, id: PageId) -> Option<Result<PinnedPage<'_>>> {
+        self.pool.as_ref().map(|p| p.pin(id))
+    }
+
+    /// Writes a page — write-back through the pool when cached (the device
+    /// write is deferred to eviction or [`PageStore::flush`]), a direct
+    /// device write otherwise.
+    pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        match &self.pool {
+            Some(pool) => pool.write_page(id, data),
+            None => self.device.write_page(id, data),
+        }
+    }
+
+    /// Frees a page: drops any resident frame (dead bytes are not written
+    /// back) and returns the id to the device free list.
+    pub fn free_page(&self, id: PageId) {
+        if let Some(pool) = &self.pool {
+            pool.invalidate(id);
+        }
+        self.device.free_page(id);
+    }
+
+    /// Writes every dirty cached page to the device; no-op in bypass mode.
+    pub fn flush(&self) -> Result<()> {
+        match &self.pool {
+            Some(pool) => pool.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Flushes, then empties the cache (see [`BufferPool::clear`]); no-op
+    /// in bypass mode. Bulk-load paths call this so query-time cold-run
+    /// measurements are not pre-warmed by ingestion.
+    pub fn clear_cache(&self) -> Result<()> {
+        match &self.pool {
+            Some(pool) => pool.clear(),
+            None => Ok(()),
+        }
+    }
+
+    /// Pool counters; all-zero (and never advancing) in bypass mode.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.pool
+            .as_ref()
+            .map(BufferPool::stats)
+            .unwrap_or_default()
+    }
+}
+
+/// Conversion into a [`StoreRef`], implemented for stores and bare devices
+/// alike — the compatibility seam that lets sort operators and tuple files
+/// keep accepting a `DeviceRef` (which becomes a fresh bypass store) while
+/// catalog-driven callers hand in their shared, possibly cached store.
+pub trait IntoStore {
+    /// Consumes `self` into a shared store handle.
+    fn into_store(self) -> StoreRef;
+}
+
+impl IntoStore for StoreRef {
+    fn into_store(self) -> StoreRef {
+        self
+    }
+}
+
+impl IntoStore for &StoreRef {
+    fn into_store(self) -> StoreRef {
+        self.clone()
+    }
+}
+
+impl IntoStore for DeviceRef {
+    fn into_store(self) -> StoreRef {
+        PageStore::bypass(self)
+    }
+}
+
+impl IntoStore for &DeviceRef {
+    fn into_store(self) -> StoreRef {
+        PageStore::bypass(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimDevice;
+
+    #[test]
+    fn bypass_mirrors_device_exactly() {
+        let dev = SimDevice::with_block_size(64);
+        let store = PageStore::bypass(dev.clone());
+        let id = store.alloc_page();
+        store.write_page(id, b"x").unwrap();
+        assert_eq!(store.read_page(id).unwrap(), b"x");
+        assert_eq!(dev.io().reads, 1);
+        assert_eq!(dev.io().writes, 1);
+        assert_eq!(store.cache_stats(), CacheStats::default());
+        assert!(store.pool().is_none());
+        assert!(store.pin(id).is_none());
+        store.flush().unwrap();
+        store.clear_cache().unwrap();
+        store.free_page(id);
+        assert_eq!(dev.live_pages(), 0);
+    }
+
+    #[test]
+    fn cached_store_defers_writes_and_absorbs_rereads() {
+        let dev = SimDevice::with_block_size(64);
+        let store = PageStore::cached(dev.clone(), 4);
+        let id = store.alloc_page();
+        store.write_page(id, b"x").unwrap();
+        assert_eq!(dev.io().writes, 0, "write-back");
+        for _ in 0..3 {
+            assert_eq!(store.read_page(id).unwrap(), b"x");
+        }
+        assert_eq!(dev.io().reads, 0, "dirty resident page, no cold read");
+        assert_eq!(store.cache_stats().hits, 3);
+        store.flush().unwrap();
+        assert_eq!(dev.io().writes, 1);
+    }
+
+    #[test]
+    fn free_page_invalidates_resident_frame() {
+        let dev = SimDevice::with_block_size(64);
+        let store = PageStore::cached(dev.clone(), 4);
+        let id = store.alloc_page();
+        store.write_page(id, b"old").unwrap();
+        store.free_page(id);
+        // Recycled id: the frame must be gone, or this read would see "old".
+        let id2 = store.alloc_page();
+        assert_eq!(id, id2, "device recycles freed ids");
+        store.write_page(id2, b"new").unwrap();
+        assert_eq!(store.read_page(id2).unwrap(), b"new");
+    }
+
+    #[test]
+    fn device_conversions_build_bypass_stores() {
+        let dev = SimDevice::new();
+        let by_value: StoreRef = dev.clone().into_store();
+        let by_ref: StoreRef = (&dev).into_store();
+        assert!(by_value.pool().is_none());
+        assert!(by_ref.pool().is_none());
+        assert_eq!(by_ref.block_size(), dev.block_size());
+    }
+}

@@ -8,6 +8,22 @@ use std::time::Duration;
 /// Everything one `Session::sql` round trip produced: the rows, their
 /// schema, the execution counters, and the optimizer's view of the plan
 /// that made them (estimated cost, strategy, printable tree).
+///
+/// ```
+/// use pyro::{Session, SortOrder, common::Schema};
+///
+/// let mut session = Session::new();
+/// session
+///     .register_csv("t", Schema::ints(&["a"]), SortOrder::new(["a"]), "1\n2\n")
+///     .unwrap();
+/// let result = session.sql("SELECT a FROM t ORDER BY a").unwrap();
+/// assert_eq!(result.len(), 2);
+/// assert_eq!(result.schema().names(), ["t.a"]);
+/// assert!(result.cost() >= 0.0);
+/// assert!(result.explain().contains("plan"));
+/// let rows = result.into_rows();
+/// assert_eq!(rows[0].get(0).as_int(), Some(1));
+/// ```
 #[derive(Debug)]
 pub struct QueryResult {
     pub(crate) rows: Vec<Tuple>,

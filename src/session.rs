@@ -31,8 +31,23 @@ use std::time::Instant;
 ///
 /// Defaults match the paper's full machinery: the `PYRO-O` strategy,
 /// hash-join/aggregate alternatives enabled, a 100-block sort memory budget,
-/// 1024-row execution batches, single-threaded execution, and cost
-/// constants derived from the backing device.
+/// 1024-row execution batches, single-threaded execution, no buffer pool
+/// (every page access is charged as cold device I/O), and cost constants
+/// derived from the backing device.
+///
+/// ```
+/// use pyro::{Session, Strategy};
+///
+/// let session = Session::builder()
+///     .strategy(Strategy::pyro_e())
+///     .hash_operators(false)
+///     .sort_memory_blocks(50)
+///     .buffer_pool_pages(256)
+///     .workers(2)
+///     .build();
+/// assert_eq!(session.strategy(), Strategy::pyro_e());
+/// assert_eq!(session.buffer_pool_pages(), Some(256));
+/// ```
 #[derive(Debug, Default)]
 pub struct SessionBuilder {
     strategy: Option<Strategy>,
@@ -42,6 +57,7 @@ pub struct SessionBuilder {
     batch_size: Option<usize>,
     workers: Option<usize>,
     seed: Option<u64>,
+    buffer_pool_pages: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -115,9 +131,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Puts a `pages`-frame buffer pool (CLOCK page cache with write-back;
+    /// see [`pyro_storage::BufferPool`]) in front of the session's device.
+    /// Default — and `pages = 0` — is **bypass**: no pool, every page
+    /// access charged as cold device I/O, all execution counters
+    /// bit-identical to earlier releases. With a bounded pool, repeated
+    /// page reads (join rescans, warm re-runs, sort-run merges) are served
+    /// from memory: device counters then measure cold I/O only, and
+    /// `ExecMetrics::cache_hits`/`cache_misses` report the per-query
+    /// hot/cold split. The pool must be chosen at build time — registered
+    /// tables capture the I/O path they were written through.
+    pub fn buffer_pool_pages(mut self, pages: usize) -> SessionBuilder {
+        self.buffer_pool_pages = Some(pages);
+        self
+    }
+
     /// Builds the session over a fresh simulated device.
     pub fn build(self) -> Session {
-        let mut catalog = Catalog::new();
+        let mut catalog = match self.buffer_pool_pages {
+            Some(pages) if pages > 0 => Catalog::with_buffer_pool(pages),
+            _ => Catalog::new(),
+        };
         if let Some(m) = self.sort_memory_blocks {
             catalog.set_sort_memory_blocks(m);
         }
@@ -137,6 +171,28 @@ impl SessionBuilder {
 /// configuration, behind a one-shot [`Session::sql`]. Execution is
 /// single-threaded by default and morsel-parallel when
 /// [`SessionBuilder::workers`] is raised.
+///
+/// ```
+/// use pyro::{Session, SortOrder, common::Schema};
+///
+/// let mut session = Session::new();
+/// session
+///     .register_csv(
+///         "events",
+///         Schema::ints(&["k", "v"]),
+///         SortOrder::new(["k"]),
+///         "0,10\n0,3\n1,7\n",
+///     )
+///     .unwrap();
+/// let result = session.sql("SELECT k, v FROM events ORDER BY k, v").unwrap();
+/// assert_eq!(result.len(), 3);
+/// assert_eq!(
+///     result.metrics().run_io(),
+///     0,
+///     "partial sort over the clustering: zero spill I/O"
+/// );
+/// println!("{}", session.explain("SELECT k FROM events").unwrap());
+/// ```
 ///
 /// Every in-repo consumer — examples, integration tests, figure
 /// reproductions — goes through this type; the layer-by-layer API
@@ -290,6 +346,12 @@ impl Session {
         self.seed
     }
 
+    /// Buffer-pool capacity in pages, or `None` when the session bypasses
+    /// the pool (the default).
+    pub fn buffer_pool_pages(&self) -> Option<usize> {
+        self.catalog.store().pool_pages()
+    }
+
     // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
@@ -333,6 +395,7 @@ impl Session {
             optimizer = optimizer.with_params(CostParams {
                 block_size: self.catalog.device().block_size(),
                 sort_mem_blocks: self.catalog.sort_memory_blocks() as f64,
+                buffer_pool_pages: self.catalog.store().pool_pages().unwrap_or(0) as f64,
                 ..params
             });
         }

@@ -411,3 +411,56 @@ fn sort_spill_paths_parity() {
         (Box::new(Limit::new(Box::new(op), 60)), m)
     });
 }
+
+// ---------------------------------------------------------------------
+// Pool-bounded variant: an 8-frame buffer pool (far smaller than the
+// lineitem heap, so the CLOCK hand evicts constantly) must change cache
+// counters only — rows and all four paper counters stay identical to the
+// bypass engine on both pull paths.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bounded_pool_parity_with_bypass() {
+    let mut bypass = Session::new();
+    tpch::load(bypass.catalog_mut(), tpch::TpchConfig::scaled(0.002)).unwrap();
+    let mut pooled = Session::builder().buffer_pool_pages(8).build();
+    tpch::load(pooled.catalog_mut(), tpch::TpchConfig::scaled(0.002)).unwrap();
+    let queries = [
+        "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
+        "SELECT ps_suppkey, ps_partkey, ps_availqty, count(l_partkey) AS n \
+         FROM partsupp, lineitem \
+         WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
+         GROUP BY ps_suppkey, ps_partkey, ps_availqty \
+         ORDER BY ps_suppkey, ps_partkey",
+    ];
+    for sql in queries {
+        // Premise: an 8-page pool is too small for any cost-model discount
+        // to apply, so both sessions must choose the same plan.
+        assert_eq!(
+            bypass.explain(sql).unwrap(),
+            pooled.explain(sql).unwrap(),
+            "plan diverged under bounded pool: {sql}"
+        );
+        let reference = bypass.sql(sql).unwrap();
+        for &bs in &BATCH_SIZES {
+            pooled.set_batch_size(bs);
+            let out = pooled.sql(sql).unwrap();
+            assert_eq!(
+                reference.rows(),
+                out.rows(),
+                "rows diverged under bounded pool (batch={bs}): {sql}"
+            );
+            assert_metrics_eq(reference.metrics(), out.metrics(), bs, sql);
+            // Only cache counters differ: bypass charges none, the pooled
+            // engine charges every page pin.
+            assert_eq!(reference.metrics().cache_hits(), 0);
+            assert_eq!(reference.metrics().cache_misses(), 0);
+            assert!(
+                out.metrics().cache_hits() + out.metrics().cache_misses() > 0,
+                "pooled run must charge cache counters: {sql}"
+            );
+        }
+    }
+    let stats = pooled.catalog().store().cache_stats();
+    assert!(stats.evictions > 0, "8 frames must evict on these scans");
+}

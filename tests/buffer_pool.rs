@@ -1,0 +1,162 @@
+//! Buffer-pool behaviour through the `Session` front door.
+//!
+//! Two invariants from the issue's acceptance criteria:
+//!
+//! 1. **Bypass is the default and is free**: without
+//!    `SessionBuilder::buffer_pool_pages`, cache counters stay zero and
+//!    device I/O is charged exactly as before the pool existed.
+//! 2. **A bounded pool separates hot from cold**: the first (cold) run of
+//!    the quickstart workload misses for every heap page; a warm second
+//!    run of the same query reports `cache_hits > 0` and strictly fewer
+//!    device reads — while rows and all four paper counters are
+//!    bit-identical run to run and pool to no-pool.
+
+use pyro::common::{Schema, Tuple, Value};
+use pyro::exec::MetricsRef;
+use pyro::{Session, SortOrder};
+
+const QUICKSTART_SQL: &str = "SELECT k, v FROM events ORDER BY k, v";
+
+/// The quickstart table: clustered on `k`, random `v` per segment.
+fn register_events(session: &mut Session, n: i64) {
+    let mut state = 42u64;
+    let rows: Vec<Tuple> = (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Tuple::new(vec![Value::Int(i / 50), Value::Int((state >> 40) as i64)])
+        })
+        .collect();
+    session
+        .register_table(
+            "events",
+            Schema::ints(&["k", "v"]),
+            SortOrder::new(["k"]),
+            &rows,
+        )
+        .unwrap();
+}
+
+fn assert_paper_counters_eq(a: &MetricsRef, b: &MetricsRef, what: &str) {
+    assert_eq!(a.comparisons(), b.comparisons(), "comparisons: {what}");
+    assert_eq!(
+        a.run_pages_written(),
+        b.run_pages_written(),
+        "run pages written: {what}"
+    );
+    assert_eq!(
+        a.run_pages_read(),
+        b.run_pages_read(),
+        "run pages read: {what}"
+    );
+    assert_eq!(a.runs_created(), b.runs_created(), "runs created: {what}");
+}
+
+#[test]
+fn default_session_bypasses_the_pool() {
+    let mut session = Session::new();
+    register_events(&mut session, 2_000);
+    assert_eq!(session.buffer_pool_pages(), None);
+    let before = session.catalog().device().io();
+    let first = session.sql(QUICKSTART_SQL).unwrap();
+    let first_reads = session.catalog().device().io().since(&before).reads;
+    assert_eq!(first.metrics().cache_hits(), 0);
+    assert_eq!(first.metrics().cache_misses(), 0);
+    // No cache: a rerun re-reads every page from the device.
+    let before = session.catalog().device().io();
+    let second = session.sql(QUICKSTART_SQL).unwrap();
+    let second_reads = session.catalog().device().io().since(&before).reads;
+    assert_eq!(first_reads, second_reads, "bypass reruns are never warm");
+    assert_eq!(first.rows(), second.rows());
+}
+
+#[test]
+fn pool_knob_floors_and_reports() {
+    assert_eq!(
+        Session::builder()
+            .buffer_pool_pages(0)
+            .build()
+            .buffer_pool_pages(),
+        None,
+        "0 pages means bypass"
+    );
+    assert_eq!(
+        Session::builder()
+            .buffer_pool_pages(64)
+            .build()
+            .buffer_pool_pages(),
+        Some(64)
+    );
+}
+
+#[test]
+fn warm_rerun_hits_cache_and_reads_less() {
+    // Pool large enough to hold the whole events heap.
+    let mut session = Session::builder().buffer_pool_pages(4096).build();
+    register_events(&mut session, 2_000);
+
+    // Ingestion must not pre-warm: the first query run starts cold.
+    let before = session.catalog().device().io();
+    let cold = session.sql(QUICKSTART_SQL).unwrap();
+    let cold_reads = session.catalog().device().io().since(&before).reads;
+    assert!(cold.metrics().cache_misses() > 0, "cold run misses");
+    assert_eq!(cold.metrics().cache_hits(), 0, "bulk load must not warm");
+    assert!(cold_reads > 0);
+
+    let before = session.catalog().device().io();
+    let warm = session.sql(QUICKSTART_SQL).unwrap();
+    let warm_reads = session.catalog().device().io().since(&before).reads;
+    assert!(warm.metrics().cache_hits() > 0, "warm run hits");
+    assert_eq!(warm.metrics().cache_misses(), 0, "fully resident");
+    assert!(
+        warm_reads < cold_reads,
+        "warm run must read less: {warm_reads} vs {cold_reads}"
+    );
+
+    // The pool changes *where* pages come from, never what work is done.
+    assert_eq!(cold.rows(), warm.rows());
+    assert_paper_counters_eq(cold.metrics(), warm.metrics(), "cold vs warm");
+
+    // And against a no-pool session over identical data: same rows, same
+    // four paper counters, same plan.
+    let mut bypass = Session::new();
+    register_events(&mut bypass, 2_000);
+    let reference = bypass.sql(QUICKSTART_SQL).unwrap();
+    assert_eq!(reference.rows(), cold.rows());
+    assert_paper_counters_eq(reference.metrics(), cold.metrics(), "bypass vs pooled");
+    assert_eq!(reference.explain(), cold.explain(), "same chosen plan");
+}
+
+#[test]
+fn spill_runs_flow_through_the_pool() {
+    // A 3-block sort budget forces external sorting; with a pool big
+    // enough to keep the runs resident, run *reads* during the merge are
+    // cache hits, so the device sees fewer reads than the logical
+    // run_pages_read charge — while the logical counters match bypass
+    // exactly.
+    let sql = "SELECT v, k FROM events ORDER BY v, k";
+    let mut pooled = Session::builder()
+        .sort_memory_blocks(3)
+        .buffer_pool_pages(4096)
+        .build();
+    register_events(&mut pooled, 2_000);
+    let mut bypass = Session::builder().sort_memory_blocks(3).build();
+    register_events(&mut bypass, 2_000);
+
+    let before = pooled.catalog().device().io();
+    let a = pooled.sql(sql).unwrap();
+    let pooled_reads = pooled.catalog().device().io().since(&before).reads;
+    let before = bypass.catalog().device().io();
+    let b = bypass.sql(sql).unwrap();
+    let bypass_reads = bypass.catalog().device().io().since(&before).reads;
+
+    assert!(a.metrics().run_io() > 0, "premise: this workload spills");
+    assert_eq!(a.rows(), b.rows());
+    assert_paper_counters_eq(a.metrics(), b.metrics(), "pooled vs bypass spill");
+    assert!(
+        pooled_reads < bypass_reads,
+        "resident spill runs must absorb device reads: {pooled_reads} vs {bypass_reads}"
+    );
+    assert!(a.metrics().cache_hits() > 0, "merge re-reads hit the pool");
+}

@@ -268,3 +268,33 @@ fn workers_knob_defaults_and_floors() {
     );
     assert_eq!(Session::builder().seed(42).build().seed(), 42);
 }
+
+// ---------------------------------------------------------------------
+// Pool-bounded variant: the morsel workers of a parallel scan share one
+// 8-frame buffer pool (evicting constantly); rows and all four paper
+// counters must still reproduce workers = 1 exactly — only cache counters
+// are pool-dependent.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bounded_pool_parallel_parity() {
+    let mut session = Session::builder().buffer_pool_pages(8).build();
+    let seed = session.seed();
+    tpch::load_with_seed(session.catalog_mut(), tpch::TpchConfig::scaled(0.002), seed).unwrap();
+    let queries = [
+        (
+            "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
+            true,
+        ),
+        (
+            "SELECT l_suppkey, l_partkey, l_quantity FROM lineitem WHERE l_linestatus = 'O'",
+            false,
+        ),
+    ];
+    for (sql, ordered) in queries {
+        assert_parallel_parity(&mut session, sql, ordered);
+    }
+    let stats = session.catalog().store().cache_stats();
+    assert!(stats.misses > 0, "the shared pool was exercised");
+    assert!(stats.evictions > 0, "8 frames must evict on these scans");
+}
