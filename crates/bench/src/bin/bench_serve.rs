@@ -1,0 +1,287 @@
+//! Serving-workload benchmark: N client threads hammer one shared
+//! `Arc<Session>` with a repeating query mix, with and without the plan
+//! cache — the amortization story of this engine's planner effort.
+//!
+//! Three invariants are asserted on every run, on every machine:
+//!
+//! * **parity** — every concurrent execution returns exactly the rows the
+//!   serial reference run produced (identical sequences: the mix is
+//!   single-plan deterministic at `workers = 1`);
+//! * **warm hits** — with the cache on, every post-warmup lookup is a plan
+//!   cache hit (same text, same knobs, unchanged catalog);
+//! * **prepared parity** — a `?`-parameterized prepared statement returns
+//!   the same rows as the equivalent literal SQL for every binding.
+//!
+//! The headline numbers are queries/second served with the cache off vs on
+//! (same thread count, same mix) and the per-query planning share they
+//! imply. Wall-clock speedups depend on the machine's core count —
+//! `cpu_cores` is recorded in the JSON so a reader can tell a 1-core
+//! container's numbers from a real multicore run.
+//!
+//! ```bash
+//! cargo run --release --bin bench_serve                    # full → BENCH_serve.json
+//! cargo run --release --bin bench_serve -- --smoke         # CI mode
+//! cargo run --release --bin bench_serve -- --out out.json --seed 42 --threads 8
+//! ```
+
+use pyro::common::{Tuple, Value};
+use pyro::datagen::tpch;
+use pyro::{Session, SessionBuilder};
+use pyro_bench::banner;
+use std::sync::Arc;
+use std::time::Instant;
+
+const QUERIES: [(&str, &str); 4] = [
+    (
+        "partial_sort",
+        "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
+    ),
+    (
+        "filter_scan",
+        "SELECT l_suppkey, l_partkey, l_quantity FROM lineitem WHERE l_linestatus = 'O'",
+    ),
+    (
+        "join_agg",
+        "SELECT ps_suppkey, ps_partkey, ps_availqty, count(l_partkey) AS n \
+         FROM partsupp, lineitem \
+         WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
+         GROUP BY ps_suppkey, ps_partkey, ps_availqty \
+         ORDER BY ps_suppkey, ps_partkey",
+    ),
+    (
+        "point_lookup",
+        "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_suppkey = 3 \
+         ORDER BY l_orderkey, l_quantity",
+    ),
+];
+
+const PREPARED: &str = "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_suppkey = ? \
+                        ORDER BY l_orderkey, l_quantity";
+
+struct Args {
+    smoke: bool,
+    out_path: String,
+    seed: u64,
+    threads: usize,
+    iters: usize,
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    Args {
+        smoke,
+        out_path: flag("--out").unwrap_or_else(|| "BENCH_serve.json".to_string()),
+        seed: flag("--seed")
+            .map(|s| s.parse().expect("--seed takes a u64"))
+            .unwrap_or(pyro::datagen::SEED),
+        threads: flag("--threads")
+            .map(|s| s.parse().expect("--threads takes a usize"))
+            .unwrap_or(8),
+        iters: flag("--iters")
+            .map(|s| s.parse().expect("--iters takes a usize"))
+            .unwrap_or(if smoke { 3 } else { 12 }),
+    }
+}
+
+fn build_session(cache_entries: usize, scale: f64, seed: u64) -> Session {
+    let mut session = SessionBuilder::new()
+        .plan_cache_entries(cache_entries)
+        .seed(seed)
+        .build();
+    tpch::load_with_seed(session.catalog_mut(), tpch::TpchConfig::scaled(scale), seed).unwrap();
+    session
+}
+
+/// Serial reference rows per query (also warms a configured plan cache).
+fn references(session: &Session) -> Vec<Vec<Tuple>> {
+    QUERIES
+        .iter()
+        .map(|(_, sql)| session.sql(sql).expect("reference run").into_rows())
+        .collect()
+}
+
+struct ServeStats {
+    elapsed_ms: f64,
+    queries: usize,
+    qps: f64,
+}
+
+/// `threads` workers each run the whole mix `iters` times against the
+/// shared session, asserting row parity with the serial reference on every
+/// single execution.
+fn serve(session: &Arc<Session>, reference: &Arc<Vec<Vec<Tuple>>>, args: &Args) -> ServeStats {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..args.threads)
+        .map(|t| {
+            let session = Arc::clone(session);
+            let reference = Arc::clone(reference);
+            let iters = args.iters;
+            std::thread::spawn(move || {
+                for _ in 0..iters {
+                    for ((name, sql), expect) in QUERIES.iter().zip(reference.iter()) {
+                        let out = session.sql(sql).expect("serve query");
+                        assert_eq!(
+                            out.rows(),
+                            &expect[..],
+                            "{name}: concurrent rows diverged from serial (thread {t})"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("serve worker must not panic");
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let queries = args.threads * args.iters * QUERIES.len();
+    ServeStats {
+        elapsed_ms,
+        queries,
+        qps: queries as f64 / (elapsed_ms / 1e3),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = if args.smoke { 0.002 } else { 0.01 };
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    banner(&format!(
+        "bench_serve  (mode={}, cpu_cores={cores}, threads={}, iters={}, scale={scale}, seed={:#x})",
+        if args.smoke { "smoke" } else { "full" },
+        args.threads,
+        args.iters,
+        args.seed
+    ));
+
+    // --- cache off: every call re-plans -------------------------------
+    let session_off = build_session(0, scale, args.seed);
+    let reference = Arc::new(references(&session_off));
+    let session_off = Arc::new(session_off);
+    let off = serve(&session_off, &reference, &args);
+    println!(
+        "cache off : {:>9.1} ms  {:>7.0} qps  ({} queries)",
+        off.elapsed_ms, off.qps, off.queries
+    );
+
+    // --- cache on: plan once per shape, serve from the cache ----------
+    let session_on = build_session(64, scale, args.seed);
+    let reference_on = Arc::new(references(&session_on)); // warms the cache
+    for (a, b) in reference.iter().zip(reference_on.iter()) {
+        assert_eq!(a, b, "cache knob must not change results");
+    }
+    let session_on = Arc::new(session_on);
+    let warm_baseline = session_on.plan_cache_stats().expect("cache on");
+    let on = serve(&session_on, &reference_on, &args);
+    let stats = session_on.plan_cache_stats().expect("cache on");
+    let served = (stats.hits - warm_baseline.hits) as usize;
+    println!(
+        "cache on  : {:>9.1} ms  {:>7.0} qps  (hits {}, misses {}, hit rate {:.3})",
+        on.elapsed_ms,
+        on.qps,
+        stats.hits,
+        stats.misses,
+        stats.hits as f64 / (stats.hits + stats.misses) as f64
+    );
+    assert!(
+        stats.hits > 0,
+        "warm reruns must be served from the plan cache: {stats:?}"
+    );
+    assert_eq!(
+        served, on.queries,
+        "every post-warmup lookup must hit (same text, same knobs, unchanged catalog)"
+    );
+
+    // --- prepared statements: bind-time parameters, one plan ----------
+    let stmt = session_on.prepare(PREPARED).expect("prepare");
+    let mut prepared_queries = 0usize;
+    let prep_start = Instant::now();
+    for k in [1i64, 2, 3, 5, 8] {
+        let bound = stmt.execute(&[Value::Int(k)]).expect("execute bound");
+        let literal = session_on
+            .sql(&format!(
+                "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_suppkey = {k} \
+                 ORDER BY l_orderkey, l_quantity"
+            ))
+            .expect("literal run");
+        assert_eq!(
+            bound.rows(),
+            literal.rows(),
+            "prepared execution must match literal SQL at l_suppkey = {k}"
+        );
+        prepared_queries += 1;
+    }
+    let prep_ms = prep_start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "prepared  : {prepared_queries} bindings via one plan, parity with literal SQL ({prep_ms:.1} ms)"
+    );
+
+    // --- planning amortization: plan() only, no execution -------------
+    // The paper's strategies spend real planner effort; this is the cost
+    // the cache converts from per-call to once-per-shape. Measured on the
+    // planner-heaviest shape in the mix (the join + aggregate).
+    let plan_sql = QUERIES[2].1;
+    let reps = if args.smoke { 50 } else { 200 };
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        session_off.plan(plan_sql).expect("uncached plan");
+    }
+    let uncached_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        session_on.plan(plan_sql).expect("cached plan");
+    }
+    let cached_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let plan_speedup = uncached_ms / cached_ms.max(1e-6);
+    println!(
+        "planning  : {reps} reps  uncached {uncached_ms:.1} ms, cached {cached_ms:.1} ms  ({plan_speedup:.1}x)"
+    );
+    assert!(
+        cached_ms < uncached_ms,
+        "a cache hit must be cheaper than a full optimizer run \
+         (cached {cached_ms:.2} ms vs uncached {uncached_ms:.2} ms over {reps} reps)"
+    );
+
+    let speedup = off.elapsed_ms / on.elapsed_ms;
+    println!("\nplan-cache speedup over the mix: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_serve\",\n  \"mode\": \"{}\",\n  \"cpu_cores\": {},\n  \"threads\": {},\n  \"iters\": {},\n  \"scale\": {},\n  \"seed\": {},\n  \"queries_in_mix\": {},\n  \"cache_off\": {{\"elapsed_ms\": {:.3}, \"queries\": {}, \"qps\": {:.1}}},\n  \"cache_on\": {{\"elapsed_ms\": {:.3}, \"queries\": {}, \"qps\": {:.1}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n  \"prepared\": {{\"bindings\": {}, \"elapsed_ms\": {:.3}, \"parity\": true}},\n  \"planning\": {{\"reps\": {}, \"uncached_ms\": {:.3}, \"cached_ms\": {:.3}, \"speedup\": {:.1}}},\n  \"speedup_cache_on\": {:.3}\n}}\n",
+        if args.smoke { "smoke" } else { "full" },
+        cores,
+        args.threads,
+        args.iters,
+        scale,
+        args.seed,
+        QUERIES.len(),
+        off.elapsed_ms,
+        off.queries,
+        off.qps,
+        on.elapsed_ms,
+        on.queries,
+        on.qps,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hits as f64 / (stats.hits + stats.misses) as f64,
+        prepared_queries,
+        prep_ms,
+        reps,
+        uncached_ms,
+        cached_ms,
+        plan_speedup,
+        speedup
+    );
+    std::fs::write(&args.out_path, &json).expect("write bench json");
+    banner(&format!("wrote {}", args.out_path));
+    println!("{json}");
+}

@@ -10,7 +10,7 @@ use pyro_common::Result;
 use pyro_core::plan::{PhysNode, PhysOp};
 use pyro_core::OptimizedPlan;
 use pyro_exec::MetricsRef;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pretty banner for experiment output.
@@ -82,15 +82,15 @@ fn stats_of(
 /// Rewrites every `PartialSort` enforcer in a plan into a full `Sort` —
 /// the surgical "same plan, standard replacement selection instead of
 /// modified" comparison the paper's Experiments A1/A4 make.
-pub fn degrade_partial_sorts(node: &Rc<PhysNode>) -> Rc<PhysNode> {
-    let children: Vec<Rc<PhysNode>> = node.children.iter().map(degrade_partial_sorts).collect();
+pub fn degrade_partial_sorts(node: &Arc<PhysNode>) -> Arc<PhysNode> {
+    let children: Vec<Arc<PhysNode>> = node.children.iter().map(degrade_partial_sorts).collect();
     let op = match &node.op {
         PhysOp::PartialSort { target, .. } => PhysOp::Sort {
             target: target.clone(),
         },
         other => other.clone(),
     };
-    Rc::new(PhysNode {
+    Arc::new(PhysNode {
         op,
         children,
         schema: node.schema.clone(),
@@ -285,7 +285,7 @@ mod tests {
 
     #[test]
     fn degrade_replaces_partial_sorts() {
-        let leaf = Rc::new(PhysNode {
+        let leaf = Arc::new(PhysNode {
             op: PhysOp::TableScan {
                 table: "t".into(),
                 alias: "t".into(),
@@ -297,7 +297,7 @@ mod tests {
             rows: 1.0,
             logical: 0,
         });
-        let ps = Rc::new(PhysNode {
+        let ps = Arc::new(PhysNode {
             op: PhysOp::PartialSort {
                 prefix_len: 1,
                 target: SortOrder::new(["t.a"]),

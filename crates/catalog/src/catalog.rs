@@ -30,6 +30,10 @@ pub struct Catalog {
     /// Sort memory budget in blocks — the `M` of the cost model. Defaults
     /// to 100 blocks.
     sort_memory_blocks: u64,
+    /// Bumped by every schema mutation (table registration, index
+    /// creation). Plan caches key on it, so a cached plan can never
+    /// outlive the catalog state it was optimized against.
+    generation: u64,
 }
 
 impl Catalog {
@@ -59,7 +63,16 @@ impl Catalog {
             store,
             tables: BTreeMap::new(),
             sort_memory_blocks: 100,
+            generation: 0,
         }
+    }
+
+    /// The schema-mutation counter: incremented by [`Catalog::register_table`]
+    /// and [`Catalog::create_index`]. Two reads returning the same value
+    /// bracket a window in which no table or index changed, which is what
+    /// makes it a sound plan-cache key component.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The backing device (exact cold-I/O counters).
@@ -127,6 +140,7 @@ impl Catalog {
             index_files: BTreeMap::new(),
         });
         self.tables.insert(name.to_string(), handle.clone());
+        self.generation += 1;
         Ok(handle)
     }
 
@@ -144,6 +158,16 @@ impl Catalog {
             .get(table)
             .ok_or_else(|| PyroError::UnknownTable(table.to_string()))?
             .clone();
+        // Reject duplicates instead of pushing a second same-named
+        // `IndexMeta`: the old behaviour overwrote the `index_files` entry,
+        // orphaning the replaced entry file's pages in the store forever
+        // and leaving the optimizer two indistinguishable candidates.
+        if handle.meta.index(index_name).is_some() || handle.index_files.contains_key(index_name) {
+            return Err(PyroError::DuplicateIndex {
+                table: table.to_string(),
+                index: index_name.to_string(),
+            });
+        }
         let idx = IndexMeta {
             name: index_name.to_string(),
             key: key.clone(),
@@ -178,6 +202,7 @@ impl Catalog {
             index_files,
         });
         self.tables.insert(table.to_string(), new_handle);
+        self.generation += 1;
         Ok(())
     }
 
@@ -268,6 +293,58 @@ mod tests {
         assert_eq!(entries[0].arity(), 2);
         let meta = &h.meta;
         assert!(meta.index("t_v").is_some());
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        // Regression: a second index under the same name used to be pushed
+        // into `meta.indexes` and silently replace the entry file, leaking
+        // the old file's pages.
+        let mut cat = Catalog::new();
+        cat.register_table("t", schema(), SortOrder::new(["k"]), &rows())
+            .unwrap();
+        cat.create_index("t", "t_v", SortOrder::new(["v"]), &["k"])
+            .unwrap();
+        let pages_before = cat.device().live_pages();
+        let err = cat
+            .create_index("t", "t_v", SortOrder::new(["k"]), &["v"])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PyroError::DuplicateIndex {
+                table: "t".into(),
+                index: "t_v".into()
+            }
+        );
+        // The rejected attempt must not have grown the store, and the
+        // original index must be intact (one meta entry, one entry file).
+        assert_eq!(cat.device().live_pages(), pages_before);
+        let h = cat.table("t").unwrap();
+        assert_eq!(h.meta.indexes.len(), 1);
+        assert_eq!(h.index_files.len(), 1);
+        // A different name on the same table is still fine.
+        cat.create_index("t", "t_v2", SortOrder::new(["v"]), &["k"])
+            .unwrap();
+    }
+
+    #[test]
+    fn generation_counts_schema_mutations() {
+        let mut cat = Catalog::new();
+        assert_eq!(cat.generation(), 0);
+        cat.register_table("t", schema(), SortOrder::new(["k"]), &rows())
+            .unwrap();
+        assert_eq!(cat.generation(), 1);
+        cat.create_index("t", "t_v", SortOrder::new(["v"]), &["k"])
+            .unwrap();
+        assert_eq!(cat.generation(), 2);
+        // Failed mutations don't bump.
+        assert!(cat
+            .create_index("t", "t_v", SortOrder::new(["v"]), &["k"])
+            .is_err());
+        assert!(cat
+            .register_table("t", schema(), SortOrder::empty(), &rows())
+            .is_err());
+        assert_eq!(cat.generation(), 2);
     }
 
     #[test]

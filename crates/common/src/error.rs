@@ -30,6 +30,24 @@ pub enum PyroError {
     Plan(String),
     /// SQL frontend failure with position information where available.
     Sql(String),
+    /// A recognized SQL feature this engine deliberately does not implement
+    /// (e.g. `ORDER BY ... DESC`). Distinct from [`PyroError::Sql`] so
+    /// callers can tell "your query is malformed" from "your query is fine
+    /// but unsupported here".
+    Unsupported(String),
+    /// An index with this name already exists on the table. Rejected rather
+    /// than silently replaced: replacing would orphan the old entry file's
+    /// pages in the store.
+    DuplicateIndex {
+        /// The table the index was being created on.
+        table: String,
+        /// The already-taken index name.
+        index: String,
+    },
+    /// A prepared statement was executed with the wrong number of bound
+    /// parameters, or a bound value's type contradicts how the query uses
+    /// the placeholder.
+    ParamBinding(String),
 }
 
 impl fmt::Display for PyroError {
@@ -45,6 +63,11 @@ impl fmt::Display for PyroError {
             PyroError::Exec(m) => write!(f, "execution error: {m}"),
             PyroError::Plan(m) => write!(f, "planning error: {m}"),
             PyroError::Sql(m) => write!(f, "SQL error: {m}"),
+            PyroError::Unsupported(m) => write!(f, "unsupported SQL feature: {m}"),
+            PyroError::DuplicateIndex { table, index } => {
+                write!(f, "index {index} already exists on table {table}")
+            }
+            PyroError::ParamBinding(m) => write!(f, "parameter binding error: {m}"),
         }
     }
 }

@@ -61,6 +61,17 @@ impl Value {
         }
     }
 
+    /// The [`crate::DataType`] this value inhabits, or `None` for SQL NULL
+    /// (which inhabits every type).
+    pub fn data_type(&self) -> Option<crate::DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(crate::DataType::Int),
+            Value::Double(_) => Some(crate::DataType::Double),
+            Value::Str(_) => Some(crate::DataType::Str),
+        }
+    }
+
     /// True iff this value is SQL NULL.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)

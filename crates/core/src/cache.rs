@@ -1,0 +1,306 @@
+//! A bounded, thread-safe LRU cache of optimized plans.
+//!
+//! The paper's strategies spend real planner effort — `PYRO-E` enumerates
+//! up to `n!` candidate orders, `PYRO-O` runs a favorable-order search plus
+//! refinement — which only pays off if it is *amortized*: the same query
+//! shapes arrive over and over in a serving workload, and re-running the
+//! whole parse → lower → optimize pipeline per call re-pays the cost each
+//! time. [`PlanCache`] converts that per-call cost into a once-per-shape
+//! cost.
+//!
+//! **Keying rule.** An entry is addressed by [`PlanKey`]: the normalized
+//! SQL text (`pyro_sql::normalize` — whitespace/keyword-case insensitive,
+//! literal-sensitive), a fingerprint hash of every plan-affecting session
+//! knob (strategy, hash-operator toggle, cost-parameter overrides, sort
+//! memory budget, batch size, worker count, buffer-pool capacity), and the
+//! catalog's schema [generation counter](pyro_catalog::Catalog::generation).
+//! Any knob flip or catalog mutation therefore changes the key and misses —
+//! a stale plan can never be served. Stale-generation entries age out via
+//! LRU eviction rather than eager sweeps.
+//!
+//! The cache stores [`CachedStatement`]s — the [`OptimizedPlan`] plus the
+//! statement's `?`-placeholder facts — and hands out cheap clones (the plan
+//! tree is an `Arc`). It is `Sync`: one cache serves every thread sharing a
+//! `Session`.
+
+use crate::optimizer::OptimizedPlan;
+use pyro_common::DataType;
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+
+/// A cached statement: the optimized physical plan and what the frontend
+/// learned about its `?` placeholders (one expected-type slot per
+/// placeholder; see `pyro_sql::ParamInfo`).
+#[derive(Debug, Clone)]
+pub struct CachedStatement {
+    /// The optimized plan (cheap to clone: the tree is shared via `Arc`).
+    pub plan: OptimizedPlan,
+    /// Expected type per `?` placeholder, indexed by placeholder number;
+    /// `None` where the query does not pin a type. Empty for literal SQL.
+    pub param_types: Vec<Option<DataType>>,
+}
+
+/// Cache address of one statement under one planning configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Normalized SQL text.
+    pub sql: String,
+    /// Hash over every plan-affecting session knob.
+    pub fingerprint: u64,
+    /// Catalog schema generation the plan was optimized against.
+    pub generation: u64,
+}
+
+/// Monotonic cache counters plus the current occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to optimize from scratch.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    stmt: CachedStatement,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<PlanKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The bounded LRU plan cache; see the [module docs](self).
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (floor 1 — a zero-entry
+    /// cache is expressed by not constructing one at all).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Nothing panics while holding the lock except allocation failure;
+        // recover the data rather than poisoning every later query.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up `key`, counting a hit (and refreshing recency) or a miss.
+    pub fn lookup(&self, key: &PlanKey) -> Option<CachedStatement> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let stmt = entry.stmt.clone();
+                inner.hits += 1;
+                Some(stmt)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// one first when the cache is full.
+    pub fn insert(&self, key: PlanKey, stmt: CachedStatement) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                stmt,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.lock();
+        PlanCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True iff no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept — they are monotonic totals).
+    pub fn clear(&self) {
+        self.lock().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PhysNode, PhysOp};
+    use crate::strategy::Strategy;
+    use pyro_common::Schema;
+    use pyro_ordering::SortOrder;
+    use std::sync::Arc;
+
+    fn stmt(cost: f64) -> CachedStatement {
+        CachedStatement {
+            plan: OptimizedPlan {
+                root: Arc::new(PhysNode {
+                    op: PhysOp::TableScan {
+                        table: "t".into(),
+                        alias: "t".into(),
+                    },
+                    children: vec![],
+                    schema: Schema::ints(&["t.a"]),
+                    out_order: SortOrder::empty(),
+                    cost,
+                    rows: 1.0,
+                    logical: 0,
+                }),
+                strategy: Strategy::pyro_o(),
+                ordered_output: false,
+            },
+            param_types: Vec::new(),
+        }
+    }
+
+    fn key(sql: &str, fp: u64, generation: u64) -> PlanKey {
+        PlanKey {
+            sql: sql.into(),
+            fingerprint: fp,
+            generation,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let cache = PlanCache::new(4);
+        assert!(cache.lookup(&key("q", 1, 0)).is_none());
+        cache.insert(key("q", 1, 0), stmt(10.0));
+        let hit = cache.lookup(&key("q", 1, 0)).expect("hit");
+        assert_eq!(hit.plan.cost(), 10.0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 1, 0, 1));
+        assert_eq!(s.capacity, 4);
+    }
+
+    #[test]
+    fn key_components_all_discriminate() {
+        let cache = PlanCache::new(8);
+        cache.insert(key("q", 1, 0), stmt(1.0));
+        assert!(cache.lookup(&key("q2", 1, 0)).is_none(), "sql text");
+        assert!(cache.lookup(&key("q", 2, 0)).is_none(), "knob fingerprint");
+        assert!(
+            cache.lookup(&key("q", 1, 1)).is_none(),
+            "catalog generation"
+        );
+        assert!(cache.lookup(&key("q", 1, 0)).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        cache.insert(key("a", 0, 0), stmt(1.0));
+        cache.insert(key("b", 0, 0), stmt(2.0));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.lookup(&key("a", 0, 0)).is_some());
+        cache.insert(key("c", 0, 0), stmt(3.0));
+        assert!(cache.lookup(&key("b", 0, 0)).is_none(), "b evicted");
+        assert!(cache.lookup(&key("a", 0, 0)).is_some());
+        assert!(cache.lookup(&key("c", 0, 0)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let cache = PlanCache::new(1);
+        cache.insert(key("a", 0, 0), stmt(1.0));
+        cache.insert(key("a", 0, 0), stmt(2.0));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup(&key("a", 0, 0)).unwrap().plan.cost(), 2.0);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let cache = PlanCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(key("a", 0, 0), stmt(1.0));
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = Arc::new(PlanCache::new(16));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let k = key(&format!("q{}", i % 8), t, 0);
+                        if cache.lookup(&k).is_none() {
+                            cache.insert(k, stmt(i as f64));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 200);
+        assert!(s.hits > 0);
+    }
+}

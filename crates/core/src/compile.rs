@@ -17,7 +17,7 @@
 use crate::logical::{AggSpec, NExpr};
 use crate::plan::{PhysNode, PhysOp};
 use pyro_catalog::Catalog;
-use pyro_common::{KeySpec, PyroError, Result, Schema};
+use pyro_common::{KeySpec, PyroError, Result, Schema, Value};
 use pyro_exec::agg::{AggExpr, GroupAggregate, HashAggregate};
 use pyro_exec::dedup::{HashDistinct, SortDistinct};
 use pyro_exec::filter::Filter;
@@ -28,11 +28,11 @@ use pyro_exec::scan::FileScan;
 use pyro_exec::sort::{PartialSort, SortBudget, StandardReplacementSort};
 use pyro_exec::{BoxOp, ExecMetrics, Expr, MetricsRef, Pipeline, DEFAULT_BATCH_SIZE};
 use pyro_ordering::SortOrder;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Compiles a physical plan into a runnable [`Pipeline`] (operator tree +
 /// shared metrics block) at the default batch size.
-pub fn compile(root: &Rc<PhysNode>, catalog: &Catalog) -> Result<Pipeline> {
+pub fn compile(root: &Arc<PhysNode>, catalog: &Catalog) -> Result<Pipeline> {
     compile_with_batch(root, catalog, DEFAULT_BATCH_SIZE)
 }
 
@@ -40,7 +40,7 @@ pub fn compile(root: &Rc<PhysNode>, catalog: &Catalog) -> Result<Pipeline> {
 /// operator in the tree is configured to exchange `batch_size`-row batches
 /// (the `SessionBuilder::batch_size` knob ends up here).
 pub fn compile_with_batch(
-    root: &Rc<PhysNode>,
+    root: &Arc<PhysNode>,
     catalog: &Catalog,
     batch_size: usize,
 ) -> Result<Pipeline> {
@@ -53,7 +53,7 @@ pub fn compile_with_batch(
 /// workers, parallel-safe subtrees become morsel-driven worker fragments
 /// behind exchange operators while pipeline breakers stay serial.
 pub fn compile_with_workers(
-    root: &Rc<PhysNode>,
+    root: &Arc<PhysNode>,
     catalog: &Catalog,
     batch_size: usize,
     workers: usize,
@@ -80,11 +80,28 @@ pub fn compile_with_workers(
 /// the root to gather worker output in arrival order even when the chosen
 /// plan incidentally guarantees an order.
 pub fn compile_with_workers_demand(
-    root: &Rc<PhysNode>,
+    root: &Arc<PhysNode>,
     catalog: &Catalog,
     batch_size: usize,
     workers: usize,
     ordered_output: bool,
+) -> Result<Pipeline> {
+    compile_bound(root, catalog, batch_size, workers, ordered_output, &[])
+}
+
+/// [`compile_with_workers_demand`] with prepared-statement parameter values
+/// bound: every `NExpr::Param(i)` in the plan is substituted with
+/// `params[i]` as the expressions compile, so the executed operators are
+/// exactly what the same query with inline literals would have produced.
+/// A plan containing placeholders compiled without bindings (`params`
+/// shorter than the highest index) is a typed error, never a silent NULL.
+pub fn compile_bound(
+    root: &Arc<PhysNode>,
+    catalog: &Catalog,
+    batch_size: usize,
+    workers: usize,
+    ordered_output: bool,
+    params: &[Value],
 ) -> Result<Pipeline> {
     let metrics = ExecMetrics::new();
     let ctx = CompileCtx {
@@ -92,6 +109,7 @@ pub fn compile_with_workers_demand(
         metrics: metrics.clone(),
         batch: batch_size.max(1),
         workers: workers.max(1),
+        params,
     };
     let op = compile_sub(root, &ctx, ordered_output)?;
     // The pipeline charges the catalog store's buffer-pool counter delta
@@ -105,6 +123,7 @@ pub(crate) struct CompileCtx<'a> {
     pub(crate) metrics: MetricsRef,
     pub(crate) batch: usize,
     pub(crate) workers: usize,
+    pub(crate) params: &'a [Value],
 }
 
 /// True iff this operator hands its input sequence through untouched *and*
@@ -126,7 +145,7 @@ fn sequence_insensitive(op: &PhysOp) -> bool {
 /// count, a Limit's chosen prefix, a merge join's group pairing); when set,
 /// only exact-sequence parallelism (range partitioning + ordered merge) is
 /// allowed here.
-pub(crate) fn compile_sub(node: &Rc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<BoxOp> {
+pub(crate) fn compile_sub(node: &Arc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<BoxOp> {
     if ctx.workers > 1 {
         if let Some(op) = crate::parallel::try_parallel(node, ctx, exact)? {
             return Ok(op);
@@ -149,50 +168,66 @@ pub(crate) fn key_spec(schema: &Schema, order: &SortOrder) -> Result<KeySpec> {
     ))
 }
 
-/// Compiles a named expression against a schema.
+/// Compiles a named expression against a schema. Parameter placeholders
+/// are rejected here — use [`compile_expr_bound`] with the bound values.
 pub fn compile_expr(e: &NExpr, schema: &Schema) -> Result<Expr> {
+    compile_expr_bound(e, schema, &[])
+}
+
+/// Compiles a named expression against a schema, substituting each
+/// `NExpr::Param(i)` with `params[i]`. An index past the end of `params`
+/// (including any placeholder at all when `params` is empty) is a typed
+/// [`PyroError::ParamBinding`] error.
+pub fn compile_expr_bound(e: &NExpr, schema: &Schema, params: &[Value]) -> Result<Expr> {
     Ok(match e {
         NExpr::Col(c) => Expr::Col(schema.index_of(c)?),
         NExpr::Lit(v) => Expr::Lit(v.clone()),
+        NExpr::Param(i) => Expr::Lit(params.get(*i).cloned().ok_or_else(|| {
+            PyroError::ParamBinding(format!(
+                "placeholder ?{} is unbound ({} value(s) provided)",
+                i + 1,
+                params.len()
+            ))
+        })?),
         NExpr::Cmp(op, a, b) => Expr::Cmp(
             *op,
-            Box::new(compile_expr(a, schema)?),
-            Box::new(compile_expr(b, schema)?),
+            Box::new(compile_expr_bound(a, schema, params)?),
+            Box::new(compile_expr_bound(b, schema, params)?),
         ),
         NExpr::And(terms) => Expr::and_all(
             terms
                 .iter()
-                .map(|t| compile_expr(t, schema))
+                .map(|t| compile_expr_bound(t, schema, params))
                 .collect::<Result<Vec<_>>>()?,
         ),
         NExpr::Mul(a, b) => Expr::Mul(
-            Box::new(compile_expr(a, schema)?),
-            Box::new(compile_expr(b, schema)?),
+            Box::new(compile_expr_bound(a, schema, params)?),
+            Box::new(compile_expr_bound(b, schema, params)?),
         ),
         NExpr::Add(a, b) => Expr::Add(
-            Box::new(compile_expr(a, schema)?),
-            Box::new(compile_expr(b, schema)?),
+            Box::new(compile_expr_bound(a, schema, params)?),
+            Box::new(compile_expr_bound(b, schema, params)?),
         ),
         NExpr::Sub(a, b) => Expr::Sub(
-            Box::new(compile_expr(a, schema)?),
-            Box::new(compile_expr(b, schema)?),
+            Box::new(compile_expr_bound(a, schema, params)?),
+            Box::new(compile_expr_bound(b, schema, params)?),
         ),
     })
 }
 
-fn compile_aggs(aggs: &[AggSpec], schema: &Schema) -> Result<Vec<AggExpr>> {
+fn compile_aggs(aggs: &[AggSpec], schema: &Schema, params: &[Value]) -> Result<Vec<AggExpr>> {
     aggs.iter()
         .map(|a| {
             Ok(AggExpr::new(
                 a.func,
-                compile_expr(&a.arg, schema)?,
+                compile_expr_bound(&a.arg, schema, params)?,
                 a.name.clone(),
             ))
         })
         .collect()
 }
 
-fn compile_serial(node: &Rc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<BoxOp> {
+fn compile_serial(node: &Arc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<BoxOp> {
     // A sequence-sensitive serial operator demands its children's exact
     // serial row sequence; a pass-through one just inherits the demand.
     let child_exact = exact || !sequence_insensitive(&node.op);
@@ -210,14 +245,14 @@ fn compile_serial(node: &Rc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<
         }
         PhysOp::Filter { predicate } => {
             let child = compile_sub(&node.children[0], ctx, child_exact)?;
-            let pred = compile_expr(predicate, child.schema())?;
+            let pred = compile_expr_bound(predicate, child.schema(), ctx.params)?;
             Box::new(Filter::new(child, pred))
         }
         PhysOp::Project { items } => {
             let child = compile_sub(&node.children[0], ctx, child_exact)?;
             let exprs = items
                 .iter()
-                .map(|it| compile_expr(&it.expr, child.schema()))
+                .map(|it| compile_expr_bound(&it.expr, child.schema(), ctx.params))
                 .collect::<Result<Vec<_>>>()?;
             Box::new(Project::new(child, exprs, node.schema.clone()))
         }
@@ -311,7 +346,7 @@ fn compile_serial(node: &Rc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<
                 .iter()
                 .map(|g| child.schema().index_of(g))
                 .collect::<Result<Vec<_>>>()?;
-            let aggs = compile_aggs(aggs, child.schema())?;
+            let aggs = compile_aggs(aggs, child.schema(), ctx.params)?;
             Box::new(GroupAggregate::new(child, group_cols, aggs))
         }
         PhysOp::HashAggregate { group_by, aggs } => {
@@ -320,7 +355,7 @@ fn compile_serial(node: &Rc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<
                 .iter()
                 .map(|g| child.schema().index_of(g))
                 .collect::<Result<Vec<_>>>()?;
-            let aggs = compile_aggs(aggs, child.schema())?;
+            let aggs = compile_aggs(aggs, child.schema(), ctx.params)?;
             Box::new(HashAggregate::new(child, group_cols, aggs))
         }
         PhysOp::SortDistinct { order } => {

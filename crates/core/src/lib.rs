@@ -24,6 +24,7 @@
 //! [`plan::PhysNode`] tree, and compiled into runnable `pyro-exec` pipelines
 //! with [`compile::compile`].
 
+pub mod cache;
 pub mod compile;
 pub mod cost;
 pub mod equiv;
@@ -36,6 +37,7 @@ pub mod refine;
 pub mod stats;
 pub mod strategy;
 
+pub use cache::{CachedStatement, PlanCache, PlanCacheStats, PlanKey};
 pub use logical::{AggSpec, JoinPair, LogicalPlan, NExpr, NodeId, ProjItem};
 pub use optimizer::{OptimizedPlan, Optimizer};
 pub use plan::{PhysNode, PhysOp};

@@ -22,6 +22,11 @@ pub enum NExpr {
     Col(String),
     /// Literal.
     Lit(Value),
+    /// A prepared-statement parameter placeholder (0-based). Optimized
+    /// symbolically — selectivity estimation treats it like an unknown
+    /// literal — and substituted with a bound [`Value`] at plan compile
+    /// time, so one optimized plan serves every binding.
+    Param(usize),
     /// Comparison.
     Cmp(CmpOp, Box<NExpr>, Box<NExpr>),
     /// Conjunction.
@@ -58,7 +63,7 @@ impl NExpr {
     pub fn columns(&self, out: &mut Vec<String>) {
         match self {
             NExpr::Col(c) => out.push(c.clone()),
-            NExpr::Lit(_) => {}
+            NExpr::Lit(_) | NExpr::Param(_) => {}
             NExpr::Cmp(_, a, b) | NExpr::Mul(a, b) | NExpr::Add(a, b) | NExpr::Sub(a, b) => {
                 a.columns(out);
                 b.columns(out);
@@ -81,6 +86,11 @@ impl NExpr {
             NExpr::Lit(Value::Double(_)) => DataType::Double,
             NExpr::Lit(Value::Str(_)) => DataType::Str,
             NExpr::Lit(_) => DataType::Int,
+            // A parameter's type is only known at bind time; Int is the
+            // neutral estimate. The SQL frontend confines placeholders to
+            // predicates (WHERE/HAVING/ON), which never define an output
+            // schema, so this estimate cannot mistype a result column.
+            NExpr::Param(_) => DataType::Int,
             NExpr::Cmp(..) => DataType::Int,
             NExpr::And(_) => DataType::Int,
             NExpr::Mul(a, b) | NExpr::Add(a, b) | NExpr::Sub(a, b) => {

@@ -20,7 +20,7 @@ use pyro_exec::CmpOp;
 use pyro_ordering::{AttrSet, SortOrder};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The optimizer facade.
 pub struct Optimizer<'a> {
@@ -133,7 +133,7 @@ fn output_is_ordered(plan: &LogicalPlan) -> bool {
 #[derive(Debug, Clone)]
 pub struct OptimizedPlan {
     /// The chosen physical plan.
-    pub root: Rc<PhysNode>,
+    pub root: Arc<PhysNode>,
     /// Strategy that produced it.
     pub strategy: Strategy,
     /// Whether the query demands ordered output (it had an ORDER BY). The
@@ -179,6 +179,27 @@ impl OptimizedPlan {
         )
     }
 
+    /// Compiles for `workers`-thread execution with prepared-statement
+    /// parameter values bound: every `NExpr::Param(i)` in the plan becomes
+    /// the literal `params[i]` in the compiled operators, so one optimized
+    /// plan serves every binding. Pass `&[]` for literal SQL.
+    pub fn compile_bound(
+        &self,
+        catalog: &Catalog,
+        batch_size: usize,
+        workers: usize,
+        params: &[pyro_common::Value],
+    ) -> Result<pyro_exec::Pipeline> {
+        crate::compile::compile_bound(
+            &self.root,
+            catalog,
+            batch_size,
+            workers,
+            self.ordered_output,
+            params,
+        )
+    }
+
     /// Compiles with an explicit batch granularity (rows exchanged per
     /// `next_batch` call throughout the pipeline).
     pub fn compile_with_batch(
@@ -212,7 +233,7 @@ pub(crate) struct Ctx<'a> {
 }
 
 /// Memo table: goal (node id, rep-normalized required order) → best plan.
-type Memo = HashMap<(NodeId, Vec<String>), Rc<PhysNode>>;
+type Memo = HashMap<(NodeId, Vec<String>), Arc<PhysNode>>;
 
 impl<'a> Ctx<'a> {
     pub(crate) fn build(
@@ -321,13 +342,13 @@ fn project_order_to_names(order: &SortOrder, names: &AttrSet, equiv: &EquivMap) 
 }
 
 /// The memoized goal solver: cheapest plan for `(id, required)`.
-pub(crate) fn best_plan(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Rc<PhysNode>> {
+pub(crate) fn best_plan(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Arc<PhysNode>> {
     let key = ctx.memo_key(id, required);
     if let Some(hit) = ctx.memo.borrow().get(&key) {
         return Ok(hit.clone());
     }
     let candidates = gen_candidates(ctx, id, required)?;
-    let mut best: Option<Rc<PhysNode>> = None;
+    let mut best: Option<Arc<PhysNode>> = None;
     for cand in candidates {
         let finished = enforce(ctx, id, cand, required);
         if best.as_ref().is_none_or(|b| finished.cost < b.cost) {
@@ -345,7 +366,7 @@ pub(crate) fn best_plan(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<R
 
 /// Adds a (partial) sort enforcer if the candidate does not already satisfy
 /// the requirement (§3.2).
-fn enforce(ctx: &Ctx, id: NodeId, cand: Rc<PhysNode>, required: &SortOrder) -> Rc<PhysNode> {
+fn enforce(ctx: &Ctx, id: NodeId, cand: Arc<PhysNode>, required: &SortOrder) -> Arc<PhysNode> {
     if required.is_empty() || ctx.satisfies(&cand.out_order, required) {
         return cand;
     }
@@ -369,7 +390,7 @@ fn enforce(ctx: &Ctx, id: NodeId, cand: Rc<PhysNode>, required: &SortOrder) -> R
             target: required.clone(),
         }
     };
-    Rc::new(PhysNode {
+    Arc::new(PhysNode {
         op,
         schema: cand.schema.clone(),
         out_order: required.clone(),
@@ -381,16 +402,16 @@ fn enforce(ctx: &Ctx, id: NodeId, cand: Rc<PhysNode>, required: &SortOrder) -> R
 }
 
 /// Enumerates the physical alternatives for one logical node.
-fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<PhysNode>>> {
+fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Arc<PhysNode>>> {
     let stats = &ctx.stats[id];
-    let mut out: Vec<Rc<PhysNode>> = Vec::new();
+    let mut out: Vec<Arc<PhysNode>> = Vec::new();
     match ctx.plan.node(id) {
         LogicalOp::Scan { table, alias } => {
             let handle = ctx.catalog.table(table)?;
             let schema = handle.meta.schema.qualify(alias);
             let heap_blocks = handle.heap.block_count().max(1) as f64;
             if handle.meta.clustering.is_empty() {
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::TableScan {
                         table: table.clone(),
                         alias: alias.clone(),
@@ -403,7 +424,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                     logical: id,
                 }));
             } else {
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::ClusteredIndexScan {
                         table: table.clone(),
                         alias: alias.clone(),
@@ -446,7 +467,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                         })
                         .collect::<Result<Vec<_>>>()?,
                 );
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::CoveringIndexScan {
                         table: table.clone(),
                         alias: alias.clone(),
@@ -464,7 +485,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
         LogicalOp::Filter { input, predicate } => {
             for goal in child_goals(ctx, *input, required) {
                 let child = best_plan(ctx, *input, &goal)?;
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::Filter {
                         predicate: predicate.clone(),
                     },
@@ -498,7 +519,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                         })
                         .collect(),
                 );
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::Project {
                         items: items.clone(),
                     },
@@ -567,7 +588,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                 let cost = lchild.cost
                     + rchild.cost
                     + ctx.params.tuple_io * (ctx.stats[*left].rows + ctx.stats[*right].rows);
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::MergeJoin {
                         kind: *kind,
                         pairs: pairs.clone(),
@@ -601,7 +622,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                 if bl > ctx.params.sort_mem_blocks {
                     cost += 2.0 * (bl + br); // grace partitioning round-trip
                 }
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::HashJoin {
                         kind: *kind,
                         pairs: pairs.clone(),
@@ -620,7 +641,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                 let nl_cost = lc.cost
                     + rc.cost
                     + ctx.params.cmp_io * ctx.stats[*left].rows * ctx.stats[*right].rows;
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::NestedLoopsJoin {
                         kind: *kind,
                         pairs: pairs.clone(),
@@ -653,7 +674,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
             prefixes.dedup();
             for q in ctx.strategy.candidate_orders(&l, &prefixes) {
                 let child = best_plan(ctx, *input, &q)?;
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::SortAggregate {
                         group_by: group_by.clone(),
                         aggs: aggs.clone(),
@@ -673,7 +694,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                 if b_in > ctx.params.sort_mem_blocks {
                     cost += 2.0 * b_in;
                 }
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::HashAggregate {
                         group_by: group_by.clone(),
                         aggs: aggs.clone(),
@@ -710,7 +731,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
             prefixes.dedup();
             for q in ctx.strategy.candidate_orders(&l, &prefixes) {
                 let child = best_plan(ctx, *input, &q)?;
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::SortDistinct { order: q.clone() },
                     schema: ctx.schemas[id].clone(),
                     out_order: q,
@@ -727,7 +748,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
                 if b_in > ctx.params.sort_mem_blocks {
                     cost += 2.0 * b_in;
                 }
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::HashDistinct,
                     schema: ctx.schemas[id].clone(),
                     out_order: SortOrder::empty(),
@@ -744,7 +765,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Rc<
             // partial evaluation is out of scope — we keep the child's cost.
             for goal in child_goals(ctx, *input, required) {
                 let child = best_plan(ctx, *input, &goal)?;
-                out.push(Rc::new(PhysNode {
+                out.push(Arc::new(PhysNode {
                     op: PhysOp::Limit { k: *k },
                     schema: child.schema.clone(),
                     out_order: child.out_order.clone(),

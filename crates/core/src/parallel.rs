@@ -25,7 +25,7 @@
 //!    exactly — so the consumer's counters are bit-identical to serial.
 //! 3. Otherwise the subtree stays serial.
 
-use crate::compile::{compile_expr, key_spec, CompileCtx};
+use crate::compile::{compile_expr_bound, key_spec, CompileCtx};
 use crate::plan::{PhysNode, PhysOp};
 use pyro_catalog::Catalog;
 use pyro_common::{KeySpec, PyroError, Result};
@@ -34,12 +34,12 @@ use pyro_exec::join::HashJoin;
 use pyro_exec::project::Project;
 use pyro_exec::{repartition, BoxOp, Fragment, Gather, GatherMerge, MorselScan, MorselSource};
 use pyro_storage::TupleFile;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Attempts to instantiate `node` as a parallel subtree; `Ok(None)` means
 /// "not eligible here — compile serially".
 pub(crate) fn try_parallel(
-    node: &Rc<PhysNode>,
+    node: &Arc<PhysNode>,
     ctx: &CompileCtx,
     exact: bool,
 ) -> Result<Option<BoxOp>> {
@@ -121,7 +121,7 @@ fn scan_file(node: &PhysNode, catalog: &Catalog) -> Result<TupleFile> {
 /// morsels off a shared cursor (load-balanced, arrival order free), `true`
 /// → static contiguous page ranges (worker order reproduces file order, as
 /// `GatherMerge` requires; never legal for hash-join subtrees).
-fn fragments(node: &Rc<PhysNode>, ctx: &CompileCtx, ranged: bool) -> Result<Vec<Fragment>> {
+fn fragments(node: &Arc<PhysNode>, ctx: &CompileCtx, ranged: bool) -> Result<Vec<Fragment>> {
     let frags = match &node.op {
         PhysOp::TableScan { .. }
         | PhysOp::ClusteredIndexScan { .. }
@@ -155,7 +155,7 @@ fn fragments(node: &Rc<PhysNode>, ctx: &CompileCtx, ranged: bool) -> Result<Vec<
         }
         PhysOp::Filter { predicate } => {
             let child = &node.children[0];
-            let pred = compile_expr(predicate, &child.schema)?;
+            let pred = compile_expr_bound(predicate, &child.schema, ctx.params)?;
             fragments(child, ctx, ranged)?
                 .into_iter()
                 .map(|f| Fragment {
@@ -168,7 +168,7 @@ fn fragments(node: &Rc<PhysNode>, ctx: &CompileCtx, ranged: bool) -> Result<Vec<
             let child = &node.children[0];
             let exprs = items
                 .iter()
-                .map(|it| compile_expr(&it.expr, &child.schema))
+                .map(|it| compile_expr_bound(&it.expr, &child.schema, ctx.params))
                 .collect::<Result<Vec<_>>>()?;
             fragments(child, ctx, ranged)?
                 .into_iter()

@@ -10,7 +10,7 @@ use pyro_common::Schema;
 use pyro_exec::join::JoinKind;
 use pyro_ordering::SortOrder;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Physical operator variants.
 #[derive(Debug, Clone)]
@@ -156,7 +156,7 @@ pub struct PhysNode {
     /// Operator.
     pub op: PhysOp,
     /// Children (0–2).
-    pub children: Vec<Rc<PhysNode>>,
+    pub children: Vec<Arc<PhysNode>>,
     /// Output schema.
     pub schema: Schema,
     /// Guaranteed output sort order (qualified column names).
@@ -223,8 +223,8 @@ impl PhysNode {
 mod tests {
     use super::*;
 
-    fn leaf() -> Rc<PhysNode> {
-        Rc::new(PhysNode {
+    fn leaf() -> Arc<PhysNode> {
+        Arc::new(PhysNode {
             op: PhysOp::TableScan {
                 table: "t".into(),
                 alias: "t".into(),

@@ -14,7 +14,7 @@ use crate::plan::{PhysNode, PhysOp};
 use pyro_common::Result;
 use pyro_ordering::{two_approx_tree_order, AttrSet, JoinTree, SortOrder};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One merge join discovered in the physical plan.
 struct MjInfo {
@@ -34,8 +34,8 @@ pub(crate) fn refine(
     ctx: &Ctx,
     optimizer: &Optimizer,
     plan: &LogicalPlan,
-    best: &Rc<PhysNode>,
-) -> Result<Option<Rc<PhysNode>>> {
+    best: &Arc<PhysNode>,
+) -> Result<Option<Arc<PhysNode>>> {
     let mut joins: Vec<MjInfo> = Vec::new();
     collect_mjs(ctx, best, None, &mut joins);
     if joins.len() < 2 {
@@ -101,7 +101,7 @@ pub(crate) fn refine(
 
 /// Walks the physical tree recording merge joins and their nearest
 /// merge-join ancestor.
-fn collect_mjs(ctx: &Ctx, node: &Rc<PhysNode>, parent_mj: Option<NodeId>, out: &mut Vec<MjInfo>) {
+fn collect_mjs(ctx: &Ctx, node: &Arc<PhysNode>, parent_mj: Option<NodeId>, out: &mut Vec<MjInfo>) {
     let this_parent = if let PhysOp::MergeJoin { order, .. } = &node.op {
         let logical = node.logical;
         if let LogicalOp::Join {

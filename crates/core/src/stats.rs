@@ -201,7 +201,10 @@ fn selectivity(pred: &NExpr, input: &NodeStats) -> f64 {
     match pred {
         NExpr::And(terms) => terms.iter().map(|t| selectivity(t, input)).product(),
         NExpr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
-            (NExpr::Col(c), NExpr::Lit(_)) | (NExpr::Lit(_), NExpr::Col(c)) => {
+            // A parameter placeholder estimates exactly like an unknown
+            // literal: the cached plan must be reasonable for any binding.
+            (NExpr::Col(c), NExpr::Lit(_) | NExpr::Param(_))
+            | (NExpr::Lit(_) | NExpr::Param(_), NExpr::Col(c)) => {
                 1.0 / input
                     .distinct
                     .get(c)

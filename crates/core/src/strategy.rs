@@ -7,7 +7,7 @@
 use pyro_ordering::{all_permutations, AttrSet, SortOrder};
 
 /// Which candidate-order generator to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StrategyKind {
     /// `PYRO`: one arbitrary (canonical) permutation — a plain Volcano
     /// optimizer that never reasons about order choice.
@@ -23,7 +23,7 @@ pub enum StrategyKind {
 
 /// A complete strategy: candidate generator + enforcer policy + whether the
 /// phase-2 refinement runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Strategy {
     /// Candidate-order generator.
     pub kind: StrategyKind,

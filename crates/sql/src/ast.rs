@@ -11,6 +11,9 @@ pub enum SqlExpr {
     Col(String),
     /// Literal value.
     Lit(Value),
+    /// A `?` parameter placeholder (0-based, numbered in text order); bound
+    /// to a concrete [`Value`] when the prepared statement executes.
+    Param(usize),
     /// Aggregate call (only legal in SELECT / HAVING).
     Agg(AggFunc, Box<SqlExpr>),
     /// `COUNT(*)`.
@@ -32,12 +35,26 @@ impl SqlExpr {
     pub fn has_agg(&self) -> bool {
         match self {
             SqlExpr::Agg(..) | SqlExpr::CountStar => true,
-            SqlExpr::Col(_) | SqlExpr::Lit(_) => false,
+            SqlExpr::Col(_) | SqlExpr::Lit(_) | SqlExpr::Param(_) => false,
             SqlExpr::Cmp(_, a, b)
             | SqlExpr::Mul(a, b)
             | SqlExpr::Add(a, b)
             | SqlExpr::Sub(a, b) => a.has_agg() || b.has_agg(),
             SqlExpr::And(terms) => terms.iter().any(SqlExpr::has_agg),
+        }
+    }
+
+    /// True iff the expression contains a `?` placeholder.
+    pub fn has_param(&self) -> bool {
+        match self {
+            SqlExpr::Param(_) => true,
+            SqlExpr::Col(_) | SqlExpr::Lit(_) | SqlExpr::CountStar => false,
+            SqlExpr::Agg(_, a) => a.has_param(),
+            SqlExpr::Cmp(_, a, b)
+            | SqlExpr::Mul(a, b)
+            | SqlExpr::Add(a, b)
+            | SqlExpr::Sub(a, b) => a.has_param() || b.has_param(),
+            SqlExpr::And(terms) => terms.iter().any(SqlExpr::has_param),
         }
     }
 }

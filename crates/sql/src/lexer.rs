@@ -17,6 +17,8 @@ pub enum Token {
     Str(String),
     /// Punctuation / operator.
     Symbol(String),
+    /// A `?` parameter placeholder, numbered 0-based in text order.
+    Param(usize),
 }
 
 /// Tokenizes SQL text.
@@ -24,6 +26,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
     let mut out = Vec::new();
     let chars: Vec<char> = input.chars().collect();
     let mut i = 0;
+    let mut params = 0;
     while i < chars.len() {
         let c = chars[i];
         if c.is_whitespace() {
@@ -76,6 +79,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             i += 1;
             continue;
         }
+        if c == '?' {
+            out.push(Token::Param(params));
+            params += 1;
+            i += 1;
+            continue;
+        }
         // multi-char operators
         let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
         if ["<=", ">=", "<>", "!="].contains(&two.as_str()) {
@@ -93,6 +102,28 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
         )));
     }
     Ok(out)
+}
+
+/// Renders SQL text in canonical token form — keywords and identifiers
+/// lowercased, every token separated by exactly one space — so texts that
+/// differ only in whitespace or keyword case map to the same string. This
+/// is the plan cache's notion of query identity: syntactic, not semantic
+/// (`a = 1` and `1 = a` stay distinct keys).
+pub fn normalize(sql: &str) -> Result<String> {
+    let rendered: Vec<String> = tokenize(sql)?
+        .into_iter()
+        .map(|t| match t {
+            Token::Ident(s) => s,
+            Token::Int(v) => v.to_string(),
+            // `{:?}` keeps the fraction ("4.0"), so a float literal can
+            // never collide with the integer of the same value.
+            Token::Float(v) => format!("{v:?}"),
+            Token::Str(s) => format!("'{s}'"),
+            Token::Symbol(s) => s,
+            Token::Param(_) => "?".to_string(),
+        })
+        .collect();
+    Ok(rendered.join(" "))
 }
 
 #[cfg(test)]
@@ -135,5 +166,22 @@ mod tests {
     #[test]
     fn weird_chars_error() {
         assert!(tokenize("a ; b").is_err());
+    }
+
+    #[test]
+    fn params_numbered_in_text_order() {
+        let t = tokenize("a = ? AND b > ?").unwrap();
+        assert_eq!(t[2], Token::Param(0));
+        assert_eq!(t[6], Token::Param(1));
+    }
+
+    #[test]
+    fn normalize_collapses_case_and_whitespace() {
+        let a = normalize("SELECT  a FROM t WHERE x = ?  AND y = 'O'").unwrap();
+        let b = normalize("select a from t where x=? and y='O'").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, "select a from t where x = ? and y = 'O'");
+        // Float and int literals of the same value must stay distinct.
+        assert_ne!(normalize("x = 4").unwrap(), normalize("x = 4.0").unwrap());
     }
 }

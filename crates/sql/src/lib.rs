@@ -24,5 +24,6 @@ pub mod lower;
 pub mod parser;
 
 pub use ast::{Query, SelectItem, SqlExpr, TableRef};
-pub use lower::{lower, plan};
+pub use lexer::normalize;
+pub use lower::{lower, lower_with_params, plan, plan_with_params, ParamInfo};
 pub use parser::parse_query;

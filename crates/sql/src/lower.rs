@@ -9,17 +9,49 @@
 
 use crate::ast::{Query, SelectItem, SqlExpr, TableRef};
 use pyro_catalog::Catalog;
-use pyro_common::{PyroError, Result};
+use pyro_common::{DataType, PyroError, Result};
 use pyro_core::{AggSpec, JoinPair, LogicalPlan, NExpr, NodeId, ProjItem};
 use pyro_exec::agg::AggFunc;
 use pyro_exec::join::JoinKind;
 use pyro_exec::CmpOp;
 use pyro_ordering::SortOrder;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+
+/// What the lowerer learned about a statement's `?` placeholders: one slot
+/// per parameter, in placeholder order. A slot holds the [`DataType`] the
+/// query's use of that placeholder implies (it is compared against a base
+/// column of that type), or `None` when the usage does not pin a type —
+/// execution then accepts any value there.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamInfo {
+    /// Expected type per placeholder, indexed by placeholder number.
+    pub types: Vec<Option<DataType>>,
+}
+
+impl ParamInfo {
+    /// Number of `?` placeholders in the statement.
+    pub fn count(&self) -> usize {
+        self.types.len()
+    }
+}
 
 /// Lowers a parsed query against a catalog.
 pub fn lower(q: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
-    Lowerer::new(catalog)?.lower(q)
+    Ok(lower_with_params(q, catalog)?.0)
+}
+
+/// Lowers a parsed query, also returning what was learned about its `?`
+/// placeholders (count and expected types) for prepared-statement binding.
+pub fn lower_with_params(q: &Query, catalog: &Catalog) -> Result<(LogicalPlan, ParamInfo)> {
+    let mut lowerer = Lowerer::new(catalog)?;
+    let plan = lowerer.lower(q)?;
+    Ok((
+        plan,
+        ParamInfo {
+            types: lowerer.param_types.into_inner(),
+        },
+    ))
 }
 
 /// Parses and lowers in one step — the frontend's front door, so callers
@@ -28,10 +60,22 @@ pub fn plan(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
     lower(&crate::parse_query(sql)?, catalog)
 }
 
+/// Parses and lowers in one step, returning the placeholder facts alongside
+/// the plan — what `Session::prepare` builds on.
+pub fn plan_with_params(sql: &str, catalog: &Catalog) -> Result<(LogicalPlan, ParamInfo)> {
+    lower_with_params(&crate::parse_query(sql)?, catalog)
+}
+
 struct Lowerer<'a> {
     catalog: &'a Catalog,
     /// alias → bare column names, in scope order.
     scopes: BTreeMap<String, Vec<String>>,
+    /// Qualified column name → declared type, for placeholder inference.
+    col_types: BTreeMap<String, DataType>,
+    /// Expected type per `?` placeholder, grown as placeholders are seen.
+    /// `RefCell` because inference happens inside the `&self` expression
+    /// walk.
+    param_types: RefCell<Vec<Option<DataType>>>,
 }
 
 impl<'a> Lowerer<'a> {
@@ -39,7 +83,31 @@ impl<'a> Lowerer<'a> {
         Ok(Lowerer {
             catalog,
             scopes: BTreeMap::new(),
+            col_types: BTreeMap::new(),
+            param_types: RefCell::new(Vec::new()),
         })
+    }
+
+    /// Ensures the parameter table covers placeholder `i`.
+    fn note_param(&self, i: usize) {
+        let mut types = self.param_types.borrow_mut();
+        if types.len() <= i {
+            types.resize(i + 1, None);
+        }
+    }
+
+    /// If `a` is a placeholder compared against base column `b`, records the
+    /// column's type as the placeholder's expected type (first use wins; a
+    /// later conflicting use leaves the earlier, stricter expectation).
+    fn infer_param_type(&self, a: &NExpr, b: &NExpr) {
+        if let (NExpr::Param(i), NExpr::Col(c)) = (a, b) {
+            if let Some(ty) = self.col_types.get(c) {
+                let mut types = self.param_types.borrow_mut();
+                if types[*i].is_none() {
+                    types[*i] = Some(*ty);
+                }
+            }
+        }
     }
 
     /// Qualifies a possibly-bare column name against the aliases in scope.
@@ -72,13 +140,30 @@ impl<'a> Lowerer<'a> {
         col.split_once('.').is_some_and(|(a, _)| a == alias)
     }
 
-    fn lower(mut self, q: &Query) -> Result<LogicalPlan> {
+    fn lower(&mut self, q: &Query) -> Result<LogicalPlan> {
         if q.from.is_empty() {
             return Err(PyroError::Sql("FROM clause required".into()));
+        }
+        // Placeholders are predicate-side only: a `?` in the SELECT list
+        // (or an aggregate argument) would shape the *result schema*, whose
+        // column types must be fixed at prepare time while a placeholder's
+        // type is only known at bind time.
+        for item in &q.select {
+            if matches!(item, SelectItem::Expr(e, _) if e.has_param()) {
+                return Err(PyroError::Unsupported(
+                    "? placeholder in the SELECT list (a parameter cannot shape the \
+                     result schema; bind parameters in WHERE / HAVING / ON predicates)"
+                        .into(),
+                ));
+            }
         }
         // Register scopes up front so WHERE names can be qualified.
         for t in &q.from {
             let handle = self.catalog.table(&t.table)?;
+            for col in handle.meta.schema.columns() {
+                self.col_types
+                    .insert(format!("{}.{}", t.alias, col.name), col.ty);
+            }
             self.scopes
                 .insert(t.alias.clone(), handle.meta.schema.names());
         }
@@ -288,6 +373,10 @@ impl<'a> Lowerer<'a> {
                 Err(e) => return Err(e),
             },
             SqlExpr::Lit(v) => NExpr::Lit(v.clone()),
+            SqlExpr::Param(i) => {
+                self.note_param(*i);
+                NExpr::Param(*i)
+            }
             SqlExpr::CountStar => {
                 self.register_agg(AggFunc::Count, NExpr::lit(1i64), agg_specs, preferred_name)
             }
@@ -299,11 +388,15 @@ impl<'a> Lowerer<'a> {
                 }
                 self.register_agg(*f, arg, agg_specs, preferred_name)
             }
-            SqlExpr::Cmp(op, a, b) => NExpr::Cmp(
-                *op,
-                Box::new(self.lower_scalar(a, agg_specs, None)?),
-                Box::new(self.lower_scalar(b, agg_specs, None)?),
-            ),
+            SqlExpr::Cmp(op, a, b) => {
+                let la = self.lower_scalar(a, agg_specs, None)?;
+                let lb = self.lower_scalar(b, agg_specs, None)?;
+                // `col <op> ?` (either way round) pins the placeholder's
+                // expected type to the column's declared type.
+                self.infer_param_type(&la, &lb);
+                self.infer_param_type(&lb, &la);
+                NExpr::Cmp(*op, Box::new(la), Box::new(lb))
+            }
             SqlExpr::And(terms) => NExpr::And(
                 terms
                     .iter()

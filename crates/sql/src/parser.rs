@@ -160,9 +160,18 @@ impl Parser {
             self.expect_kw("by")?;
             loop {
                 order_by.push(self.column_name()?);
-                // ignore ASC/DESC, as the paper does
+                // Explicit ASC is the default and accepted; DESC is a typed
+                // error — the engine implements the paper's ascending-only
+                // order machinery, and silently returning ascending rows
+                // for a DESC query would be silently wrong results.
                 self.eat_kw("asc");
-                self.eat_kw("desc");
+                if self.peek_kw("desc") {
+                    return Err(PyroError::Unsupported(
+                        "ORDER BY ... DESC (only ascending orders are implemented; \
+                         drop DESC or sort client-side)"
+                            .into(),
+                    ));
+                }
                 if !self.eat_symbol(",") {
                     break;
                 }
@@ -290,6 +299,10 @@ impl Parser {
                 self.pos += 1;
                 Ok(SqlExpr::Lit(Value::Str(s)))
             }
+            Some(Token::Param(i)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Param(i))
+            }
             Some(Token::Symbol(s)) if s == "(" => {
                 self.pos += 1;
                 let e = self.expr()?;
@@ -400,8 +413,32 @@ mod tests {
     }
 
     #[test]
-    fn order_by_directions_ignored() {
-        let q = parse_query("SELECT a FROM t ORDER BY a DESC, b ASC").unwrap();
+    fn order_by_desc_is_a_typed_error() {
+        // Regression: DESC used to be silently ignored, returning ascending
+        // rows for a descending query — silently wrong results.
+        assert!(matches!(
+            parse_query("SELECT a FROM t ORDER BY a DESC, b ASC"),
+            Err(PyroError::Unsupported(m)) if m.contains("DESC")
+        ));
+        // Explicit ASC (the default direction) stays accepted.
+        let q = parse_query("SELECT a FROM t ORDER BY a ASC, b ASC").unwrap();
         assert_eq!(q.order_by, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parses_parameter_placeholders() {
+        let q = parse_query("SELECT a FROM t WHERE a = ? AND b > ? ORDER BY a").unwrap();
+        assert_eq!(
+            q.where_conjuncts[0],
+            SqlExpr::Cmp(
+                CmpOp::Eq,
+                Box::new(SqlExpr::Col("a".into())),
+                Box::new(SqlExpr::Param(0))
+            )
+        );
+        assert!(matches!(
+            &q.where_conjuncts[1],
+            SqlExpr::Cmp(CmpOp::Gt, _, b) if **b == SqlExpr::Param(1)
+        ));
     }
 }

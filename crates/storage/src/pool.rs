@@ -179,7 +179,7 @@ impl BufferPool {
     /// resident set unchanged) so a burst of transient pins from many
     /// workers can only lose caching, not break queries. Only writes —
     /// which cannot drop their data — surface
-    /// [`PyroError::PoolExhausted`](pyro_common::PyroError::PoolExhausted).
+    /// [`PyroError::PoolExhausted`].
     pub fn pin(&self, id: PageId) -> Result<PinnedPage<'_>> {
         {
             let mut inner = self.inner.lock().expect("buffer pool poisoned");
@@ -247,7 +247,7 @@ impl BufferPool {
     /// and marked dirty; the device write is deferred to eviction or
     /// [`BufferPool::flush`]. `data` must not exceed the device block
     /// size. A write needing a frame while every frame is pinned returns
-    /// [`PyroError::PoolExhausted`](pyro_common::PyroError::PoolExhausted)
+    /// [`PyroError::PoolExhausted`]
     /// — it cannot drop its data the way an overflow read can.
     pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
         if data.len() > self.device.block_size() {

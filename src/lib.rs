@@ -27,8 +27,8 @@
 mod result;
 mod session;
 
-pub use result::QueryResult;
-pub use session::{Session, SessionBuilder};
+pub use result::{PlanCacheInfo, QueryResult};
+pub use session::{Prepared, Session, SessionBuilder};
 
 pub use pyro_catalog as catalog;
 pub use pyro_common as common;

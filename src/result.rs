@@ -1,9 +1,21 @@
 //! The typed result a [`crate::Session`] query returns.
 
 use pyro_common::{Schema, Tuple};
+use pyro_core::cache::PlanCacheStats;
 use pyro_core::{OptimizedPlan, Strategy};
 use pyro_exec::MetricsRef;
 use std::time::Duration;
+
+/// How this query's plan interacted with the session's plan cache: whether
+/// this lookup was a hit, plus a snapshot of the cache's counters taken at
+/// lookup time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheInfo {
+    /// True iff the plan was served from the cache (planning was skipped).
+    pub hit: bool,
+    /// Cache counters (hits/misses/evictions/occupancy) after the lookup.
+    pub stats: PlanCacheStats,
+}
 
 /// Everything one `Session::sql` round trip produced: the rows, their
 /// schema, the execution counters, and the optimizer's view of the plan
@@ -31,6 +43,7 @@ pub struct QueryResult {
     pub(crate) metrics: MetricsRef,
     pub(crate) plan: OptimizedPlan,
     pub(crate) elapsed: Duration,
+    pub(crate) plan_cache: Option<PlanCacheInfo>,
 }
 
 /// Renders a costed plan header + tree — the `explain` text both
@@ -102,5 +115,13 @@ impl QueryResult {
     /// Wall-clock execution time (compile + drain).
     pub fn elapsed(&self) -> Duration {
         self.elapsed
+    }
+
+    /// Plan-cache interaction for this query — `Some` iff the session runs
+    /// with a plan cache ([`crate::SessionBuilder::plan_cache_entries`]).
+    /// `info.hit` says whether planning was skipped for this very call;
+    /// `info.stats` snapshots the cache counters at lookup time.
+    pub fn plan_cache(&self) -> Option<&PlanCacheInfo> {
+        self.plan_cache.as_ref()
     }
 }

@@ -18,13 +18,15 @@
 //! assert!(result.cost() > 0.0);
 //! ```
 
-use crate::result::QueryResult;
+use crate::result::{PlanCacheInfo, QueryResult};
 use pyro_catalog::Catalog;
-use pyro_common::{Result, Schema, Tuple};
+use pyro_common::{DataType, PyroError, Result, Schema, Tuple, Value};
+use pyro_core::cache::{CachedStatement, PlanCache, PlanCacheStats, PlanKey};
 use pyro_core::cost::CostParams;
 use pyro_core::{OptimizedPlan, Optimizer, Strategy};
 use pyro_exec::DEFAULT_BATCH_SIZE;
 use pyro_ordering::SortOrder;
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 /// Configures and builds a [`Session`].
@@ -32,8 +34,9 @@ use std::time::Instant;
 /// Defaults match the paper's full machinery: the `PYRO-O` strategy,
 /// hash-join/aggregate alternatives enabled, a 100-block sort memory budget,
 /// 1024-row execution batches, single-threaded execution, no buffer pool
-/// (every page access is charged as cold device I/O), and cost constants
-/// derived from the backing device.
+/// (every page access is charged as cold device I/O), no plan cache (every
+/// query is planned from scratch), and cost constants derived from the
+/// backing device.
 ///
 /// ```
 /// use pyro::{Session, Strategy};
@@ -58,6 +61,7 @@ pub struct SessionBuilder {
     workers: Option<usize>,
     seed: Option<u64>,
     buffer_pool_pages: Option<usize>,
+    plan_cache_entries: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -146,6 +150,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Caches up to `entries` optimized plans, keyed by normalized SQL +
+    /// a fingerprint of every plan-affecting knob + the catalog's schema
+    /// generation (see [`pyro_core::cache::PlanCache`]). Default — and
+    /// `entries = 0` — is **off**: every query re-runs the full
+    /// parse → lower → optimize pipeline, bit-identical to earlier
+    /// releases. With a bounded cache, a repeated query shape skips
+    /// planning entirely and reuses the optimized plan; any knob flip or
+    /// `register_table`/`register_csv`/`create_index` call changes the key,
+    /// so a stale plan is never served.
+    pub fn plan_cache_entries(mut self, entries: usize) -> SessionBuilder {
+        self.plan_cache_entries = Some(entries);
+        self
+    }
+
     /// Builds the session over a fresh simulated device.
     pub fn build(self) -> Session {
         let mut catalog = match self.buffer_pool_pages {
@@ -163,6 +181,10 @@ impl SessionBuilder {
             batch_size: self.batch_size.unwrap_or(DEFAULT_BATCH_SIZE).max(1),
             workers: self.workers.unwrap_or(1).max(1),
             seed: self.seed.unwrap_or(pyro_datagen::SEED),
+            plan_cache: match self.plan_cache_entries {
+                Some(entries) if entries > 0 => Some(PlanCache::new(entries)),
+                _ => None,
+            },
         }
     }
 }
@@ -207,7 +229,18 @@ pub struct Session {
     batch_size: usize,
     workers: usize,
     seed: u64,
+    plan_cache: Option<PlanCache>,
 }
+
+// The whole query path ([`Session::sql`], [`Session::prepare`],
+// [`Prepared::execute`], [`Session::explain`]) takes `&self`, so N client
+// threads can serve queries concurrently over one catalog, buffer pool and
+// plan cache through an `Arc<Session>`. This compile-time assertion is the
+// contract: it breaks the build if a future field loses `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+};
 
 impl Session {
     /// A session with default configuration (PYRO-O, hash operators on).
@@ -310,6 +343,26 @@ impl Session {
         self.hash_operators = enable;
     }
 
+    /// Overrides (or with `None`, restores the defaults of) the cost
+    /// model's CPU-translation constants for subsequent queries; see
+    /// [`SessionBuilder::cost_params`].
+    pub fn set_cost_params(&mut self, params: Option<CostParams>) {
+        self.cost_params = params;
+    }
+
+    /// Plan-cache capacity in entries; `0` means the session plans every
+    /// query from scratch (the default).
+    pub fn plan_cache_entries(&self) -> usize {
+        self.plan_cache.as_ref().map_or(0, PlanCache::capacity)
+    }
+
+    /// Plan-cache counters (hits, misses, evictions, occupancy), or `None`
+    /// when the cache is off. The same snapshot rides on every
+    /// [`QueryResult`] as [`QueryResult::plan_cache`].
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.plan_cache.as_ref().map(PlanCache::stats)
+    }
+
     /// Whether hash operator alternatives are currently enabled.
     pub fn hash_operators(&self) -> bool {
         self.hash_operators
@@ -358,20 +411,19 @@ impl Session {
 
     /// Runs a SQL query end to end and returns the typed result. Execution
     /// is batch-at-a-time at the session's configured batch size, across
-    /// the session's configured worker threads.
+    /// the session's configured worker threads. Queries containing `?`
+    /// placeholders are a typed error here — prepare them with
+    /// [`Session::prepare`] and bind values via [`Prepared::execute`].
     pub fn sql(&self, sql: &str) -> Result<QueryResult> {
-        let plan = self.plan(sql)?;
-        let start = Instant::now();
-        let pipeline = plan.compile_with_workers(&self.catalog, self.batch_size, self.workers)?;
-        let schema = pipeline.schema().clone();
-        let out = pipeline.run()?;
-        Ok(QueryResult {
-            rows: out.rows,
-            schema,
-            metrics: out.metrics,
-            plan,
-            elapsed: start.elapsed(),
-        })
+        let (stmt, cache) = self.statement(sql)?;
+        if !stmt.param_types.is_empty() {
+            return Err(PyroError::ParamBinding(format!(
+                "query has {} unbound ?-placeholder(s); use Session::prepare \
+                 and Prepared::execute to bind values",
+                stmt.param_types.len()
+            )));
+        }
+        self.run_statement(&stmt.plan, &[], cache)
     }
 
     /// Optimizes a SQL query and returns the costed physical plan text
@@ -382,9 +434,70 @@ impl Session {
 
     /// Optimizes a SQL query into an [`OptimizedPlan`] — the escape hatch
     /// for plan surgery and repeated execution; everyday callers want
-    /// [`Session::sql`].
+    /// [`Session::sql`]. Served from the plan cache when one is configured.
     pub fn plan(&self, sql: &str) -> Result<OptimizedPlan> {
-        let logical = pyro_sql::plan(sql, &self.catalog)?;
+        Ok(self.statement(sql)?.0.plan)
+    }
+
+    /// Optimizes a SQL statement once — `?` placeholders stay symbolic —
+    /// and returns a [`Prepared`] handle that executes it with bound
+    /// parameter values. With a plan cache configured, preparing the same
+    /// statement again (or having run it via [`Session::sql`]) is a cache
+    /// hit.
+    ///
+    /// ```
+    /// use pyro::{Session, SortOrder, common::{Schema, Value}};
+    ///
+    /// let mut session = Session::new();
+    /// session
+    ///     .register_csv("t", Schema::ints(&["a", "b"]), SortOrder::new(["a"]), "1,10\n2,20\n")
+    ///     .unwrap();
+    /// let stmt = session.prepare("SELECT a, b FROM t WHERE a = ? ORDER BY a").unwrap();
+    /// assert_eq!(stmt.param_count(), 1);
+    /// let hit = stmt.execute(&[Value::Int(2)]).unwrap();
+    /// assert_eq!(hit.len(), 1);
+    /// let miss = stmt.execute(&[Value::Int(99)]).unwrap();
+    /// assert!(miss.is_empty());
+    /// ```
+    pub fn prepare(&self, sql: &str) -> Result<Prepared<'_>> {
+        let (stmt, cache) = self.statement(sql)?;
+        Ok(Prepared {
+            session: self,
+            stmt,
+            cache_hit: cache.map(|c| c.hit),
+        })
+    }
+
+    /// Resolves a statement to its optimized plan + placeholder facts,
+    /// through the plan cache when one is configured.
+    fn statement(&self, sql: &str) -> Result<(CachedStatement, Option<PlanCacheInfo>)> {
+        let Some(cache) = &self.plan_cache else {
+            return Ok((self.optimize_statement(sql)?, None));
+        };
+        let key = PlanKey {
+            sql: pyro_sql::normalize(sql)?,
+            fingerprint: self.knob_fingerprint(),
+            generation: self.catalog.generation(),
+        };
+        if let Some(stmt) = cache.lookup(&key) {
+            let info = PlanCacheInfo {
+                hit: true,
+                stats: cache.stats(),
+            };
+            return Ok((stmt, Some(info)));
+        }
+        let stmt = self.optimize_statement(sql)?;
+        cache.insert(key, stmt.clone());
+        let info = PlanCacheInfo {
+            hit: false,
+            stats: cache.stats(),
+        };
+        Ok((stmt, Some(info)))
+    }
+
+    /// The uncached parse → lower → optimize pipeline.
+    fn optimize_statement(&self, sql: &str) -> Result<CachedStatement> {
+        let (logical, params) = pyro_sql::plan_with_params(sql, &self.catalog)?;
         let mut optimizer = Optimizer::new(&self.catalog)
             .with_strategy(self.strategy)
             .with_hash(self.hash_operators);
@@ -399,7 +512,141 @@ impl Session {
                 ..params
             });
         }
-        optimizer.optimize(&logical)
+        Ok(CachedStatement {
+            plan: optimizer.optimize(&logical)?,
+            param_types: params.types,
+        })
+    }
+
+    /// Compiles and drains a plan with `params` bound, packaging the typed
+    /// result.
+    fn run_statement(
+        &self,
+        plan: &OptimizedPlan,
+        params: &[Value],
+        cache: Option<PlanCacheInfo>,
+    ) -> Result<QueryResult> {
+        let start = Instant::now();
+        let pipeline = plan.compile_bound(&self.catalog, self.batch_size, self.workers, params)?;
+        let schema = pipeline.schema().clone();
+        let out = pipeline.run()?;
+        Ok(QueryResult {
+            rows: out.rows,
+            schema,
+            metrics: out.metrics,
+            plan: plan.clone(),
+            elapsed: start.elapsed(),
+            plan_cache: cache,
+        })
+    }
+
+    /// Hashes every knob that can change what plan the optimizer produces
+    /// (or how it is compiled): strategy, hash-operator toggle, cost-param
+    /// overrides, sort memory budget, batch size, worker count and
+    /// buffer-pool capacity. Part of the plan-cache key, so flipping any of
+    /// them can never serve a stale plan.
+    fn knob_fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.strategy.hash(&mut h);
+        self.hash_operators.hash(&mut h);
+        match self.cost_params {
+            None => false.hash(&mut h),
+            Some(p) => {
+                true.hash(&mut h);
+                p.block_size.hash(&mut h);
+                p.sort_mem_blocks.to_bits().hash(&mut h);
+                p.cmp_io.to_bits().hash(&mut h);
+                p.tuple_io.to_bits().hash(&mut h);
+                p.hash_io.to_bits().hash(&mut h);
+                p.buffer_pool_pages.to_bits().hash(&mut h);
+                p.cached_read_discount.to_bits().hash(&mut h);
+            }
+        }
+        self.catalog.sort_memory_blocks().hash(&mut h);
+        self.batch_size.hash(&mut h);
+        self.workers.hash(&mut h);
+        self.catalog.store().pool_pages().unwrap_or(0).hash(&mut h);
+        h.finish()
+    }
+}
+
+/// A statement optimized once, executable many times with different bound
+/// parameter values — created by [`Session::prepare`]. Each
+/// [`Prepared::execute`] call re-compiles the *same* optimized plan with
+/// the bindings substituted for its `?` placeholders, so execution matches
+/// the equivalent literal SQL exactly while the planning cost is paid once.
+#[derive(Debug)]
+pub struct Prepared<'s> {
+    session: &'s Session,
+    stmt: CachedStatement,
+    /// Whether preparing this statement hit the session's plan cache
+    /// (`None` when the cache is off).
+    cache_hit: Option<bool>,
+}
+
+impl Prepared<'_> {
+    /// Number of `?` placeholders to bind.
+    pub fn param_count(&self) -> usize {
+        self.stmt.param_types.len()
+    }
+
+    /// Expected type per placeholder, where the statement pins one (the
+    /// placeholder is compared against a base column of that type).
+    pub fn param_types(&self) -> &[Option<DataType>] {
+        &self.stmt.param_types
+    }
+
+    /// The statement's optimized plan (placeholders still symbolic).
+    pub fn plan(&self) -> &OptimizedPlan {
+        &self.stmt.plan
+    }
+
+    /// The costed plan text, as [`Session::explain`] renders it.
+    pub fn explain(&self) -> String {
+        crate::result::render_plan(&self.stmt.plan)
+    }
+
+    /// Whether preparing this statement was a plan-cache hit (`None` when
+    /// the session runs without a plan cache).
+    pub fn cache_hit(&self) -> Option<bool> {
+        self.cache_hit
+    }
+
+    /// Executes with `params` bound positionally to the `?` placeholders.
+    /// The binding is validated first: the count must match
+    /// [`Prepared::param_count`], and a non-NULL value must agree with the
+    /// expected type where the statement pins one ([`Prepared::param_types`])
+    /// — with the same laxness literal SQL has: `Int` and `Double` are one
+    /// numeric family (the engine compares mixed numerics numerically, so
+    /// `WHERE x = 2` matches a `Double` column exactly like `WHERE x = 2.0`),
+    /// while a string where a number is expected (or vice versa) is a typed
+    /// error. NULL binds anywhere — comparisons with it are not-true,
+    /// exactly as a literal NULL would behave.
+    pub fn execute(&self, params: &[Value]) -> Result<QueryResult> {
+        if params.len() != self.stmt.param_types.len() {
+            return Err(PyroError::ParamBinding(format!(
+                "statement takes {} parameter(s), {} bound",
+                self.stmt.param_types.len(),
+                params.len()
+            )));
+        }
+        let numeric = |ty: DataType| matches!(ty, DataType::Int | DataType::Double);
+        for (i, (value, expected)) in params.iter().zip(&self.stmt.param_types).enumerate() {
+            if let (Some(actual), Some(expected)) = (value.data_type(), expected) {
+                let compatible = actual == *expected || (numeric(actual) && numeric(*expected));
+                if !compatible {
+                    return Err(PyroError::ParamBinding(format!(
+                        "placeholder ?{} expects {expected}, got {actual} ({value})",
+                        i + 1
+                    )));
+                }
+            }
+        }
+        let cache = self.cache_hit.map(|hit| PlanCacheInfo {
+            hit,
+            stats: self.session.plan_cache_stats().unwrap_or_default(),
+        });
+        self.session.run_statement(&self.stmt.plan, params, cache)
     }
 }
 
