@@ -1,0 +1,391 @@
+//! `bench_wire` — throughput and latency of the TCP serving front door.
+//!
+//! Measures the full client → socket → admission → session → socket →
+//! client path that `pyro serve` exposes, against an in-process
+//! [`WireServer`] on a loopback socket:
+//!
+//! 1. **Parity** — the `bench_serve` four-query mix runs over the wire and
+//!    directly on the session; every response must be *bit-identical*
+//!    (compared on the wire encoding, so double bits count).
+//! 2. **Point-query throughput** — N client connections each prepare the
+//!    clustered-key point query once and hammer it with rotating keys (the
+//!    compiler turns the equality on the clustering prefix into a
+//!    binary-searched page range, so each request touches a handful of
+//!    pages); per-request latency feeds the p50/p95/p99 histogram and the
+//!    QPS headline.
+//! 3. **Shedding** — a deliberately over-admitted gate must shed with the
+//!    typed `ServerOverloaded` frame, and a tight row budget must cancel
+//!    with `BudgetExceeded`; both leave their connections healthy.
+//!
+//! `--smoke` shrinks the data and asserts the contract; the full mode
+//! writes `BENCH_wire.json`.
+
+use pyro::datagen::tpch::{self, TpchConfig};
+use pyro::{Session, SessionBuilder};
+use pyro_bench::banner;
+use pyro_common::{PyroError, Value};
+use pyro_wire::{proto, AdmissionConfig, ServerConfig, WireClient, WireServer};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The same mix `bench_serve` serves in-process; over the wire it must
+/// stay bit-identical to direct execution.
+const MIX: [(&str, &str); 4] = [
+    (
+        "partial_sort",
+        "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
+    ),
+    (
+        "filter_scan",
+        "SELECT l_suppkey, l_partkey, l_quantity FROM lineitem WHERE l_linestatus = 'O'",
+    ),
+    (
+        "join_agg",
+        "SELECT ps_suppkey, ps_partkey, ps_availqty, count(l_partkey) AS n \
+         FROM partsupp, lineitem \
+         WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
+         GROUP BY ps_suppkey, ps_partkey, ps_availqty \
+         ORDER BY ps_suppkey, ps_partkey",
+    ),
+    (
+        "point_lookup",
+        "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_suppkey = 3 \
+         ORDER BY l_orderkey, l_quantity",
+    ),
+];
+
+/// The throughput phase's point query: a primary-key lookup on the
+/// clustering order, prepared once per connection, bound per request. The
+/// equality on `l_orderkey` seeks the clustered file instead of scanning
+/// it (~4 matching rows per key).
+const POINT: &str = "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_orderkey = ? \
+                     ORDER BY l_orderkey, l_quantity";
+
+/// Latency histogram bucket upper bounds, microseconds (the last bucket is
+/// open-ended).
+const BUCKETS_US: [u64; 8] = [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000];
+
+struct Args {
+    smoke: bool,
+    out_path: String,
+    seed: u64,
+    clients: usize,
+    iters: usize,
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    Args {
+        smoke,
+        out_path: flag("--out").unwrap_or_else(|| "BENCH_wire.json".to_string()),
+        seed: flag("--seed")
+            .map(|s| s.parse().expect("--seed takes a u64"))
+            .unwrap_or(pyro::datagen::SEED),
+        clients: flag("--clients")
+            .map(|s| s.parse().expect("--clients takes a usize"))
+            .unwrap_or(4),
+        iters: flag("--iters")
+            .map(|s| s.parse().expect("--iters takes a usize"))
+            .unwrap_or(if smoke { 200 } else { 2_000 }),
+    }
+}
+
+/// The point query returns the ~4 lineitems of one order, so the
+/// throughput phase measures serving overhead, not result volume.
+fn data_config(smoke: bool) -> TpchConfig {
+    if smoke {
+        TpchConfig {
+            lineitems: 6_000,
+            parts: 400,
+            suppliers: 200,
+        }
+    } else {
+        TpchConfig {
+            lineitems: 60_000,
+            parts: 2_000,
+            suppliers: 2_000,
+        }
+    }
+}
+
+fn build_session(cfg: TpchConfig, seed: u64) -> Arc<Session> {
+    let mut session = SessionBuilder::new()
+        .plan_cache_entries(256)
+        .seed(seed)
+        .build();
+    tpch::load_with_seed(session.catalog_mut(), cfg, seed).unwrap();
+    Arc::new(session)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+// --- phase 1: wire / direct parity on the full mix ---------------------
+
+fn check_parity(session: &Arc<Session>, server: &WireServer) {
+    let mut client = WireClient::connect(server.local_addr()).expect("parity connect");
+    for (name, sql) in MIX {
+        let direct = session.sql(sql).expect("direct run");
+        let wire = client.query(sql).expect("wire run");
+        assert_eq!(
+            proto::enc_rows(&wire.rows),
+            proto::enc_rows(direct.rows()),
+            "{name}: wire rows must be bit-identical to direct execution"
+        );
+        assert_eq!(&wire.schema, direct.schema(), "{name}: schema parity");
+    }
+    println!(
+        "parity    : {} queries bit-identical over the wire",
+        MIX.len()
+    );
+}
+
+// --- phase 2: point-query throughput -----------------------------------
+
+struct Throughput {
+    elapsed_ms: f64,
+    queries: usize,
+    qps: f64,
+    latencies_us: Vec<u64>,
+}
+
+fn throughput(server: &WireServer, cfg: &TpchConfig, args: &Args) -> Throughput {
+    let addr = server.local_addr();
+    // The datagen assigns 4 lineitems per order, so orderkeys span
+    // [0, lineitems/4).
+    let orders = (cfg.lineitems / 4).max(1) as i64;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let iters = args.iters;
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr).expect("bench connect");
+                let stmt = client.prepare(POINT).expect("prepare point query");
+                let mut lat = Vec::with_capacity(iters);
+                for i in 0..iters {
+                    let key = ((c * 7919 + i * 13) as i64) % orders;
+                    let t0 = Instant::now();
+                    let out = client
+                        .execute(stmt, &[Value::Int(key)])
+                        .expect("point query");
+                    lat.push(t0.elapsed().as_micros() as u64);
+                    assert_eq!(
+                        out.total_rows,
+                        out.rows.len() as u64,
+                        "row count drift at key {key}"
+                    );
+                }
+                client.bye().expect("bye");
+                lat
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(args.clients * args.iters);
+    for h in handles {
+        latencies_us.extend(h.join().expect("bench client must not panic"));
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    latencies_us.sort_unstable();
+    let queries = latencies_us.len();
+    Throughput {
+        elapsed_ms,
+        queries,
+        qps: queries as f64 / (elapsed_ms / 1e3),
+        latencies_us,
+    }
+}
+
+// --- phase 3: shedding + budgets under over-admission ------------------
+
+struct Shedding {
+    attempts: usize,
+    shed: u64,
+    budget_hits: usize,
+}
+
+fn shedding(session: &Arc<Session>, args: &Args) -> Shedding {
+    // A gate this tight guarantees shedding under a concurrent storm: one
+    // slot, no queue, and the bench itself occupies the slot.
+    let server = WireServer::start(
+        Arc::clone(session),
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_concurrent: 1,
+                max_queue: 0,
+                queue_timeout: Duration::from_millis(50),
+            },
+            max_rows_per_query: 10,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("shed server");
+    let addr = server.local_addr();
+    let gate = server.admission();
+    let held = gate.admit().expect("occupy the only slot");
+
+    let attempts = args.clients.max(2) * 4;
+    let handles: Vec<_> = (0..attempts)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr).expect("shed connect");
+                match client.query(MIX[3].1) {
+                    Err(PyroError::ServerOverloaded(_)) => true,
+                    Err(e) => panic!("expected a typed overload, got {e}"),
+                    Ok(_) => false,
+                }
+            })
+        })
+        .collect();
+    let mut typed_sheds = 0usize;
+    for h in handles {
+        if h.join().expect("shed client must not panic") {
+            typed_sheds += 1;
+        }
+    }
+    drop(held);
+    assert_eq!(
+        typed_sheds, attempts,
+        "with the only slot held and no queue, every request must shed"
+    );
+    let shed = server.admission_stats().shed_queue_full;
+
+    // Budgets: the full scan trips the 10-row budget with a typed error,
+    // and the same connection then serves a query that fits.
+    let mut client = WireClient::connect(addr).expect("budget connect");
+    let e = client.query(MIX[0].1).expect_err("over the row budget");
+    assert!(
+        matches!(e, PyroError::BudgetExceeded(_)),
+        "expected a typed budget error, got {e}"
+    );
+    let small = "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_orderkey = 1 \
+                 ORDER BY l_orderkey, l_quantity";
+    client
+        .query(small)
+        .expect("connection survives a budget cancellation");
+    server.shutdown();
+    println!(
+        "shedding  : {typed_sheds}/{attempts} typed overloads (gate counted {shed}), \
+         budget cancel + recovery ok"
+    );
+    Shedding {
+        attempts,
+        shed,
+        budget_hits: 1,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = data_config(args.smoke);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    banner(&format!(
+        "bench_wire  (mode={}, cpu_cores={cores}, clients={}, iters={}, lineitems={}, seed={:#x})",
+        if args.smoke { "smoke" } else { "full" },
+        args.clients,
+        args.iters,
+        cfg.lineitems,
+        args.seed
+    ));
+
+    let session = build_session(cfg, args.seed);
+    let server = WireServer::start(
+        Arc::clone(&session),
+        ServerConfig {
+            conn_threads: args.clients.max(2),
+            admission: AdmissionConfig {
+                max_concurrent: cores.max(2),
+                max_queue: 64,
+                queue_timeout: Duration::from_secs(10),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bench server");
+
+    check_parity(&session, &server);
+
+    // Warm the plan cache so the throughput phase measures serving, not
+    // first-touch planning.
+    {
+        let mut warm = WireClient::connect(server.local_addr()).expect("warm connect");
+        let stmt = warm.prepare(POINT).expect("warm prepare");
+        warm.execute(stmt, &[Value::Int(1)]).expect("warm execute");
+    }
+
+    let t = throughput(&server, &cfg, &args);
+    server.shutdown();
+    let p50 = percentile(&t.latencies_us, 0.50);
+    let p95 = percentile(&t.latencies_us, 0.95);
+    let p99 = percentile(&t.latencies_us, 0.99);
+    let max = t.latencies_us.last().copied().unwrap_or(0);
+    println!(
+        "throughput: {:>9.1} ms  {:>7.0} qps  ({} point queries, {} clients)",
+        t.elapsed_ms, t.qps, t.queries, args.clients
+    );
+    println!("latency   : p50 {p50} us, p95 {p95} us, p99 {p99} us, max {max} us");
+    let mut histogram = Vec::new();
+    let mut lo = 0u64;
+    let mut idx = 0usize;
+    for &hi in BUCKETS_US.iter() {
+        let end = t.latencies_us[idx..].partition_point(|&v| v < hi) + idx;
+        histogram.push((format!("{lo}-{hi}us"), end - idx));
+        idx = end;
+        lo = hi;
+    }
+    histogram.push((format!(">={lo}us"), t.latencies_us.len() - idx));
+    for (label, n) in &histogram {
+        if *n > 0 {
+            println!("            {label:>12}  {n}");
+        }
+    }
+
+    let shed = shedding(&session, &args);
+
+    if args.smoke {
+        assert!(t.qps > 50.0, "smoke throughput collapsed: {:.0} qps", t.qps);
+    }
+
+    let hist_json = histogram
+        .iter()
+        .map(|(label, n)| format!("{{\"bucket\": \"{label}\", \"count\": {n}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_wire\",\n  \"mode\": \"{}\",\n  \"cpu_cores\": {},\n  \"clients\": {},\n  \"iters_per_client\": {},\n  \"lineitems\": {},\n  \"suppliers\": {},\n  \"seed\": {},\n  \"parity\": true,\n  \"point_query\": {{\"elapsed_ms\": {:.3}, \"queries\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}},\n  \"latency_histogram\": [{}],\n  \"shedding\": {{\"attempts\": {}, \"shed_typed\": {}, \"budget_cancellations\": {}}}\n}}\n",
+        if args.smoke { "smoke" } else { "full" },
+        cores,
+        args.clients,
+        args.iters,
+        cfg.lineitems,
+        cfg.suppliers,
+        args.seed,
+        t.elapsed_ms,
+        t.queries,
+        t.qps,
+        p50,
+        p95,
+        p99,
+        max,
+        hist_json,
+        shed.attempts,
+        shed.shed,
+        shed.budget_hits,
+    );
+    std::fs::write(&args.out_path, &json).expect("write bench json");
+    banner(&format!("wrote {}", args.out_path));
+    println!("{json}");
+}

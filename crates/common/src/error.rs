@@ -1,9 +1,22 @@
 //! Error handling shared across the workspace.
+//!
+//! Every [`PyroError`] variant carries a **stable numeric code**
+//! ([`PyroError::code`]) so machine consumers — above all the `pyro-wire`
+//! error frame — can match on errors without parsing display strings. Codes
+//! are append-only: a variant's code never changes and retired codes are
+//! never reused. The [`PyroError::detail`] / [`PyroError::from_code`] pair
+//! round-trips a variant through `(code, detail)` — the exact payload a
+//! wire error frame carries.
 
 use std::fmt;
 
 /// Workspace-wide result alias.
 pub type Result<T> = std::result::Result<T, PyroError>;
+
+/// Separator used when a structured variant flattens multiple fields into
+/// one `detail` string (ASCII unit separator — cannot appear in SQL
+/// identifiers).
+const FIELD_SEP: char = '\u{1f}';
 
 /// Every way a PYRO operation can fail.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +61,134 @@ pub enum PyroError {
     /// parameters, or a bound value's type contradicts how the query uses
     /// the placeholder.
     ParamBinding(String),
+    /// A wire-protocol violation: malformed frame, unknown opcode,
+    /// handshake mismatch, unknown statement id, registry limits. The peer
+    /// sent bytes the protocol does not allow — as opposed to a well-formed
+    /// request that failed ([`PyroError::Sql`], [`PyroError::Exec`], ...).
+    Wire(String),
+    /// The server's admission gate shed this query: the concurrency limit
+    /// and the bounded wait queue were both full (or the queue wait timed
+    /// out). The request was *not* executed; retrying later is safe.
+    ServerOverloaded(String),
+    /// The query exceeded a per-query resource budget (result rows or
+    /// response bytes) and was cancelled mid-stream. Rows already delivered
+    /// are valid but the result is truncated.
+    BudgetExceeded(String),
+}
+
+/// Stable numeric codes, one per [`PyroError`] variant.
+///
+/// Append-only: never renumber, never reuse. The `pyro-wire` error frame
+/// carries these on the wire; clients match on them.
+pub mod codes {
+    /// [`super::PyroError::UnknownColumn`]
+    pub const UNKNOWN_COLUMN: u16 = 1;
+    /// [`super::PyroError::AmbiguousColumn`]
+    pub const AMBIGUOUS_COLUMN: u16 = 2;
+    /// [`super::PyroError::UnknownTable`]
+    pub const UNKNOWN_TABLE: u16 = 3;
+    /// [`super::PyroError::Storage`]
+    pub const STORAGE: u16 = 4;
+    /// [`super::PyroError::PoolExhausted`]
+    pub const POOL_EXHAUSTED: u16 = 5;
+    /// [`super::PyroError::Exec`]
+    pub const EXEC: u16 = 6;
+    /// [`super::PyroError::Plan`]
+    pub const PLAN: u16 = 7;
+    /// [`super::PyroError::Sql`]
+    pub const SQL: u16 = 8;
+    /// [`super::PyroError::Unsupported`]
+    pub const UNSUPPORTED: u16 = 9;
+    /// [`super::PyroError::DuplicateIndex`]
+    pub const DUPLICATE_INDEX: u16 = 10;
+    /// [`super::PyroError::ParamBinding`]
+    pub const PARAM_BINDING: u16 = 11;
+    /// [`super::PyroError::Wire`]
+    pub const WIRE: u16 = 12;
+    /// [`super::PyroError::ServerOverloaded`]
+    pub const SERVER_OVERLOADED: u16 = 13;
+    /// [`super::PyroError::BudgetExceeded`]
+    pub const BUDGET_EXCEEDED: u16 = 14;
+}
+
+impl PyroError {
+    /// This variant's stable numeric code (see [`codes`]).
+    pub fn code(&self) -> u16 {
+        match self {
+            PyroError::UnknownColumn(_) => codes::UNKNOWN_COLUMN,
+            PyroError::AmbiguousColumn(_) => codes::AMBIGUOUS_COLUMN,
+            PyroError::UnknownTable(_) => codes::UNKNOWN_TABLE,
+            PyroError::Storage(_) => codes::STORAGE,
+            PyroError::PoolExhausted { .. } => codes::POOL_EXHAUSTED,
+            PyroError::Exec(_) => codes::EXEC,
+            PyroError::Plan(_) => codes::PLAN,
+            PyroError::Sql(_) => codes::SQL,
+            PyroError::Unsupported(_) => codes::UNSUPPORTED,
+            PyroError::DuplicateIndex { .. } => codes::DUPLICATE_INDEX,
+            PyroError::ParamBinding(_) => codes::PARAM_BINDING,
+            PyroError::Wire(_) => codes::WIRE,
+            PyroError::ServerOverloaded(_) => codes::SERVER_OVERLOADED,
+            PyroError::BudgetExceeded(_) => codes::BUDGET_EXCEEDED,
+        }
+    }
+
+    /// The variant's payload without the display prefix — what a wire
+    /// error frame carries next to [`PyroError::code`]. Structured variants
+    /// flatten their fields with an ASCII unit separator;
+    /// [`PyroError::from_code`] reverses the flattening exactly.
+    pub fn detail(&self) -> String {
+        match self {
+            PyroError::UnknownColumn(s)
+            | PyroError::AmbiguousColumn(s)
+            | PyroError::UnknownTable(s)
+            | PyroError::Storage(s)
+            | PyroError::Exec(s)
+            | PyroError::Plan(s)
+            | PyroError::Sql(s)
+            | PyroError::Unsupported(s)
+            | PyroError::ParamBinding(s)
+            | PyroError::Wire(s)
+            | PyroError::ServerOverloaded(s)
+            | PyroError::BudgetExceeded(s) => s.clone(),
+            PyroError::PoolExhausted { capacity } => capacity.to_string(),
+            PyroError::DuplicateIndex { table, index } => {
+                format!("{table}{FIELD_SEP}{index}")
+            }
+        }
+    }
+
+    /// Rebuilds the error a `(code, detail)` pair describes — the inverse
+    /// of [`PyroError::code`] / [`PyroError::detail`], used by wire clients
+    /// to surface a server-side error as the same typed variant the server
+    /// produced. An unknown code (a newer server) degrades to
+    /// [`PyroError::Wire`] carrying both.
+    pub fn from_code(code: u16, detail: &str) -> PyroError {
+        match code {
+            codes::UNKNOWN_COLUMN => PyroError::UnknownColumn(detail.into()),
+            codes::AMBIGUOUS_COLUMN => PyroError::AmbiguousColumn(detail.into()),
+            codes::UNKNOWN_TABLE => PyroError::UnknownTable(detail.into()),
+            codes::STORAGE => PyroError::Storage(detail.into()),
+            codes::POOL_EXHAUSTED => PyroError::PoolExhausted {
+                capacity: detail.parse().unwrap_or(0),
+            },
+            codes::EXEC => PyroError::Exec(detail.into()),
+            codes::PLAN => PyroError::Plan(detail.into()),
+            codes::SQL => PyroError::Sql(detail.into()),
+            codes::UNSUPPORTED => PyroError::Unsupported(detail.into()),
+            codes::DUPLICATE_INDEX => {
+                let (table, index) = detail.split_once(FIELD_SEP).unwrap_or((detail, ""));
+                PyroError::DuplicateIndex {
+                    table: table.into(),
+                    index: index.into(),
+                }
+            }
+            codes::PARAM_BINDING => PyroError::ParamBinding(detail.into()),
+            codes::WIRE => PyroError::Wire(detail.into()),
+            codes::SERVER_OVERLOADED => PyroError::ServerOverloaded(detail.into()),
+            codes::BUDGET_EXCEEDED => PyroError::BudgetExceeded(detail.into()),
+            unknown => PyroError::Wire(format!("unknown error code {unknown}: {detail}")),
+        }
+    }
 }
 
 impl fmt::Display for PyroError {
@@ -68,6 +209,9 @@ impl fmt::Display for PyroError {
                 write!(f, "index {index} already exists on table {table}")
             }
             PyroError::ParamBinding(m) => write!(f, "parameter binding error: {m}"),
+            PyroError::Wire(m) => write!(f, "wire protocol error: {m}"),
+            PyroError::ServerOverloaded(m) => write!(f, "server overloaded: {m}"),
+            PyroError::BudgetExceeded(m) => write!(f, "query budget exceeded: {m}"),
         }
     }
 }
@@ -78,11 +222,71 @@ impl std::error::Error for PyroError {}
 mod tests {
     use super::*;
 
+    /// One exemplar per variant — extend when adding a variant (the
+    /// uniqueness and round-trip tests iterate this list).
+    fn exemplars() -> Vec<PyroError> {
+        vec![
+            PyroError::UnknownColumn("x".into()),
+            PyroError::AmbiguousColumn("partkey".into()),
+            PyroError::UnknownTable("nope".into()),
+            PyroError::Storage("page 9 out of range".into()),
+            PyroError::PoolExhausted { capacity: 8 },
+            PyroError::Exec("schema mismatch".into()),
+            PyroError::Plan("no plan found".into()),
+            PyroError::Sql("expected FROM at offset 12".into()),
+            PyroError::Unsupported("ORDER BY ... DESC".into()),
+            PyroError::DuplicateIndex {
+                table: "lineitem".into(),
+                index: "l_suppkey_cov".into(),
+            },
+            PyroError::ParamBinding("statement takes 1 parameter(s), 0 bound".into()),
+            PyroError::Wire("unknown opcode 0x7f".into()),
+            PyroError::ServerOverloaded("2 running, 4 queued".into()),
+            PyroError::BudgetExceeded("row budget 100 exceeded".into()),
+        ]
+    }
+
     #[test]
     fn display_is_informative() {
         let e = PyroError::UnknownColumn("x".into());
         assert!(e.to_string().contains("unknown column"));
         let e = PyroError::Sql("expected FROM at offset 12".into());
         assert!(e.to_string().contains("offset 12"));
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<u16> = exemplars().iter().map(PyroError::code).collect();
+        codes.sort_unstable();
+        let n = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "two variants share an error code");
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        // The wire contract: these exact numbers, forever. A failure here
+        // means a renumbering that would break deployed clients.
+        let expected: Vec<u16> = (1..=14).collect();
+        let actual: Vec<u16> = exemplars().iter().map(PyroError::code).collect();
+        assert_eq!(actual, expected);
+        assert_eq!(codes::SERVER_OVERLOADED, 13);
+        assert_eq!(codes::BUDGET_EXCEEDED, 14);
+        assert_eq!(codes::WIRE, 12);
+    }
+
+    #[test]
+    fn code_detail_round_trips_every_variant() {
+        for e in exemplars() {
+            let rebuilt = PyroError::from_code(e.code(), &e.detail());
+            assert_eq!(rebuilt, e, "round trip lost information");
+        }
+    }
+
+    #[test]
+    fn unknown_code_degrades_to_wire_error() {
+        let e = PyroError::from_code(9999, "future variant");
+        assert_eq!(e.code(), codes::WIRE);
+        assert!(e.to_string().contains("9999"));
     }
 }

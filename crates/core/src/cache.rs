@@ -18,15 +18,18 @@
 //! a stale plan can never be served. Stale-generation entries age out via
 //! LRU eviction rather than eager sweeps.
 //!
-//! The cache stores [`CachedStatement`]s — the [`OptimizedPlan`] plus the
-//! statement's `?`-placeholder facts — and hands out cheap clones (the plan
-//! tree is an `Arc`). It is `Sync`: one cache serves every thread sharing a
-//! `Session`.
+//! **Serving-path design.** Entries are `Arc<CachedStatement>`, so the work
+//! done *inside* the mutex is a hash lookup, two `BTreeMap` recency updates
+//! and one `Arc` clone — never a deep clone of the plan tree or the
+//! statement's parameter table. Recency is a monotonic tick ordered in a
+//! `BTreeMap<tick, key>` side index: eviction pops the smallest tick in
+//! `O(log n)` instead of scanning every entry. One cache serves every
+//! thread sharing a `Session`.
 
 use crate::optimizer::OptimizedPlan;
 use pyro_common::DataType;
-use std::collections::HashMap;
-use std::sync::{Mutex, PoisonError};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A cached statement: the optimized physical plan and what the frontend
 /// learned about its `?` placeholders (one expected-type slot per
@@ -68,17 +71,34 @@ pub struct PlanCacheStats {
 
 #[derive(Debug)]
 struct Entry {
-    stmt: CachedStatement,
+    stmt: Arc<CachedStatement>,
     last_used: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<PlanKey, Entry>,
+    /// Recency index: `last_used` tick → key. Ticks are unique (the
+    /// counter is bumped under the same lock), so this is a faithful LRU
+    /// order; the first entry is always the eviction victim.
+    order: BTreeMap<u64, PlanKey>,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+}
+
+impl Inner {
+    /// Moves `key`'s recency to a fresh tick, keeping `order` in sync.
+    fn touch(&mut self, key: &PlanKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(key) {
+            self.order.remove(&entry.last_used);
+            entry.last_used = tick;
+            self.order.insert(tick, key.clone());
+        }
+    }
 }
 
 /// The bounded LRU plan cache; see the [module docs](self).
@@ -110,48 +130,43 @@ impl PlanCache {
     }
 
     /// Looks up `key`, counting a hit (and refreshing recency) or a miss.
-    pub fn lookup(&self, key: &PlanKey) -> Option<CachedStatement> {
+    /// The returned handle shares the cached statement — no deep clone
+    /// happens inside or outside the lock.
+    pub fn lookup(&self, key: &PlanKey) -> Option<Arc<CachedStatement>> {
         let mut inner = self.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(key) {
-            Some(entry) => {
-                entry.last_used = tick;
-                let stmt = entry.stmt.clone();
-                inner.hits += 1;
-                Some(stmt)
-            }
-            None => {
-                inner.misses += 1;
-                None
-            }
+        if inner.map.contains_key(key) {
+            inner.touch(key);
+            inner.hits += 1;
+            inner.map.get(key).map(|e| Arc::clone(&e.stmt))
+        } else {
+            inner.misses += 1;
+            None
         }
     }
 
     /// Inserts (or refreshes) an entry, evicting the least-recently-used
     /// one first when the cache is full.
-    pub fn insert(&self, key: PlanKey, stmt: CachedStatement) {
+    pub fn insert(&self, key: PlanKey, stmt: Arc<CachedStatement>) {
         let mut inner = self.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
         if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
-            if let Some(victim) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
+            if let Some((tick, victim)) = inner.order.pop_first() {
+                debug_assert_eq!(inner.map.get(&victim).map(|e| e.last_used), Some(tick));
                 inner.map.remove(&victim);
                 inner.evictions += 1;
             }
         }
-        inner.map.insert(
-            key,
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            key.clone(),
             Entry {
                 stmt,
                 last_used: tick,
             },
-        );
+        ) {
+            inner.order.remove(&old.last_used);
+        }
+        inner.order.insert(tick, key);
     }
 
     /// Current counters and occupancy.
@@ -178,7 +193,9 @@ impl PlanCache {
 
     /// Drops every entry (counters are kept — they are monotonic totals).
     pub fn clear(&self) {
-        self.lock().map.clear();
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
     }
 }
 
@@ -191,8 +208,8 @@ mod tests {
     use pyro_ordering::SortOrder;
     use std::sync::Arc;
 
-    fn stmt(cost: f64) -> CachedStatement {
-        CachedStatement {
+    fn stmt(cost: f64) -> Arc<CachedStatement> {
+        Arc::new(CachedStatement {
             plan: OptimizedPlan {
                 root: Arc::new(PhysNode {
                     op: PhysOp::TableScan {
@@ -210,7 +227,7 @@ mod tests {
                 ordered_output: false,
             },
             param_types: Vec::new(),
-        }
+        })
     }
 
     fn key(sql: &str, fp: u64, generation: u64) -> PlanKey {
@@ -231,6 +248,15 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 1, 0, 1));
         assert_eq!(s.capacity, 4);
+    }
+
+    #[test]
+    fn lookup_shares_not_clones() {
+        let cache = PlanCache::new(4);
+        cache.insert(key("q", 1, 0), stmt(10.0));
+        let a = cache.lookup(&key("q", 1, 0)).expect("hit");
+        let b = cache.lookup(&key("q", 1, 0)).expect("hit");
+        assert!(Arc::ptr_eq(&a, &b), "hits must share one statement");
     }
 
     #[test]
@@ -259,6 +285,28 @@ mod tests {
         assert!(cache.lookup(&key("c", 0, 0)).is_some());
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_order_tracks_many_touches() {
+        // Stress the order index: interleaved inserts and touches must
+        // keep map and BTreeMap consistent (every eviction removes exactly
+        // the oldest untouched key).
+        let cache = PlanCache::new(4);
+        for i in 0..4 {
+            cache.insert(key(&format!("q{i}"), 0, 0), stmt(i as f64));
+        }
+        // Touch q0 and q2; q1 then q3 become the victims.
+        assert!(cache.lookup(&key("q0", 0, 0)).is_some());
+        assert!(cache.lookup(&key("q2", 0, 0)).is_some());
+        cache.insert(key("q4", 0, 0), stmt(4.0));
+        assert!(cache.lookup(&key("q1", 0, 0)).is_none(), "q1 was LRU");
+        cache.insert(key("q5", 0, 0), stmt(5.0));
+        assert!(cache.lookup(&key("q3", 0, 0)).is_none(), "q3 next");
+        for live in ["q0", "q2", "q4", "q5"] {
+            assert!(cache.lookup(&key(live, 0, 0)).is_some(), "{live} resident");
+        }
+        assert_eq!(cache.stats().evictions, 2);
     }
 
     #[test]
@@ -302,5 +350,33 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 200);
         assert!(s.hits > 0);
+    }
+
+    #[test]
+    fn concurrent_eviction_pressure_stays_consistent() {
+        // More distinct keys than capacity from several threads: the
+        // order index and map must never desync (evictions would panic or
+        // evict the wrong entry if they did).
+        let cache = Arc::new(PlanCache::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let k = key(&format!("q{}", (i + t * 7) % 16), 0, 0);
+                        if cache.lookup(&k).is_none() {
+                            cache.insert(k, stmt(i as f64));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 4);
+        assert_eq!(s.hits + s.misses, 800);
+        assert!(s.evictions > 0);
     }
 }

@@ -227,6 +227,64 @@ fn compile_aggs(aggs: &[AggSpec], schema: &Schema, params: &[Value]) -> Result<V
         .collect()
 }
 
+/// Compiles the child of a filter. When the child is a scan of a sorted
+/// file and the bound predicate pins an equality prefix of that order, the
+/// scan compiles over the binary-searched page range that can hold matching
+/// tuples instead of the whole file — an index *seek*. The caller's
+/// residual filter keeps the semantics exact: the restriction only skips
+/// pages that cannot match, and the probe reads are charged to the device
+/// like any other I/O.
+fn compile_filter_child(
+    child: &Arc<PhysNode>,
+    predicate: &NExpr,
+    ctx: &CompileCtx,
+    exact: bool,
+) -> Result<BoxOp> {
+    let seek = match &child.op {
+        PhysOp::ClusteredIndexScan { table, alias } => {
+            let handle = ctx.catalog.table(table)?;
+            Some((
+                handle.heap.clone(),
+                handle.meta.clustering.rename(|a| format!("{alias}.{a}")),
+            ))
+        }
+        PhysOp::CoveringIndexScan {
+            table,
+            alias,
+            index,
+        } => {
+            let handle = ctx.catalog.table(table)?;
+            let meta = handle.meta.indexes.iter().find(|i| i.name == *index);
+            match (handle.index_files.get(index), meta) {
+                (Some(file), Some(meta)) => {
+                    Some((file.clone(), meta.key.rename(|a| format!("{alias}.{a}"))))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    };
+    if let Some((file, order)) = seek {
+        let key = crate::seek::eq_prefix_values(predicate, &order, ctx.params);
+        if !key.is_empty() {
+            let cols = order.attrs()[..key.len()]
+                .iter()
+                .map(|a| child.schema.index_of(a))
+                .collect::<Result<Vec<_>>>()?;
+            let (start, end) = pyro_exec::scan::eq_key_page_range(&file, &cols, &key)?;
+            let mut op: BoxOp = Box::new(FileScan::over_pages(
+                child.schema.clone(),
+                &file,
+                start,
+                end,
+            ));
+            op.set_batch_size(ctx.batch);
+            return Ok(op);
+        }
+    }
+    compile_sub(child, ctx, exact)
+}
+
 fn compile_serial(node: &Arc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result<BoxOp> {
     // A sequence-sensitive serial operator demands its children's exact
     // serial row sequence; a pass-through one just inherits the demand.
@@ -244,7 +302,7 @@ fn compile_serial(node: &Arc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result
             Box::new(FileScan::new(node.schema.clone(), file))
         }
         PhysOp::Filter { predicate } => {
-            let child = compile_sub(&node.children[0], ctx, child_exact)?;
+            let child = compile_filter_child(&node.children[0], predicate, ctx, child_exact)?;
             let pred = compile_expr_bound(predicate, child.schema(), ctx.params)?;
             Box::new(Filter::new(child, pred))
         }

@@ -34,6 +34,7 @@ pub mod optimizer;
 mod parallel;
 pub mod plan;
 pub mod refine;
+mod seek;
 pub mod stats;
 pub mod strategy;
 

@@ -497,6 +497,54 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Arc
                     children: vec![child],
                 }));
             }
+            // A filter directly over a sorted-file scan compiles to a
+            // binary-searched page range when the predicate pins an
+            // equality prefix of the scan's order (the filter stays as the
+            // residual — see `compile::compile_filter_child`). Offer each
+            // access path again with the seek discount, so a selective
+            // point predicate can pick the path it seeks on even when that
+            // path loses on a full scan — typically the covering index
+            // beating the clustered heap.
+            if matches!(ctx.plan.node(*input), LogicalOp::Scan { .. }) {
+                let in_stats = &ctx.stats[*input];
+                for scan in gen_candidates(ctx, *input, &SortOrder::empty())? {
+                    let k = crate::seek::eq_prefix_len(predicate, &scan.out_order);
+                    if k == 0 {
+                        continue;
+                    }
+                    let sel = (1.0
+                        / in_stats
+                            .distinct_of(scan.out_order.attrs()[..k].iter().map(String::as_str)))
+                    .min(1.0);
+                    // O(log P) opening-tuple probes, then the surviving pages.
+                    let probes = scan.cost.max(2.0).log2().ceil();
+                    let seek_cost = (scan.cost * sel + probes).max(1.0);
+                    if seek_cost >= scan.cost {
+                        continue; // the discount doesn't pay for the probes
+                    }
+                    let rows_in = (in_stats.rows * sel).max(1.0);
+                    let bounded = Arc::new(PhysNode {
+                        op: scan.op.clone(),
+                        children: vec![],
+                        schema: scan.schema.clone(),
+                        out_order: scan.out_order.clone(),
+                        cost: seek_cost,
+                        rows: rows_in,
+                        logical: *input,
+                    });
+                    out.push(Arc::new(PhysNode {
+                        op: PhysOp::Filter {
+                            predicate: predicate.clone(),
+                        },
+                        schema: bounded.schema.clone(),
+                        out_order: bounded.out_order.clone(),
+                        cost: seek_cost + ctx.params.tuple_io * rows_in,
+                        rows: stats.rows,
+                        logical: id,
+                        children: vec![bounded],
+                    }));
+                }
+            }
         }
         LogicalOp::Project { input, items } => {
             // Pass-through column names survive the projection; an order is

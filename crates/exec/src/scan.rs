@@ -7,8 +7,9 @@
 //! device).
 
 use crate::op::{Operator, DEFAULT_BATCH_SIZE};
-use pyro_common::{Result, Schema, Tuple};
+use pyro_common::{Result, Schema, Tuple, Value};
 use pyro_storage::{TupleFile, TupleFileScan};
+use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -107,6 +108,65 @@ impl Operator for FileScan {
         let rem = self.total.saturating_sub(self.emitted);
         (rem, Some(rem))
     }
+}
+
+/// Binary-searches the half-open page range of a sorted `file` that can
+/// hold tuples whose `key_cols` prefix equals `key`, probing the first
+/// tuple of O(log P) pages.
+///
+/// The returned range is a *superset* of the pages holding matches — the
+/// first candidate page's opening tuple may still sort below the key — so
+/// callers must keep their residual predicate; a conservatively wide range
+/// costs extra I/O, never a wrong answer. Probes compare with the same
+/// [`Value`] total order the executor's `=` uses, and each probe is a real
+/// page read charged to the device like any other.
+pub fn eq_key_page_range(
+    file: &TupleFile,
+    key_cols: &[usize],
+    key: &[Value],
+) -> Result<(usize, usize)> {
+    let pages = file.block_count() as usize;
+    if pages == 0 || key_cols.is_empty() || key_cols.len() != key.len() {
+        return Ok((0, pages));
+    }
+    // Orders page p's first tuple against the key, prefix-lexicographically.
+    // Writers never emit empty pages, so a `None` probe cannot occur on a
+    // well-formed file; treating it as past-the-key keeps the search total.
+    let probe = |p: usize| -> Result<CmpOrdering> {
+        Ok(match file.scan_pages(p, p + 1).next_tuple()? {
+            Some(t) => key_cols
+                .iter()
+                .zip(key)
+                .map(|(&c, k)| t.get(c).cmp(k))
+                .find(|o| *o != CmpOrdering::Equal)
+                .unwrap_or(CmpOrdering::Equal),
+            None => CmpOrdering::Greater,
+        })
+    };
+    // First page whose opening tuple is >= key. Matches can start one page
+    // earlier: that page opens below the key but may reach it further in.
+    let (mut lo, mut hi) = (0usize, pages);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid)? == CmpOrdering::Less {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let first_ge = lo;
+    // First page whose opening tuple is > key: the file is sorted on the
+    // probed prefix, so no match can live there or beyond.
+    let (mut lo, mut hi) = (first_ge, pages);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid)? == CmpOrdering::Greater {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok((first_ge.saturating_sub(1), lo))
 }
 
 /// The shared work queue of a morsel-driven parallel scan: worker scans
@@ -305,6 +365,103 @@ mod tests {
         all.extend(hi);
         assert_eq!(all, rows, "range halves concatenate to the full file");
         assert_eq!(dev.io().reads, file.block_count(), "each page read once");
+    }
+
+    /// Every key present in the file must be fully covered by its probed
+    /// range, absent keys must land on ranges without them, and the range
+    /// must be a genuine restriction for selective keys.
+    #[test]
+    fn eq_key_page_range_covers_exactly() {
+        // 4 rows per key, keys 0..100, tiny pages so keys straddle pages.
+        let dev = SimDevice::with_block_size(128);
+        let rows: Vec<Tuple> = (0..400i64)
+            .map(|i| Tuple::new(vec![Value::Int(i / 4), Value::Int(i)]))
+            .collect();
+        let file = write_file(&dev, &rows).unwrap();
+        let pages = file.block_count() as usize;
+        assert!(pages > 10, "need a multi-page file, got {pages}");
+        for key in [0i64, 1, 37, 50, 98, 99] {
+            let (start, end) = eq_key_page_range(&file, &[0], &[Value::Int(key)]).unwrap();
+            assert!(start < end, "key {key}: empty range {start}..{end}");
+            assert!(end <= pages);
+            let got: Vec<Tuple> = collect(Box::new(FileScan::over_pages(
+                Schema::ints(&["k", "v"]),
+                &file,
+                start,
+                end,
+            )) as BoxOp)
+            .unwrap()
+            .into_iter()
+            .filter(|t| t.get(0) == &Value::Int(key))
+            .collect();
+            let expect: Vec<Tuple> = rows
+                .iter()
+                .filter(|t| t.get(0) == &Value::Int(key))
+                .cloned()
+                .collect();
+            assert_eq!(got, expect, "key {key} rows lost by the page bounds");
+            assert!(
+                end - start <= 2,
+                "key {key}: 4 rows should sit on at most 2 pages, got {}",
+                end - start
+            );
+        }
+        // Absent keys: below, between (impossible here — keys are dense),
+        // and above the domain. The range may be nonempty; it just must not
+        // contain the key.
+        for key in [-5i64, 100, 1000] {
+            let (start, end) = eq_key_page_range(&file, &[0], &[Value::Int(key)]).unwrap();
+            let hits = collect(Box::new(FileScan::over_pages(
+                Schema::ints(&["k", "v"]),
+                &file,
+                start,
+                end,
+            )) as BoxOp)
+            .unwrap()
+            .into_iter()
+            .filter(|t| t.get(0) == &Value::Int(key))
+            .count();
+            assert_eq!(hits, 0, "key {key} does not exist");
+        }
+    }
+
+    /// Two-column keys narrow further than their one-column prefix, and an
+    /// empty/oversized key degrades to the full file.
+    #[test]
+    fn eq_key_page_range_multi_column_and_degenerate() {
+        let dev = SimDevice::with_block_size(128);
+        let rows: Vec<Tuple> = (0..300i64)
+            .map(|i| Tuple::new(vec![Value::Int(i / 30), Value::Int(i % 30), Value::Int(i)]))
+            .collect();
+        let file = write_file(&dev, &rows).unwrap();
+        let pages = file.block_count() as usize;
+        let (s1, e1) = eq_key_page_range(&file, &[0], &[Value::Int(5)]).unwrap();
+        let (s2, e2) = eq_key_page_range(&file, &[0, 1], &[Value::Int(5), Value::Int(7)]).unwrap();
+        assert!(e2 - s2 <= e1 - s1, "longer key must not widen the range");
+        let got: Vec<Tuple> = collect(Box::new(FileScan::over_pages(
+            Schema::ints(&["a", "b", "v"]),
+            &file,
+            s2,
+            e2,
+        )) as BoxOp)
+        .unwrap()
+        .into_iter()
+        .filter(|t| t.get(0) == &Value::Int(5) && t.get(1) == &Value::Int(7))
+        .collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].get(2), &Value::Int(5 * 30 + 7));
+        // Degenerate inputs fall back to the whole file.
+        assert_eq!(eq_key_page_range(&file, &[], &[]).unwrap(), (0, pages));
+        assert_eq!(
+            eq_key_page_range(&file, &[0], &[Value::Int(1), Value::Int(2)]).unwrap(),
+            (0, pages)
+        );
+        let no_rows: Vec<Tuple> = Vec::new();
+        let empty = write_file(&dev, &no_rows).unwrap();
+        assert_eq!(
+            eq_key_page_range(&empty, &[0], &[Value::Int(1)]).unwrap(),
+            (0, 0)
+        );
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Admission control: a bounded-concurrency gate with a bounded, timed
+//! wait queue in front of query execution.
+//!
+//! The state machine per request:
+//!
+//! ```text
+//!            running < max_concurrent ──────────────► RUNNING
+//!  ADMIT ────┤
+//!            running full, waiting < max_queue ─────► QUEUED ──┬─ slot freed
+//!            │                                                 │  before the
+//!            running full, queue full ──► SHED (queue_full)    │  timeout ───► RUNNING
+//!                                                              └─ timeout ───► SHED (timeout)
+//! ```
+//!
+//! Shedding is **graceful**: the caller gets a typed
+//! [`PyroError::ServerOverloaded`] to put on the wire — the connection
+//! stays healthy and the client may retry. Finishing a query (dropping its
+//! [`Permit`]) wakes one queued waiter.
+
+use pyro_common::{PyroError, Result};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Gate configuration; see the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute simultaneously (floor 1).
+    pub max_concurrent: usize,
+    /// Requests allowed to wait for a slot; `0` sheds the instant the
+    /// concurrency limit is reached.
+    pub max_queue: usize,
+    /// How long a queued request waits for a slot before being shed.
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_concurrent: 4,
+            max_queue: 16,
+            queue_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Monotonic gate counters plus live occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Requests shed because the wait queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed because the queue wait timed out.
+    pub shed_timeout: u64,
+    /// Queries executing right now.
+    pub running: usize,
+    /// Requests waiting for a slot right now.
+    pub waiting: usize,
+    /// High-water mark of `running`.
+    pub peak_running: usize,
+    /// High-water mark of `waiting`.
+    pub peak_waiting: usize,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    running: usize,
+    waiting: usize,
+    admitted: u64,
+    shed_queue_full: u64,
+    shed_timeout: u64,
+    peak_running: usize,
+    peak_waiting: usize,
+}
+
+/// The gate; shared behind an `Arc` by every connection handler.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    freed: Condvar,
+}
+
+/// Proof of admission: holding one keeps a concurrency slot occupied;
+/// dropping it releases the slot and wakes one queued waiter.
+#[derive(Debug)]
+pub struct Permit<'g> {
+    gate: &'g AdmissionGate,
+}
+
+impl AdmissionGate {
+    /// A gate enforcing `cfg` (with `max_concurrent` floored to 1).
+    pub fn new(cfg: AdmissionConfig) -> AdmissionGate {
+        AdmissionGate {
+            cfg: AdmissionConfig {
+                max_concurrent: cfg.max_concurrent.max(1),
+                ..cfg
+            },
+            state: Mutex::new(State::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The enforced configuration.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Requests a slot, queueing (bounded, timed) when the gate is full.
+    /// Returns a typed [`PyroError::ServerOverloaded`] when shed.
+    pub fn admit(&self) -> Result<Permit<'_>> {
+        let mut state = self.lock();
+        if state.running < self.cfg.max_concurrent {
+            state.running += 1;
+            state.peak_running = state.peak_running.max(state.running);
+            state.admitted += 1;
+            return Ok(Permit { gate: self });
+        }
+        if state.waiting >= self.cfg.max_queue {
+            state.shed_queue_full += 1;
+            let detail = format!(
+                "{} running, {} queued (limits: {} concurrent, {} queue)",
+                state.running, state.waiting, self.cfg.max_concurrent, self.cfg.max_queue
+            );
+            return Err(PyroError::ServerOverloaded(detail));
+        }
+        state.waiting += 1;
+        state.peak_waiting = state.peak_waiting.max(state.waiting);
+        let deadline = Instant::now() + self.cfg.queue_timeout;
+        loop {
+            let now = Instant::now();
+            if state.running < self.cfg.max_concurrent {
+                state.waiting -= 1;
+                state.running += 1;
+                state.peak_running = state.peak_running.max(state.running);
+                state.admitted += 1;
+                return Ok(Permit { gate: self });
+            }
+            if now >= deadline {
+                state.waiting -= 1;
+                state.shed_timeout += 1;
+                let detail = format!(
+                    "queue wait exceeded {:?} ({} running, {} still queued)",
+                    self.cfg.queue_timeout, state.running, state.waiting
+                );
+                return Err(PyroError::ServerOverloaded(detail));
+            }
+            let (next, _) = self
+                .freed
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+        }
+    }
+
+    /// Counters and live occupancy.
+    pub fn stats(&self) -> AdmissionStats {
+        let s = self.lock();
+        AdmissionStats {
+            admitted: s.admitted,
+            shed_queue_full: s.shed_queue_full,
+            shed_timeout: s.shed_timeout,
+            running: s.running,
+            waiting: s.waiting,
+            peak_running: s.peak_running,
+            peak_waiting: s.peak_waiting,
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.lock();
+        state.running = state.running.saturating_sub(1);
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn gate(max_concurrent: usize, max_queue: usize, timeout_ms: u64) -> AdmissionGate {
+        AdmissionGate::new(AdmissionConfig {
+            max_concurrent,
+            max_queue,
+            queue_timeout: Duration::from_millis(timeout_ms),
+        })
+    }
+
+    #[test]
+    fn admits_up_to_the_limit_then_sheds_with_empty_queue() {
+        let g = gate(2, 0, 50);
+        let a = g.admit().expect("slot 1");
+        let b = g.admit().expect("slot 2");
+        let e = g.admit().expect_err("full + no queue must shed");
+        assert!(matches!(e, PyroError::ServerOverloaded(_)), "{e}");
+        assert_eq!(
+            e.code(),
+            pyro_common::error::codes::SERVER_OVERLOADED,
+            "shed error must carry the stable overload code"
+        );
+        drop(a);
+        let _c = g.admit().expect("freed slot readmits");
+        drop(b);
+        let s = g.stats();
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.shed_queue_full, 1);
+        assert_eq!(s.peak_running, 2);
+    }
+
+    #[test]
+    fn queued_request_times_out_with_typed_error() {
+        let g = gate(1, 4, 30);
+        let _held = g.admit().unwrap();
+        let start = Instant::now();
+        let e = g.admit().expect_err("must time out");
+        assert!(matches!(e, PyroError::ServerOverloaded(_)), "{e}");
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert_eq!(g.stats().shed_timeout, 1);
+        assert_eq!(g.stats().waiting, 0, "timed-out waiter must dequeue");
+    }
+
+    #[test]
+    fn queued_request_proceeds_when_slot_frees() {
+        let g = Arc::new(gate(1, 4, 5_000));
+        let held = g.admit().unwrap();
+        let g2 = Arc::clone(&g);
+        let waiter = std::thread::spawn(move || g2.admit().map(|_| ()).is_ok());
+        // Give the waiter time to enqueue, then free the slot.
+        while g.stats().waiting == 0 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        assert!(waiter.join().unwrap(), "queued request must be admitted");
+        assert_eq!(g.stats().admitted, 2);
+        assert_eq!(g.stats().peak_waiting, 1);
+    }
+
+    #[test]
+    fn heavy_contention_neither_loses_nor_double_counts_slots() {
+        let g = Arc::new(gate(3, 64, 5_000));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let p = g.admit().expect("queue is deep enough");
+                        assert!(g.stats().running <= 3, "limit breached");
+                        drop(p);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = g.stats();
+        assert_eq!(s.admitted, 400);
+        assert_eq!(s.running, 0);
+        assert_eq!(s.waiting, 0);
+        assert!(s.peak_running <= 3);
+    }
+}

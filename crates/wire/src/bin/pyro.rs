@@ -1,0 +1,139 @@
+//! The `pyro` command-line entry point.
+//!
+//! ```bash
+//! pyro serve [--addr 127.0.0.1:7878] [--scale 0.01] [--seed N]
+//!            [--cache 256] [--workers 1] [--batch 1024]
+//!            [--max-concurrent 4] [--queue 16] [--queue-timeout-ms 1000]
+//!            [--max-rows N] [--max-bytes N] [--conn-threads 8]
+//!            [--csv name=path[:clustering_col]]...
+//! ```
+//!
+//! `serve` builds a shared [`pyro::Session`], loads the TPC-H subset at
+//! `--scale` (skipped with `--scale 0`), registers any `--csv` tables, and
+//! serves the wire protocol until killed. Every knob maps onto
+//! [`pyro_wire::ServerConfig`] / [`pyro::SessionBuilder`].
+
+use pyro::{SessionBuilder, SortOrder};
+use pyro_common::Schema;
+use pyro_wire::{AdmissionConfig, ServerConfig, WireServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pyro serve [--addr HOST:PORT] [--scale SF] [--seed N] [--cache ENTRIES]\n\
+         \x20                 [--workers N] [--batch ROWS] [--max-concurrent N] [--queue N]\n\
+         \x20                 [--queue-timeout-ms MS] [--max-rows N] [--max-bytes N]\n\
+         \x20                 [--conn-threads N] [--csv name=path[:clustering_col]]..."
+    );
+    std::process::exit(2);
+}
+
+struct Flags {
+    args: Vec<String>,
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: {name} takes a {}", std::any::type_name::<T>());
+                usage()
+            }),
+            None => default,
+        }
+    }
+
+    fn all(&self, name: &str) -> Vec<&str> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == name)
+            .filter_map(|(i, _)| self.args.get(i + 1))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("serve") => {}
+        _ => usage(),
+    }
+    let flags = Flags {
+        args: args.collect(),
+    };
+
+    let scale: f64 = flags.parse("--scale", 0.01);
+    let seed: u64 = flags.parse("--seed", pyro::datagen::SEED);
+    let mut session = SessionBuilder::new()
+        .plan_cache_entries(flags.parse("--cache", 256))
+        .workers(flags.parse("--workers", 1))
+        .batch_size(flags.parse("--batch", 1024))
+        .seed(seed)
+        .build();
+
+    if scale > 0.0 {
+        pyro::datagen::tpch::load_with_seed(
+            session.catalog_mut(),
+            pyro::datagen::tpch::TpchConfig::scaled(scale),
+            seed,
+        )
+        .expect("load TPC-H subset");
+        println!("loaded TPC-H subset at scale {scale} (lineitem + partsupp, seed {seed:#x})");
+    }
+    for spec in flags.all("--csv") {
+        let (name, rest) = spec.split_once('=').unwrap_or_else(|| usage());
+        let (path, clustering) = match rest.split_once(':') {
+            Some((p, c)) => (p, Some(c)),
+            None => (rest, None),
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        // Column names and types are inferred as all-Int single letters
+        // only when a header is absent; require a header row instead.
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_else(|| usage());
+        let schema = Schema::ints(&header.split(',').collect::<Vec<_>>());
+        let body: String = lines.collect::<Vec<_>>().join("\n");
+        let order = match clustering {
+            Some(c) => SortOrder::new([c]),
+            None => SortOrder::empty(),
+        };
+        session
+            .register_csv(name, schema, order, &body)
+            .unwrap_or_else(|e| panic!("register {name}: {e}"));
+        println!("registered table {name} from {path}");
+    }
+
+    let cfg = ServerConfig {
+        addr: flags.get("--addr").unwrap_or("127.0.0.1:7878").to_string(),
+        conn_threads: flags.parse("--conn-threads", 8),
+        admission: AdmissionConfig {
+            max_concurrent: flags.parse("--max-concurrent", 4),
+            max_queue: flags.parse("--queue", 16),
+            queue_timeout: Duration::from_millis(flags.parse("--queue-timeout-ms", 1000)),
+        },
+        max_rows_per_query: flags.parse("--max-rows", 0),
+        max_response_bytes: flags.parse("--max-bytes", 0),
+        ..ServerConfig::default()
+    };
+    let server =
+        WireServer::start(Arc::new(session), cfg).unwrap_or_else(|e| panic!("start server: {e}"));
+    println!(
+        "pyro-wire serving on {} (protocol v{})",
+        server.local_addr(),
+        pyro_wire::proto::VERSION
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

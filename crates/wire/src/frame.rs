@@ -1,0 +1,220 @@
+//! Length-prefixed frame codec — the lowest layer of the wire protocol.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! +----------------+-----------+------------------------+
+//! | len: u32 LE    | opcode u8 | payload (len - 1 bytes)|
+//! +----------------+-----------+------------------------+
+//! ```
+//!
+//! `len` counts the opcode byte plus the payload, so a valid frame always
+//! has `1 <= len <= MAX_FRAME`. A peer announcing a bigger frame is lying
+//! or broken; the codec rejects it *before* allocating, so a hostile
+//! 4 GiB length prefix cannot balloon server memory.
+//!
+//! Reading is **cancellable**: the server installs a short socket read
+//! timeout and passes a cancellation probe; each timeout tick re-checks it
+//! (shutdown stays responsive even when a client sits idle mid-keepalive).
+//! Partial reads never lose bytes — the fill loop owns the buffer, so a
+//! timeout between the length prefix and the body simply resumes filling.
+
+use pyro_common::{PyroError, Result};
+use std::io::{ErrorKind, Read, Write};
+
+/// Upper bound on `len` (opcode + payload), 16 MiB. Bounds both peers'
+/// allocations; a streamed result is many frames, not one big one.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// What a cancellable frame read produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame: opcode and payload.
+    Frame(u8, Vec<u8>),
+    /// The peer closed the connection cleanly *between* frames.
+    Eof,
+    /// The cancellation probe fired (server shutdown).
+    Cancelled,
+}
+
+/// Maps an I/O failure into the typed wire error.
+pub fn io_err(context: &str, e: &std::io::Error) -> PyroError {
+    PyroError::Wire(format!("{context}: {e}"))
+}
+
+/// Fills `buf` completely, tolerating read timeouts. Returns `Ok(false)`
+/// iff the peer disconnected before the first byte of `buf` (the caller
+/// decides whether that spot is a clean frame boundary); a disconnect
+/// mid-buffer is a hard error. `cancelled` is probed on every timeout tick.
+fn fill(r: &mut impl Read, buf: &mut [u8], cancelled: &dyn Fn() -> bool) -> Result<Option<bool>> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(Some(false));
+                }
+                return Err(PyroError::Wire(format!(
+                    "peer disconnected mid-frame ({filled} of {} bytes)",
+                    buf.len()
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if cancelled() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("read", &e)),
+        }
+    }
+    Ok(Some(true))
+}
+
+/// Reads one frame, probing `cancelled` while blocked (see module docs).
+pub fn read_frame_cancellable(
+    r: &mut impl Read,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<ReadOutcome> {
+    let mut header = [0u8; 4];
+    match fill(r, &mut header, cancelled)? {
+        None => return Ok(ReadOutcome::Cancelled),
+        Some(false) => return Ok(ReadOutcome::Eof),
+        Some(true) => {}
+    }
+    let len = u32::from_le_bytes(header);
+    if len == 0 {
+        return Err(PyroError::Wire("zero-length frame (no opcode)".into()));
+    }
+    if len > MAX_FRAME {
+        return Err(PyroError::Wire(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    // Opcode and payload are read separately so the payload lands at
+    // offset 0 of its buffer (no post-hoc shift of a multi-megabyte frame).
+    let mut opcode = [0u8; 1];
+    match fill(r, &mut opcode, cancelled)? {
+        None => return Ok(ReadOutcome::Cancelled),
+        Some(false) => {
+            return Err(PyroError::Wire(
+                "peer disconnected between frame header and body".into(),
+            ))
+        }
+        Some(true) => {}
+    }
+    let mut payload = vec![0u8; len as usize - 1];
+    match fill(r, &mut payload, cancelled)? {
+        None => return Ok(ReadOutcome::Cancelled),
+        Some(false) => {
+            return Err(PyroError::Wire(
+                "peer disconnected between frame header and body".into(),
+            ))
+        }
+        Some(true) => {}
+    }
+    Ok(ReadOutcome::Frame(opcode[0], payload))
+}
+
+/// Blocking [`read_frame_cancellable`] for clients: `Ok(None)` on clean
+/// EOF, `Ok(Some((opcode, payload)))` otherwise.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>> {
+    match read_frame_cancellable(r, &|| false)? {
+        ReadOutcome::Frame(op, payload) => Ok(Some((op, payload))),
+        ReadOutcome::Eof => Ok(None),
+        ReadOutcome::Cancelled => unreachable!("probe is constant false"),
+    }
+}
+
+/// Writes one frame (header + opcode + payload). The caller flushes.
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> Result<()> {
+    let len = payload
+        .len()
+        .checked_add(1)
+        .filter(|&l| l <= MAX_FRAME as usize)
+        .ok_or_else(|| {
+            PyroError::Wire(format!(
+                "outgoing frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+                payload.len()
+            ))
+        })? as u32;
+    w.write_all(&len.to_le_bytes())
+        .and_then(|()| w.write_all(&[opcode]))
+        .and_then(|()| w.write_all(payload))
+        .map_err(|e| io_err("write", &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(opcode: u8, payload: &[u8]) -> (u8, Vec<u8>) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, opcode, payload).unwrap();
+        match read_frame(&mut Cursor::new(buf)).unwrap() {
+            Some(f) => f,
+            None => panic!("frame expected"),
+        }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let (op, payload) = roundtrip(0x42, b"hello");
+        assert_eq!(op, 0x42);
+        assert_eq!(payload, b"hello");
+        let (op, payload) = roundtrip(0x01, b"");
+        assert_eq!(op, 0x01);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_between_frames() {
+        assert!(read_frame(&mut Cursor::new(Vec::new())).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let e = read_frame(&mut Cursor::new(vec![5, 0])).unwrap_err();
+        assert!(matches!(e, PyroError::Wire(_)), "{e}");
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x02, b"truncated payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let e = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(e, PyroError::Wire(_)), "{e}");
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_rejected_before_allocating() {
+        let e = read_frame(&mut Cursor::new(0u32.to_le_bytes().to_vec())).unwrap_err();
+        assert!(e.to_string().contains("zero-length"), "{e}");
+        // A hostile 4 GiB announcement must fail on the *length*, without
+        // the codec trying to allocate or read that much.
+        let e = read_frame(&mut Cursor::new(u32::MAX.to_le_bytes().to_vec())).unwrap_err();
+        assert!(e.to_string().contains("exceeds"), "{e}");
+    }
+
+    #[test]
+    fn outgoing_oversize_rejected() {
+        struct NullSink;
+        impl Write for NullSink {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        // Lie about the length without allocating 16 MiB: a zero-copy
+        // repeat-slice stand-in is overkill here, so just use a capacity
+        // check at the boundary value.
+        let payload = vec![0u8; MAX_FRAME as usize];
+        let e = write_frame(&mut NullSink, 0x01, &payload).unwrap_err();
+        assert!(matches!(e, PyroError::Wire(_)), "{e}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # pyro-wire
+//!
+//! The zero-dependency TCP serving front door for the PYRO engine: a
+//! length-prefixed binary protocol over `std::net`, admission control in
+//! front of a shared [`pyro::Session`], and the in-crate [`WireClient`]
+//! that tests and benches drive it with. See `DESIGN.md` §10 for the frame
+//! format and the admission state machine.
+//!
+//! ```no_run
+//! use pyro::{Session, SortOrder, common::Schema};
+//! use pyro_wire::{ServerConfig, WireClient, WireServer};
+//! use std::sync::Arc;
+//!
+//! let mut session = Session::new();
+//! session
+//!     .register_csv("t", Schema::ints(&["a", "b"]), SortOrder::new(["a"]), "1,10\n2,20\n")
+//!     .unwrap();
+//! let server = WireServer::start(Arc::new(session), ServerConfig::default()).unwrap();
+//!
+//! let mut client = WireClient::connect(server.local_addr()).unwrap();
+//! let out = client.query("SELECT a, b FROM t ORDER BY a, b").unwrap();
+//! assert_eq!(out.rows.len(), 2);
+//! server.shutdown();
+//! ```
+//!
+//! The module layering, bottom-up:
+//!
+//! * [`frame`] — length-prefixed frame codec (cancellable reads, size
+//!   caps);
+//! * [`proto`] — opcodes and typed message encode/decode, including the
+//!   value codec that round-trips rows bit-identically;
+//! * [`admission`] — the concurrency gate with its bounded, timed wait
+//!   queue and typed shedding;
+//! * [`registry`] — the per-connection prepared-statement table;
+//! * [`server`] — listener, connection thread pool, protocol state
+//!   machine, streaming + budgets;
+//! * [`client`] — the synchronous reference client.
+
+#![deny(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionGate, AdmissionStats, Permit};
+pub use client::{WireClient, WireRows, WireStatement};
+pub use server::{ServerConfig, WireServer};

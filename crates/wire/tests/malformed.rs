@@ -1,0 +1,268 @@
+//! Hostile-input suite: raw sockets feeding the server truncated,
+//! oversized, and garbage frames. The contract under attack is simple —
+//! the server never panics, answers with a typed error frame whenever the
+//! transport still works, and keeps serving everyone else.
+
+use pyro::{Session, SortOrder};
+use pyro_common::{error::codes, Schema};
+use pyro_wire::frame::{read_frame, write_frame};
+use pyro_wire::proto::{self, op};
+use pyro_wire::{ServerConfig, WireClient, WireServer};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn server() -> WireServer {
+    let mut session = Session::new();
+    session
+        .register_csv(
+            "t",
+            Schema::ints(&["a", "b"]),
+            SortOrder::new(["a"]),
+            "1,10\n2,20\n",
+        )
+        .unwrap();
+    WireServer::start(Arc::new(session), ServerConfig::default()).unwrap()
+}
+
+/// Completes a valid handshake on a raw socket.
+fn raw_handshake(stream: &mut TcpStream) {
+    write_frame(stream, op::HELLO, &proto::enc_hello()).unwrap();
+    stream.flush().unwrap();
+    let (opcode, _) = read_frame(stream).unwrap().expect("WELCOME");
+    assert_eq!(opcode, op::WELCOME);
+}
+
+/// The server must still serve a well-behaved client — proof no worker
+/// thread died or panicked.
+fn assert_server_healthy(addr: SocketAddr) {
+    let mut client = WireClient::connect(addr).expect("healthy connect");
+    let out = client
+        .query("SELECT a, b FROM t ORDER BY a, b")
+        .expect("healthy query");
+    assert_eq!(out.rows.len(), 2);
+}
+
+/// What the server should do with one hostile byte sequence.
+enum Expect {
+    /// Typed error frame, then the connection is closed by the server.
+    ErrorThenClose(u16),
+    /// Typed error frame, and the *same* connection keeps working.
+    ErrorThenSurvives(u16),
+    /// Nothing to say (we broke the transport); server just closes.
+    CloseOnly,
+}
+
+struct Case {
+    name: &'static str,
+    /// Complete the handshake before sending the hostile bytes?
+    handshake: bool,
+    bytes: Vec<u8>,
+    expect: Expect,
+}
+
+fn frame_bytes(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut b = Vec::new();
+    write_frame(&mut b, opcode, payload).unwrap();
+    b
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "truncated length prefix then disconnect",
+            handshake: true,
+            bytes: vec![0x05, 0x00], // 2 of the 4 header bytes
+            expect: Expect::CloseOnly,
+        },
+        Case {
+            name: "oversized frame length (u32::MAX)",
+            handshake: true,
+            bytes: u32::MAX.to_le_bytes().to_vec(),
+            expect: Expect::ErrorThenClose(codes::WIRE),
+        },
+        Case {
+            name: "zero-length frame (no opcode)",
+            handshake: true,
+            bytes: 0u32.to_le_bytes().to_vec(),
+            expect: Expect::ErrorThenClose(codes::WIRE),
+        },
+        Case {
+            name: "mid-frame disconnect (header promises 100 bytes)",
+            handshake: true,
+            bytes: {
+                let mut b = 100u32.to_le_bytes().to_vec();
+                b.push(op::QUERY);
+                b.extend_from_slice(&[0xab; 10]);
+                b
+            },
+            expect: Expect::CloseOnly,
+        },
+        Case {
+            name: "unknown opcode",
+            handshake: true,
+            bytes: frame_bytes(0x7f, b""),
+            expect: Expect::ErrorThenSurvives(codes::WIRE),
+        },
+        Case {
+            name: "QUERY with invalid UTF-8 SQL",
+            handshake: true,
+            bytes: frame_bytes(op::QUERY, &{
+                let mut p = 4u32.to_le_bytes().to_vec();
+                p.extend_from_slice(&[0xff, 0xfe, 0xfd, 0xfc]);
+                p
+            }),
+            expect: Expect::ErrorThenSurvives(codes::WIRE),
+        },
+        Case {
+            name: "QUERY with truncated string length",
+            handshake: true,
+            bytes: frame_bytes(op::QUERY, &1000u32.to_le_bytes()),
+            expect: Expect::ErrorThenSurvives(codes::WIRE),
+        },
+        Case {
+            name: "QUERY with trailing garbage after the SQL string",
+            handshake: true,
+            bytes: frame_bytes(op::QUERY, &{
+                let mut p = proto::enc_sql("SELECT a FROM t ORDER BY a");
+                p.push(0xee);
+                p
+            }),
+            expect: Expect::ErrorThenSurvives(codes::WIRE),
+        },
+        Case {
+            name: "EXECUTE with unknown value tag",
+            handshake: true,
+            bytes: frame_bytes(op::EXECUTE, &{
+                let mut p = Vec::new();
+                proto::put_u32(&mut p, 1);
+                proto::put_u16(&mut p, 1);
+                p.push(9); // no such tag
+                p
+            }),
+            expect: Expect::ErrorThenSurvives(codes::WIRE),
+        },
+        Case {
+            name: "first frame is QUERY, not HELLO",
+            handshake: false,
+            bytes: frame_bytes(op::QUERY, &proto::enc_sql("SELECT a FROM t")),
+            expect: Expect::ErrorThenClose(codes::WIRE),
+        },
+        Case {
+            name: "HELLO with wrong magic",
+            handshake: false,
+            bytes: frame_bytes(op::HELLO, &{
+                let mut p = Vec::new();
+                proto::put_u32(&mut p, 0xdead_beef);
+                proto::put_u16(&mut p, proto::VERSION);
+                p
+            }),
+            expect: Expect::ErrorThenClose(codes::WIRE),
+        },
+        Case {
+            name: "HELLO with unsupported version",
+            handshake: false,
+            bytes: frame_bytes(op::HELLO, &{
+                let mut p = Vec::new();
+                proto::put_u32(&mut p, proto::MAGIC);
+                proto::put_u16(&mut p, 999);
+                p
+            }),
+            expect: Expect::ErrorThenClose(codes::WIRE),
+        },
+        Case {
+            // The first 4 bytes parse as an absurd frame length; the
+            // server rejects it and closes with unread bytes still in its
+            // receive buffer, which surfaces client-side as a reset — so
+            // the error frame is best-effort here.
+            name: "raw garbage instead of any frame",
+            handshake: false,
+            bytes: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+            expect: Expect::CloseOnly,
+        },
+    ]
+}
+
+#[test]
+fn hostile_inputs_never_panic_the_server() {
+    let server = server();
+    let addr = server.local_addr();
+
+    for case in cases() {
+        let mut stream = TcpStream::connect(addr).expect(case.name);
+        stream.set_nodelay(true).unwrap();
+        if case.handshake {
+            raw_handshake(&mut stream);
+        }
+        stream.write_all(&case.bytes).expect(case.name);
+        stream.flush().unwrap();
+
+        match case.expect {
+            Expect::CloseOnly => {
+                // We broke the transport mid-frame; all the server can do
+                // is close. Signal we're done writing so its fill loop
+                // observes the disconnect rather than waiting forever.
+                stream.shutdown(Shutdown::Write).ok();
+                // Drain whatever the server managed to say; EOF must come.
+                while let Ok(Some(_)) = read_frame(&mut stream) {}
+            }
+            Expect::ErrorThenClose(code) => {
+                let (opcode, payload) = read_frame(&mut stream)
+                    .unwrap_or_else(|e| panic!("{}: {e}", case.name))
+                    .unwrap_or_else(|| panic!("{}: closed without an error frame", case.name));
+                assert_eq!(opcode, op::ERROR, "{}", case.name);
+                let e = proto::dec_error(&payload).expect(case.name);
+                assert_eq!(e.code(), code, "{}: {e}", case.name);
+                // Clean EOF, or a reset if the server's close raced our
+                // read — either way, no further frames.
+                assert!(
+                    !matches!(read_frame(&mut stream), Ok(Some(_))),
+                    "{}: connection must be closed after the error",
+                    case.name
+                );
+            }
+            Expect::ErrorThenSurvives(code) => {
+                let (opcode, payload) = read_frame(&mut stream)
+                    .unwrap_or_else(|e| panic!("{}: {e}", case.name))
+                    .unwrap_or_else(|| panic!("{}: closed without an error frame", case.name));
+                assert_eq!(opcode, op::ERROR, "{}", case.name);
+                let e = proto::dec_error(&payload).expect(case.name);
+                assert_eq!(e.code(), code, "{}: {e}", case.name);
+                // Same connection, valid request: must still be served.
+                write_frame(
+                    &mut stream,
+                    op::QUERY,
+                    &proto::enc_sql("SELECT a FROM t ORDER BY a"),
+                )
+                .expect(case.name);
+                stream.flush().unwrap();
+                let (opcode, _) = read_frame(&mut stream)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("{}: no response to follow-up", case.name));
+                assert_eq!(opcode, op::SCHEMA, "{}: follow-up must succeed", case.name);
+                loop {
+                    match read_frame(&mut stream).unwrap() {
+                        Some((op::DONE, _)) => break,
+                        Some((op::ROWS, _)) => continue,
+                        other => panic!("{}: unexpected follow-up frame {other:?}", case.name),
+                    }
+                }
+            }
+        }
+
+        // Whatever just happened, the server keeps serving everyone else.
+        assert_server_healthy(addr);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn immediate_disconnect_without_a_single_byte_is_clean() {
+    let server = server();
+    for _ in 0..16 {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        drop(stream);
+    }
+    assert_server_healthy(server.local_addr());
+    server.shutdown();
+}

@@ -1,0 +1,356 @@
+//! End-to-end tests: a real `WireServer` on a loopback socket, driven by
+//! `WireClient`, checked against direct `Session::sql` execution.
+
+use pyro::datagen::tpch::{self, TpchConfig};
+use pyro::{Session, SessionBuilder, SortOrder};
+use pyro_common::{error::codes, PyroError, Schema, Value};
+use pyro_wire::{proto, AdmissionConfig, ServerConfig, WireClient, WireServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The same four-query mix `bench_serve` measures; parity here must be
+/// bit-identical, not just value-equal.
+const MIX: [&str; 4] = [
+    "SELECT l_suppkey, l_partkey FROM lineitem ORDER BY l_suppkey, l_partkey",
+    "SELECT l_suppkey, l_partkey, l_quantity FROM lineitem WHERE l_linestatus = 'O'",
+    "SELECT ps_suppkey, ps_partkey, ps_availqty, count(l_partkey) AS n \
+     FROM partsupp, lineitem \
+     WHERE ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
+     GROUP BY ps_suppkey, ps_partkey, ps_availqty \
+     ORDER BY ps_suppkey, ps_partkey",
+    "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_suppkey = 3 \
+     ORDER BY l_orderkey, l_quantity",
+];
+
+fn tpch_session(cache_entries: usize) -> Arc<Session> {
+    let mut session = SessionBuilder::new()
+        .plan_cache_entries(cache_entries)
+        .build();
+    let cfg = TpchConfig {
+        lineitems: 2_000,
+        parts: 100,
+        suppliers: 10,
+    };
+    tpch::load_with_seed(session.catalog_mut(), cfg, pyro::datagen::SEED).unwrap();
+    Arc::new(session)
+}
+
+fn tiny_session() -> Arc<Session> {
+    let mut session = Session::new();
+    session
+        .register_csv(
+            "t",
+            Schema::ints(&["a", "b"]),
+            SortOrder::new(["a"]),
+            "1,10\n2,20\n3,30\n4,40\n5,50\n",
+        )
+        .unwrap();
+    Arc::new(session)
+}
+
+fn start(session: Arc<Session>, cfg: ServerConfig) -> WireServer {
+    WireServer::start(session, cfg).expect("server starts")
+}
+
+#[test]
+fn wire_rows_bit_identical_to_direct_execution_for_the_bench_mix() {
+    let session = tpch_session(64);
+    let server = start(Arc::clone(&session), ServerConfig::default());
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    for sql in MIX {
+        let direct = session.sql(sql).expect("direct run");
+        let wire = client.query(sql).expect("wire run");
+        assert_eq!(wire.schema, *direct.schema(), "schema mismatch for {sql}");
+        // Compare the *encodings*: captures exact double bits, not just
+        // PartialEq (which would pass -0.0 == 0.0 and fail NaN == NaN).
+        assert_eq!(
+            proto::enc_rows(&wire.rows),
+            proto::enc_rows(direct.rows()),
+            "row mismatch for {sql}"
+        );
+        assert_eq!(wire.total_rows as usize, direct.rows().len());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn prepared_statement_lifecycle_over_the_wire() {
+    let session = tpch_session(64);
+    let server = start(Arc::clone(&session), ServerConfig::default());
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    let sql = "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_suppkey = ? \
+               ORDER BY l_orderkey, l_quantity";
+    let stmt = client.prepare(sql).unwrap();
+    assert_eq!(stmt.param_count, 1);
+
+    for k in [1i64, 3, 7] {
+        let wire = client.execute(stmt, &[Value::Int(k)]).unwrap();
+        let literal = format!(
+            "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_suppkey = {k} \
+             ORDER BY l_orderkey, l_quantity"
+        );
+        let direct = session.sql(&literal).unwrap();
+        assert_eq!(
+            proto::enc_rows(&wire.rows),
+            proto::enc_rows(direct.rows()),
+            "binding {k}"
+        );
+    }
+
+    // Wrong arity is a typed request-level error; the connection survives.
+    let e = client.execute(stmt, &[]).expect_err("0 of 1 params bound");
+    assert_eq!(e.code(), codes::PARAM_BINDING, "{e}");
+
+    client.close(stmt).unwrap();
+    let e = client
+        .execute(stmt, &[Value::Int(1)])
+        .expect_err("closed statement");
+    assert_eq!(e.code(), codes::WIRE, "{e}");
+    let e = client.close(stmt).expect_err("double close");
+    assert_eq!(e.code(), codes::WIRE, "{e}");
+
+    // Still healthy after all those errors.
+    assert!(client.query(MIX[3]).is_ok());
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn full_gate_with_empty_queue_sheds_typed_overload() {
+    let session = tiny_session();
+    let server = start(
+        session,
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_concurrent: 1,
+                max_queue: 0,
+                queue_timeout: Duration::from_millis(10),
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let gate = server.admission();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    // Deterministically occupy the only slot from the test itself.
+    let held = gate.admit().expect("the only slot");
+    let e = client
+        .query("SELECT a, b FROM t ORDER BY a, b")
+        .expect_err("gate full, queue empty");
+    assert!(matches!(e, PyroError::ServerOverloaded(_)), "{e}");
+    assert_eq!(e.code(), codes::SERVER_OVERLOADED);
+    assert_eq!(server.admission_stats().shed_queue_full, 1);
+
+    // Shedding is graceful: same connection works once the slot frees.
+    drop(held);
+    let out = client.query("SELECT a, b FROM t ORDER BY a, b").unwrap();
+    assert_eq!(out.rows.len(), 5);
+    server.shutdown();
+}
+
+#[test]
+fn queued_request_times_out_into_typed_overload() {
+    let session = tiny_session();
+    let server = start(
+        session,
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_concurrent: 1,
+                max_queue: 4,
+                queue_timeout: Duration::from_millis(40),
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let gate = server.admission();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    let held = gate.admit().expect("the only slot");
+    let e = client
+        .query("SELECT a FROM t ORDER BY a")
+        .expect_err("queued, then timed out");
+    assert!(matches!(e, PyroError::ServerOverloaded(_)), "{e}");
+    assert_eq!(server.admission_stats().shed_timeout, 1);
+    drop(held);
+    assert!(client.query("SELECT a FROM t ORDER BY a").is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn row_budget_cancels_mid_stream_with_typed_error() {
+    let session = tpch_session(0);
+    let server = start(
+        Arc::clone(&session),
+        ServerConfig {
+            // Between the point query's ~200 rows and the full scan's 2000.
+            max_rows_per_query: 500,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    // 2000 lineitem rows > the 500-row budget.
+    let e = client.query(MIX[0]).expect_err("row budget");
+    assert!(matches!(e, PyroError::BudgetExceeded(_)), "{e}");
+    assert_eq!(e.code(), codes::BUDGET_EXCEEDED);
+
+    // A query under budget still works on the same connection, and
+    // matches direct execution.
+    let wire = client.query(MIX[3]).expect("point query fits the budget");
+    let direct = session.sql(MIX[3]).unwrap();
+    assert_eq!(proto::enc_rows(&wire.rows), proto::enc_rows(direct.rows()));
+    server.shutdown();
+}
+
+#[test]
+fn byte_budget_cancels_mid_stream_with_typed_error() {
+    let session = tpch_session(0);
+    let server = start(
+        session,
+        ServerConfig {
+            // Between the point query's ~4 KiB response and the scan's ~36 KiB.
+            max_response_bytes: 8 * 1024,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let e = client.query(MIX[0]).expect_err("byte budget");
+    assert!(matches!(e, PyroError::BudgetExceeded(_)), "{e}");
+    assert!(client.query(MIX[3]).is_ok(), "connection survives");
+    server.shutdown();
+}
+
+#[test]
+fn sql_errors_are_typed_and_do_not_kill_the_connection() {
+    let session = tiny_session();
+    let server = start(session, ServerConfig::default());
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    let e = client
+        .query("SELECT nope FROM t ORDER BY nope")
+        .expect_err("unknown column");
+    assert_eq!(e.code(), codes::UNKNOWN_COLUMN, "{e}");
+    let e = client
+        .query("SELECT a FROM missing ORDER BY a")
+        .expect_err("unknown table");
+    assert_eq!(e.code(), codes::UNKNOWN_TABLE, "{e}");
+    let e = client.prepare("SELECT ? FROM").expect_err("parse error");
+    assert_eq!(e.code(), codes::SQL, "{e}");
+
+    let out = client.query("SELECT a, b FROM t ORDER BY a, b").unwrap();
+    assert_eq!(out.rows.len(), 5);
+    server.shutdown();
+}
+
+#[test]
+fn done_frame_reports_plan_cache_interaction() {
+    let session = tpch_session(8);
+    let server = start(session, ServerConfig::default());
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    let first = client.query(MIX[3]).unwrap();
+    assert_eq!(first.cache_hit, Some(false), "cold cache: miss");
+    let second = client.query(MIX[3]).unwrap();
+    assert_eq!(second.cache_hit, Some(true), "warm cache: hit");
+
+    // With the cache disabled the flag says so.
+    let nocache = tiny_session();
+    let server2 = start(nocache, ServerConfig::default());
+    let mut client2 = WireClient::connect(server2.local_addr()).unwrap();
+    let out = client2.query("SELECT a FROM t ORDER BY a").unwrap();
+    assert_eq!(out.cache_hit, None);
+    server2.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn many_concurrent_clients_all_get_correct_results() {
+    let session = tpch_session(64);
+    let server = start(
+        Arc::clone(&session),
+        ServerConfig {
+            conn_threads: 4,
+            admission: AdmissionConfig {
+                max_concurrent: 2,
+                max_queue: 64,
+                queue_timeout: Duration::from_secs(10),
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let expected: Vec<Vec<u8>> = MIX
+        .iter()
+        .map(|sql| proto::enc_rows(session.sql(sql).unwrap().rows()))
+        .collect();
+
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr).unwrap();
+                for round in 0..3 {
+                    let q = (i + round) % MIX.len();
+                    let out = client.query(MIX[q]).unwrap();
+                    assert_eq!(proto::enc_rows(&out.rows), expected[q], "query {q}");
+                }
+                client.bye().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = server.admission_stats();
+    assert_eq!(stats.admitted, 24, "every query admitted (deep queue)");
+    assert!(stats.peak_running <= 2, "admission limit respected");
+    server.shutdown();
+}
+
+#[test]
+fn registry_bound_is_enforced_per_connection() {
+    let session = tiny_session();
+    let server = start(
+        session,
+        ServerConfig {
+            max_prepared_statements: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let a = client.prepare("SELECT a FROM t WHERE a = ?").unwrap();
+    let _b = client.prepare("SELECT b FROM t WHERE a = ?").unwrap();
+    let e = client
+        .prepare("SELECT a, b FROM t WHERE a = ?")
+        .expect_err("registry full");
+    assert_eq!(e.code(), codes::WIRE, "{e}");
+    client.close(a).unwrap();
+    assert!(
+        client.prepare("SELECT a, b FROM t WHERE a = ?").is_ok(),
+        "closing frees capacity"
+    );
+
+    // A second connection gets its own registry.
+    let mut other = WireClient::connect(server.local_addr()).unwrap();
+    assert!(other.prepare("SELECT a FROM t WHERE a = ?").is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_joins_cleanly() {
+    let session = tiny_session();
+    let server = start(Arc::clone(&session), ServerConfig::default());
+    let addr = server.local_addr();
+    {
+        let mut client = WireClient::connect(addr).unwrap();
+        assert!(client.query("SELECT a FROM t ORDER BY a").is_ok());
+    }
+    server.shutdown();
+    // The port is released: a fresh server can bind a fresh port and serve.
+    let server2 = start(session, ServerConfig::default());
+    let mut client = WireClient::connect(server2.local_addr()).unwrap();
+    assert!(client.query("SELECT a FROM t ORDER BY a").is_ok());
+    drop(server2); // Drop also shuts down
+}

@@ -28,7 +28,7 @@ mod result;
 mod session;
 
 pub use result::{PlanCacheInfo, QueryResult};
-pub use session::{Prepared, Session, SessionBuilder};
+pub use session::{Prepared, QueryStream, Session, SessionBuilder, SharedPrepared};
 
 pub use pyro_catalog as catalog;
 pub use pyro_common as common;

@@ -24,9 +24,10 @@ use pyro_common::{DataType, PyroError, Result, Schema, Tuple, Value};
 use pyro_core::cache::{CachedStatement, PlanCache, PlanCacheStats, PlanKey};
 use pyro_core::cost::CostParams;
 use pyro_core::{OptimizedPlan, Optimizer, Strategy};
-use pyro_exec::DEFAULT_BATCH_SIZE;
+use pyro_exec::{BoxOp, MetricsRef, DEFAULT_BATCH_SIZE};
 use pyro_ordering::SortOrder;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configures and builds a [`Session`].
@@ -436,7 +437,7 @@ impl Session {
     /// for plan surgery and repeated execution; everyday callers want
     /// [`Session::sql`]. Served from the plan cache when one is configured.
     pub fn plan(&self, sql: &str) -> Result<OptimizedPlan> {
-        Ok(self.statement(sql)?.0.plan)
+        Ok(self.statement(sql)?.0.plan.clone())
     }
 
     /// Optimizes a SQL statement once — `?` placeholders stay symbolic —
@@ -468,11 +469,73 @@ impl Session {
         })
     }
 
+    /// [`Session::prepare`] for sessions shared behind an [`Arc`] — the
+    /// returned [`SharedPrepared`] co-owns the session, so it has no
+    /// borrow lifetime and can live in long-lived registries (e.g. a wire
+    /// server's per-connection prepared-statement table) or move across
+    /// threads.
+    ///
+    /// ```
+    /// use pyro::{Session, SortOrder, common::{Schema, Value}};
+    /// use std::sync::Arc;
+    ///
+    /// let mut session = Session::new();
+    /// session
+    ///     .register_csv("t", Schema::ints(&["a", "b"]), SortOrder::new(["a"]), "1,10\n2,20\n")
+    ///     .unwrap();
+    /// let session = Arc::new(session);
+    /// let stmt = session.prepare_shared("SELECT a, b FROM t WHERE a = ?").unwrap();
+    /// drop(session); // the statement keeps the session alive
+    /// assert_eq!(stmt.execute(&[Value::Int(2)]).unwrap().len(), 1);
+    /// ```
+    pub fn prepare_shared(self: &Arc<Self>, sql: &str) -> Result<SharedPrepared> {
+        let (stmt, cache) = self.statement(sql)?;
+        Ok(SharedPrepared {
+            session: Arc::clone(self),
+            stmt,
+            cache_hit: cache.map(|c| c.hit),
+        })
+    }
+
+    /// Runs a SQL query and returns a [`QueryStream`] that yields result
+    /// rows **incrementally**, batch by batch, instead of materializing
+    /// them all — the serving hook: a network front end can forward each
+    /// batch as it is produced, enforce row/byte budgets mid-query, and
+    /// cancel by dropping the stream. Queries with `?` placeholders are a
+    /// typed error here, exactly as in [`Session::sql`].
+    ///
+    /// ```
+    /// use pyro::{Session, SortOrder, common::Schema};
+    ///
+    /// let mut session = Session::new();
+    /// session
+    ///     .register_csv("t", Schema::ints(&["a"]), SortOrder::new(["a"]), "1\n2\n3\n")
+    ///     .unwrap();
+    /// let mut stream = session.sql_stream("SELECT a FROM t ORDER BY a").unwrap();
+    /// let mut n = 0;
+    /// while let Some(batch) = stream.next_batch().unwrap() {
+    ///     n += batch.len();
+    /// }
+    /// assert_eq!(n, 3);
+    /// ```
+    pub fn sql_stream(&self, sql: &str) -> Result<QueryStream> {
+        let (stmt, cache) = self.statement(sql)?;
+        if !stmt.param_types.is_empty() {
+            return Err(PyroError::ParamBinding(format!(
+                "query has {} unbound ?-placeholder(s); use Session::prepare \
+                 and Prepared::execute to bind values",
+                stmt.param_types.len()
+            )));
+        }
+        self.stream_statement(&stmt.plan, &[], cache)
+    }
+
     /// Resolves a statement to its optimized plan + placeholder facts,
-    /// through the plan cache when one is configured.
-    fn statement(&self, sql: &str) -> Result<(CachedStatement, Option<PlanCacheInfo>)> {
+    /// through the plan cache when one is configured. Statements are
+    /// shared (`Arc`), not cloned: a cache hit costs one reference bump.
+    fn statement(&self, sql: &str) -> Result<(Arc<CachedStatement>, Option<PlanCacheInfo>)> {
         let Some(cache) = &self.plan_cache else {
-            return Ok((self.optimize_statement(sql)?, None));
+            return Ok((Arc::new(self.optimize_statement(sql)?), None));
         };
         let key = PlanKey {
             sql: pyro_sql::normalize(sql)?,
@@ -486,8 +549,8 @@ impl Session {
             };
             return Ok((stmt, Some(info)));
         }
-        let stmt = self.optimize_statement(sql)?;
-        cache.insert(key, stmt.clone());
+        let stmt = Arc::new(self.optimize_statement(sql)?);
+        cache.insert(key, Arc::clone(&stmt));
         let info = PlanCacheInfo {
             hit: false,
             stats: cache.stats(),
@@ -540,6 +603,28 @@ impl Session {
         })
     }
 
+    /// Compiles a plan with `params` bound into an incremental
+    /// [`QueryStream`] instead of draining it (the [`Session::sql_stream`]
+    /// / [`SharedPrepared::execute_stream`] backend).
+    fn stream_statement(
+        &self,
+        plan: &OptimizedPlan,
+        params: &[Value],
+        cache: Option<PlanCacheInfo>,
+    ) -> Result<QueryStream> {
+        let pipeline = plan.compile_bound(&self.catalog, self.batch_size, self.workers, params)?;
+        let schema = pipeline.schema().clone();
+        let (op, metrics) = pipeline.into_parts();
+        Ok(QueryStream {
+            op,
+            schema,
+            metrics,
+            plan: plan.clone(),
+            plan_cache: cache,
+            finished: false,
+        })
+    }
+
     /// Hashes every knob that can change what plan the optimizer produces
     /// (or how it is compiled): strategy, hash-operator toggle, cost-param
     /// overrides, sort memory budget, batch size, worker count and
@@ -578,10 +663,39 @@ impl Session {
 #[derive(Debug)]
 pub struct Prepared<'s> {
     session: &'s Session,
-    stmt: CachedStatement,
+    stmt: Arc<CachedStatement>,
     /// Whether preparing this statement hit the session's plan cache
     /// (`None` when the cache is off).
     cache_hit: Option<bool>,
+}
+
+/// Validates positional bindings against a statement's expected placeholder
+/// types — shared by [`Prepared::execute`] and [`SharedPrepared::execute`].
+/// Numeric types are one family (the engine compares mixed numerics
+/// numerically, so `WHERE x = 2` matches a `Double` column exactly like
+/// `WHERE x = 2.0`); a string where a number is expected (or vice versa) is
+/// a typed error; NULL binds anywhere.
+fn validate_bindings(param_types: &[Option<DataType>], params: &[Value]) -> Result<()> {
+    if params.len() != param_types.len() {
+        return Err(PyroError::ParamBinding(format!(
+            "statement takes {} parameter(s), {} bound",
+            param_types.len(),
+            params.len()
+        )));
+    }
+    let numeric = |ty: DataType| matches!(ty, DataType::Int | DataType::Double);
+    for (i, (value, expected)) in params.iter().zip(param_types).enumerate() {
+        if let (Some(actual), Some(expected)) = (value.data_type(), expected) {
+            let compatible = actual == *expected || (numeric(actual) && numeric(*expected));
+            if !compatible {
+                return Err(PyroError::ParamBinding(format!(
+                    "placeholder ?{} expects {expected}, got {actual} ({value})",
+                    i + 1
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 impl Prepared<'_> {
@@ -623,30 +737,146 @@ impl Prepared<'_> {
     /// error. NULL binds anywhere — comparisons with it are not-true,
     /// exactly as a literal NULL would behave.
     pub fn execute(&self, params: &[Value]) -> Result<QueryResult> {
-        if params.len() != self.stmt.param_types.len() {
-            return Err(PyroError::ParamBinding(format!(
-                "statement takes {} parameter(s), {} bound",
-                self.stmt.param_types.len(),
-                params.len()
-            )));
-        }
-        let numeric = |ty: DataType| matches!(ty, DataType::Int | DataType::Double);
-        for (i, (value, expected)) in params.iter().zip(&self.stmt.param_types).enumerate() {
-            if let (Some(actual), Some(expected)) = (value.data_type(), expected) {
-                let compatible = actual == *expected || (numeric(actual) && numeric(*expected));
-                if !compatible {
-                    return Err(PyroError::ParamBinding(format!(
-                        "placeholder ?{} expects {expected}, got {actual} ({value})",
-                        i + 1
-                    )));
-                }
-            }
-        }
+        validate_bindings(&self.stmt.param_types, params)?;
         let cache = self.cache_hit.map(|hit| PlanCacheInfo {
             hit,
             stats: self.session.plan_cache_stats().unwrap_or_default(),
         });
         self.session.run_statement(&self.stmt.plan, params, cache)
+    }
+}
+
+/// A prepared statement that **co-owns** its session (`Arc<Session>`) —
+/// the registry-friendly sibling of [`Prepared`], created by
+/// [`Session::prepare_shared`]. Identical execution semantics; no borrow
+/// lifetime, `Send + Sync`, so one can be stored per connection in a wire
+/// server or shared across worker threads.
+#[derive(Debug, Clone)]
+pub struct SharedPrepared {
+    session: Arc<Session>,
+    stmt: Arc<CachedStatement>,
+    /// Whether preparing this statement hit the session's plan cache
+    /// (`None` when the cache is off).
+    cache_hit: Option<bool>,
+}
+
+impl SharedPrepared {
+    /// Number of `?` placeholders to bind.
+    pub fn param_count(&self) -> usize {
+        self.stmt.param_types.len()
+    }
+
+    /// Expected type per placeholder, where the statement pins one.
+    pub fn param_types(&self) -> &[Option<DataType>] {
+        &self.stmt.param_types
+    }
+
+    /// The statement's optimized plan (placeholders still symbolic).
+    pub fn plan(&self) -> &OptimizedPlan {
+        &self.stmt.plan
+    }
+
+    /// The costed plan text, as [`Session::explain`] renders it.
+    pub fn explain(&self) -> String {
+        crate::result::render_plan(&self.stmt.plan)
+    }
+
+    /// Whether preparing this statement was a plan-cache hit (`None` when
+    /// the session runs without a plan cache).
+    pub fn cache_hit(&self) -> Option<bool> {
+        self.cache_hit
+    }
+
+    /// Executes with `params` bound positionally, materializing the whole
+    /// result; validation matches [`Prepared::execute`] exactly.
+    pub fn execute(&self, params: &[Value]) -> Result<QueryResult> {
+        validate_bindings(&self.stmt.param_types, params)?;
+        let cache = self.cache_hit.map(|hit| PlanCacheInfo {
+            hit,
+            stats: self.session.plan_cache_stats().unwrap_or_default(),
+        });
+        self.session.run_statement(&self.stmt.plan, params, cache)
+    }
+
+    /// Executes with `params` bound, yielding rows incrementally as a
+    /// [`QueryStream`] — the serving path: forward batches as produced,
+    /// enforce budgets mid-query, cancel by dropping the stream.
+    pub fn execute_stream(&self, params: &[Value]) -> Result<QueryStream> {
+        validate_bindings(&self.stmt.param_types, params)?;
+        let cache = self.cache_hit.map(|hit| PlanCacheInfo {
+            hit,
+            stats: self.session.plan_cache_stats().unwrap_or_default(),
+        });
+        self.session
+            .stream_statement(&self.stmt.plan, params, cache)
+    }
+}
+
+/// An executing query whose rows are pulled **incrementally** — created by
+/// [`Session::sql_stream`] or [`SharedPrepared::execute_stream`]. Each
+/// [`QueryStream::next_batch`] call advances the compiled operator tree by
+/// at most one batch (the session's `batch_size`), so a consumer can
+/// forward results as they are produced, stop early when a budget is
+/// exhausted, or cancel outright by dropping the stream — pipeline
+/// resources (sort spills, exchange workers) are released on drop.
+pub struct QueryStream {
+    op: BoxOp,
+    schema: Schema,
+    metrics: MetricsRef,
+    plan: OptimizedPlan,
+    plan_cache: Option<PlanCacheInfo>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for QueryStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryStream")
+            .field("schema", &self.schema)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryStream {
+    /// Output schema (qualified column names).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The optimized plan being executed.
+    pub fn plan(&self) -> &OptimizedPlan {
+        &self.plan
+    }
+
+    /// Plan-cache interaction for this query — `Some` iff the session runs
+    /// with a plan cache.
+    pub fn plan_cache(&self) -> Option<&PlanCacheInfo> {
+        self.plan_cache.as_ref()
+    }
+
+    /// Execution counters accumulated so far; the handle keeps counting
+    /// while batches are pulled.
+    pub fn metrics(&self) -> &MetricsRef {
+        &self.metrics
+    }
+
+    /// Pulls the next batch of rows, or `None` once the query is done.
+    /// After `None` (or an error) the stream stays exhausted.
+    pub fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        if self.finished {
+            return Ok(None);
+        }
+        match self.op.next_batch() {
+            Ok(Some(batch)) => Ok(Some(batch)),
+            Ok(None) => {
+                self.finished = true;
+                Ok(None)
+            }
+            Err(e) => {
+                self.finished = true;
+                Err(e)
+            }
+        }
     }
 }
 
