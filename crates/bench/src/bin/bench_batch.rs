@@ -232,6 +232,64 @@ fn run_pool_bench(n: usize, seed: u64, pool_pages: usize) -> String {
     )
 }
 
+/// Cold open then warm rerun of the quickstart workload on the durable
+/// [`pyro::storage::FileDevice`]: register + checkpoint + drop, then
+/// reopen the data directory so the cold run pays real file reads and the
+/// warm rerun is served by the pool.
+fn run_durable_bench(n: usize, seed: u64, pool_pages: usize) -> String {
+    banner(&format!(
+        "durable file-backed rerun  ({n} input rows, {pool_pages}-page pool)"
+    ));
+    let dir = std::env::temp_dir().join(format!("pyro_bench_durable_{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale bench dir");
+    }
+    let sql = {
+        let (session, sql) = workloads::partial_sort_durable(n, seed, pool_pages, &dir);
+        session.checkpoint().expect("checkpoint");
+        sql
+    };
+    let session = pyro::SessionBuilder::new()
+        .data_dir(&dir)
+        .buffer_pool_pages(pool_pages)
+        .seed(seed)
+        .open()
+        .expect("reopen durable bench session");
+    let cold = run_pooled_once(&session, sql);
+    let warm = run_pooled_once(&session, sql);
+    println!(
+        "cold : {:>10.1} ms  {:>8} device reads  ({} misses, {} hits)",
+        cold.elapsed_ms, cold.device_reads, cold.cache_misses, cold.cache_hits
+    );
+    println!(
+        "warm : {:>10.1} ms  {:>8} device reads  ({} misses, {} hits, hit rate {:.2})",
+        warm.elapsed_ms,
+        warm.device_reads,
+        warm.cache_misses,
+        warm.cache_hits,
+        warm.hit_rate()
+    );
+    assert!(
+        cold.device_reads > 0,
+        "the cold durable run must read the data file"
+    );
+    assert!(
+        warm.cache_hits > 0 && warm.device_reads < cold.device_reads,
+        "warm durable rerun must be served by the pool: {} hits, {} vs {} reads",
+        warm.cache_hits,
+        warm.device_reads,
+        cold.device_reads
+    );
+    std::fs::remove_dir_all(&dir).expect("clean bench dir");
+    format!(
+        "  \"durable_file\": {{\n    \"pool_pages\": {},\n    \"cold\": {},\n    \"warm\": {},\n    \"warm_hit_rate\": {:.3}\n  }},",
+        pool_pages,
+        cold.json(),
+        warm.json(),
+        warm.hit_rate()
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -281,12 +339,16 @@ fn main() {
     let pool_pages = (n / 100).max(256);
     let pool_json = run_pool_bench(n, seed, pool_pages);
 
+    // The same workload off the durable FileDevice: cold reopen vs warm.
+    let durable_json = run_durable_bench(n, seed, pool_pages);
+
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_batch\",\n  \"mode\": \"{}\",\n  \"batch_size\": {},\n  \"reps\": {},\n{}\n  \"benches\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"BENCH_batch\",\n  \"mode\": \"{}\",\n  \"batch_size\": {},\n  \"reps\": {},\n{}\n{}\n  \"benches\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         BATCH_SIZE,
         REPS,
         pool_json,
+        durable_json,
         results
             .iter()
             .map(BenchResult::json)

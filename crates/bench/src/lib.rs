@@ -233,11 +233,37 @@ pub mod workloads {
         seed: u64,
         pool_pages: usize,
     ) -> (Session, &'static str) {
-        let per_segment = 1000.min(n.max(2) / 2) as i64;
         let mut session = Session::builder()
             .seed(seed)
             .buffer_pool_pages(pool_pages)
             .build();
+        register_events(&mut session, n);
+        (session, "SELECT k, v FROM events ORDER BY k, v")
+    }
+
+    /// [`partial_sort_with_pool`] over a **durable** session rooted at
+    /// `data_dir` — the file-backed cold/warm workload of `bench_batch`.
+    /// The generated rows are bit-identical to the in-memory variant's.
+    pub fn partial_sort_durable(
+        n: usize,
+        seed: u64,
+        pool_pages: usize,
+        data_dir: &std::path::Path,
+    ) -> (Session, &'static str) {
+        let mut session = Session::builder()
+            .seed(seed)
+            .buffer_pool_pages(pool_pages)
+            .data_dir(data_dir)
+            .open()
+            .expect("open durable bench session");
+        register_events(&mut session, n);
+        (session, "SELECT k, v FROM events ORDER BY k, v")
+    }
+
+    /// The quickstart `events` table: `n` rows in 1000-row clustering
+    /// segments, seeded by the session's RNG seed.
+    fn register_events(session: &mut Session, n: usize) {
+        let per_segment = 1000.min(n.max(2) / 2) as i64;
         let mut r = rng_with(session.seed());
         let rows: Vec<Tuple> = (0..n as i64)
             .map(|i| {
@@ -255,7 +281,6 @@ pub mod workloads {
                 &rows,
             )
             .expect("register events");
-        (session, "SELECT k, v FROM events ORDER BY k, v")
     }
 }
 

@@ -1,10 +1,11 @@
 //! The catalog: metadata plus owned storage handles.
 
+use crate::persist;
 use crate::stats::TableStats;
 use crate::table::{IndexMeta, TableMeta};
 use pyro_common::{PyroError, Result, Schema, Tuple};
 use pyro_ordering::SortOrder;
-use pyro_storage::{write_file, DeviceRef, PageStore, SimDevice, StoreRef, TupleFile};
+use pyro_storage::{write_file, DeviceRef, PageId, PageStore, SimDevice, StoreRef, TupleFile};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -34,6 +35,10 @@ pub struct Catalog {
     /// creation). Plan caches key on it, so a cached plan can never
     /// outlive the catalog state it was optimized against.
     generation: u64,
+    /// Content pages of the currently-committed catalog blob (durable
+    /// stores only; empty otherwise). Replaced — and the old ones freed —
+    /// after every committed mutation.
+    catalog_pages: Vec<PageId>,
 }
 
 impl Catalog {
@@ -64,7 +69,65 @@ impl Catalog {
             tables: BTreeMap::new(),
             sort_memory_blocks: 100,
             generation: 0,
+            catalog_pages: Vec::new(),
         }
+    }
+
+    /// Opens a catalog over a durable store whose device may already hold
+    /// data: an existing catalog root (page
+    /// [`persist::CATALOG_ROOT_PAGE`]) is decoded and every table handle
+    /// rebuilt over its persisted pages; a fresh device gets an empty
+    /// root reserved and written. WAL replay must have run *before* this
+    /// (the session open path does), so the root and content pages read
+    /// here are the last committed state. Finishes by reclaiming every
+    /// device page the rebuilt catalog does not reference — pages
+    /// orphaned by an uncommitted mutation return to the free list.
+    pub fn open_durable(store: StoreRef) -> Result<Self> {
+        if store.live_pages() == 0 {
+            // Fresh (or created-then-crashed-before-first-root) device:
+            // reserve the root page and commit an empty catalog.
+            let root = store.alloc_page();
+            if root != persist::CATALOG_ROOT_PAGE {
+                return Err(PyroError::Recovery(format!(
+                    "fresh device allocated page {root} for the catalog root, \
+                     expected {}",
+                    persist::CATALOG_ROOT_PAGE
+                )));
+            }
+            let image = persist::encode_root(0, &[]);
+            store.write_page(root, &image)?;
+            store.checkpoint()?;
+            return Ok(Catalog::on_store(store));
+        }
+        let root_image = store.read_page(persist::CATALOG_ROOT_PAGE)?;
+        let (blob_len, content_pages) = persist::decode_root(&root_image)?;
+        if blob_len == 0 && content_pages.is_empty() {
+            // The empty root a fresh open commits: no tables yet.
+            store.device().reclaim_except(&[persist::CATALOG_ROOT_PAGE]);
+            return Ok(Catalog::on_store(store));
+        }
+        let mut blob = Vec::with_capacity(blob_len as usize);
+        for page in &content_pages {
+            blob.extend_from_slice(&store.read_page(*page)?);
+        }
+        if (blob.len() as u64) < blob_len {
+            return Err(PyroError::Recovery(format!(
+                "catalog blob short: root claims {blob_len} bytes, content \
+                 pages hold {}",
+                blob.len()
+            )));
+        }
+        blob.truncate(blob_len as usize);
+        let (tables, generation) = persist::decode_catalog(&blob, &store)?;
+        let live = persist::live_pages(&tables, &content_pages);
+        store.device().reclaim_except(&live);
+        Ok(Catalog {
+            store,
+            tables,
+            sort_memory_blocks: 100,
+            generation,
+            catalog_pages: content_pages,
+        })
     }
 
     /// The schema-mutation counter: incremented by [`Catalog::register_table`]
@@ -97,6 +160,10 @@ impl Catalog {
 
     /// Registers a table. `rows` must already be sorted by `clustering`
     /// (generators produce them that way); debug builds verify.
+    ///
+    /// On a durable store the whole mutation — heap pages, serialized
+    /// catalog, root — is WAL-logged and committed atomically: a crash at
+    /// any point either replays the complete table or none of it.
     pub fn register_table(
         &mut self,
         name: &str,
@@ -122,6 +189,24 @@ impl Catalog {
             );
         }
         let stats = TableStats::compute(&schema.names(), rows);
+        let mark = self.store.begin_mutation();
+        match self.try_register(name, schema, clustering, stats, rows) {
+            Ok(handle) => Ok(handle),
+            Err(e) => {
+                let _ = self.store.abort_mutation(mark);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_register(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        clustering: SortOrder,
+        stats: TableStats,
+        rows: &[Tuple],
+    ) -> Result<Arc<TableHandle>> {
         let heap = write_file(&self.store, rows)?;
         // Bulk loads write through, never warm: flush the load's dirty
         // pages and drop them, so a later "cold run" measurement is
@@ -141,11 +226,23 @@ impl Catalog {
         });
         self.tables.insert(name.to_string(), handle.clone());
         self.generation += 1;
+        if let Err(e) = self.commit_persisted() {
+            // Roll the in-memory state back so catalog and disk agree;
+            // the caller rewinds the WAL.
+            self.tables.remove(name);
+            self.generation -= 1;
+            for p in handle.heap.pages().to_vec() {
+                self.store.free_page(p);
+            }
+            return Err(e);
+        }
         Ok(handle)
     }
 
     /// Builds a secondary index with included columns over an existing
-    /// table, materializing its sorted entry file.
+    /// table, materializing its sorted entry file. Durable stores commit
+    /// the mutation (entry pages + catalog + root) atomically, like
+    /// [`Catalog::register_table`].
     pub fn create_index(
         &mut self,
         table: &str,
@@ -188,14 +285,34 @@ impl Catalog {
         let key_positions: Vec<usize> = (0..key.len()).collect();
         let spec = pyro_common::KeySpec::new(key_positions);
         entries.sort_by(|a, b| spec.compare(a, b));
-        let file = write_file(&self.store, &entries)?;
+
+        let mark = self.store.begin_mutation();
+        match self.try_create_index(table, handle, idx, &entries) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = self.store.abort_mutation(mark);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_create_index(
+        &mut self,
+        table: &str,
+        handle: Arc<TableHandle>,
+        idx: IndexMeta,
+        entries: &[Tuple],
+    ) -> Result<()> {
+        let index_name = idx.name.clone();
+        let file = write_file(&self.store, entries)?;
         self.store.clear_cache()?;
 
         // Re-insert an updated handle (Arc is immutable; rebuild).
         let mut meta = handle.meta.clone();
         meta.indexes.push(idx);
         let mut index_files = handle.index_files.clone();
-        index_files.insert(index_name.to_string(), file);
+        let entry_pages = file.pages().to_vec();
+        index_files.insert(index_name.clone(), file);
         let new_handle = Arc::new(TableHandle {
             meta,
             heap: handle.heap.clone(),
@@ -203,7 +320,77 @@ impl Catalog {
         });
         self.tables.insert(table.to_string(), new_handle);
         self.generation += 1;
+        if let Err(e) = self.commit_persisted() {
+            self.tables.insert(table.to_string(), handle);
+            self.generation -= 1;
+            for p in entry_pages {
+                self.store.free_page(p);
+            }
+            return Err(e);
+        }
         Ok(())
+    }
+
+    /// Serializes the catalog, writes the content pages (WAL-logged —
+    /// the window is open), and commits via the root page. Frees the
+    /// previous committed state's content pages only *after* the commit
+    /// is durable: freeing earlier could let this very mutation recycle
+    /// and overwrite a page the still-current root references. No-op on
+    /// non-durable stores — the in-memory engine stays byte- and
+    /// counter-identical.
+    fn commit_persisted(&mut self) -> Result<()> {
+        if !self.store.is_durable() {
+            return Ok(());
+        }
+        let blob = persist::encode_catalog(&self.tables, self.generation);
+        let block = self.store.block_size();
+        let mut pages = Vec::new();
+        let mut err = None;
+        for chunk in blob.chunks(block) {
+            let id = self.store.alloc_page();
+            pages.push(id);
+            if let Err(e) = self.store.write_page(id, chunk) {
+                err = Some(e);
+                break;
+            }
+        }
+        if err.is_none() {
+            let root = persist::encode_root(blob.len() as u64, &pages);
+            if let Err(e) = self
+                .store
+                .commit_mutation(persist::CATALOG_ROOT_PAGE, &root)
+            {
+                err = Some(e);
+            }
+        }
+        if let Some(e) = err {
+            for p in pages {
+                self.store.free_page(p);
+            }
+            return Err(e);
+        }
+        let old = std::mem::replace(&mut self.catalog_pages, pages);
+        for p in old {
+            self.store.free_page(p);
+        }
+        Ok(())
+    }
+
+    /// Flushes the buffer pool, fsyncs the data file and truncates the
+    /// WAL (see [`pyro_storage::PageStore::checkpoint`]). The graceful-
+    /// shutdown path calls this so a clean exit leaves nothing to replay.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.store.checkpoint()
+    }
+
+    /// Whether this catalog commits through a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_durable()
+    }
+
+    /// All registered tables, keyed by name (persistence reads this).
+    pub fn tables(&self) -> &BTreeMap<String, Arc<TableHandle>> {
+        &self.tables
     }
 
     /// Looks up a table.
@@ -353,6 +540,50 @@ mod tests {
         assert!(cat
             .create_index("nope", "i", SortOrder::new(["k"]), &[])
             .is_err());
+    }
+
+    #[test]
+    fn durable_catalog_survives_reopen() {
+        use pyro_storage::{FileDevice, Wal};
+        let dir = std::env::temp_dir().join(format!("pyro-cat-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.pyro");
+        let wal_path = dir.join("wal.pyro");
+        let open_store = |pool: usize| -> StoreRef {
+            let dev = if data.exists() {
+                FileDevice::open(&data).unwrap()
+            } else {
+                FileDevice::create_with_block_size(&data, 256).unwrap()
+            };
+            let wal = Arc::new(Wal::open_or_create(&wal_path).unwrap());
+            wal.recover(&dev).unwrap();
+            PageStore::durable(dev.as_device(), wal, pool, u64::MAX)
+        };
+        {
+            let mut cat = Catalog::open_durable(open_store(8)).unwrap();
+            cat.register_table("t", schema(), SortOrder::new(["k"]), &rows())
+                .unwrap();
+            cat.create_index("t", "t_v", SortOrder::new(["v"]), &["k"])
+                .unwrap();
+            // Dropped without a checkpoint: the root may still be dirty in
+            // the pool, so the reopen below only works if WAL replay does.
+        }
+        let cat = Catalog::open_durable(open_store(8)).unwrap();
+        assert_eq!(cat.generation(), 2, "generation survives reopen");
+        let h = cat.table("t").unwrap();
+        assert_eq!(h.meta.stats.row_count, 10);
+        let got: Vec<Tuple> = h.heap.scan().map(|r| r.unwrap()).collect();
+        assert_eq!(got, rows(), "heap rows bit-identical after reopen");
+        let idx: Vec<Tuple> = h
+            .index_files
+            .get("t_v")
+            .expect("index survives reopen")
+            .scan()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(idx.len(), 10);
+        assert!(idx.windows(2).all(|w| w[0].get(0) <= w[1].get(0)));
     }
 
     #[test]

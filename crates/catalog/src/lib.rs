@@ -11,9 +11,11 @@
 //! exploits.
 
 pub mod catalog;
+pub mod persist;
 pub mod stats;
 pub mod table;
 
 pub use catalog::{Catalog, TableHandle};
+pub use persist::CATALOG_ROOT_PAGE;
 pub use stats::{ColumnStats, TableStats};
 pub use table::{IndexMeta, TableMeta};

@@ -74,6 +74,28 @@ pub enum PyroError {
     /// response bytes) and was cancelled mid-stream. Rows already delivered
     /// are valid but the result is truncated.
     BudgetExceeded(String),
+    /// A page read from durable storage failed its CRC32 check: the bytes
+    /// on disk are not the bytes that were written (torn write, bit rot,
+    /// out-of-band modification). Surfaced instead of decoding garbage.
+    ChecksumMismatch {
+        /// The page whose checksum failed.
+        page: u64,
+        /// The checksum stored in the page header.
+        stored: u32,
+        /// The checksum computed over the bytes actually read.
+        computed: u32,
+    },
+    /// An operating-system I/O failure from the durable storage layer
+    /// (open, read, write, fsync, ...) — the file-backed sibling of
+    /// [`PyroError::Storage`], distinct so callers can tell "the engine
+    /// rejected this" from "the disk did".
+    Io(String),
+    /// Crash recovery could not restore a consistent state from a data
+    /// directory: bad superblock magic, undecodable catalog root, a catalog
+    /// page chain pointing outside the file. Distinct from
+    /// [`PyroError::ChecksumMismatch`] (a single unreadable page) — this is
+    /// "the directory as a whole does not describe a database".
+    Recovery(String),
 }
 
 /// Stable numeric codes, one per [`PyroError`] variant.
@@ -109,6 +131,12 @@ pub mod codes {
     pub const SERVER_OVERLOADED: u16 = 13;
     /// [`super::PyroError::BudgetExceeded`]
     pub const BUDGET_EXCEEDED: u16 = 14;
+    /// [`super::PyroError::ChecksumMismatch`]
+    pub const CHECKSUM_MISMATCH: u16 = 15;
+    /// [`super::PyroError::Io`]
+    pub const IO: u16 = 16;
+    /// [`super::PyroError::Recovery`]
+    pub const RECOVERY: u16 = 17;
 }
 
 impl PyroError {
@@ -129,6 +157,9 @@ impl PyroError {
             PyroError::Wire(_) => codes::WIRE,
             PyroError::ServerOverloaded(_) => codes::SERVER_OVERLOADED,
             PyroError::BudgetExceeded(_) => codes::BUDGET_EXCEEDED,
+            PyroError::ChecksumMismatch { .. } => codes::CHECKSUM_MISMATCH,
+            PyroError::Io(_) => codes::IO,
+            PyroError::Recovery(_) => codes::RECOVERY,
         }
     }
 
@@ -149,11 +180,18 @@ impl PyroError {
             | PyroError::ParamBinding(s)
             | PyroError::Wire(s)
             | PyroError::ServerOverloaded(s)
-            | PyroError::BudgetExceeded(s) => s.clone(),
+            | PyroError::BudgetExceeded(s)
+            | PyroError::Io(s)
+            | PyroError::Recovery(s) => s.clone(),
             PyroError::PoolExhausted { capacity } => capacity.to_string(),
             PyroError::DuplicateIndex { table, index } => {
                 format!("{table}{FIELD_SEP}{index}")
             }
+            PyroError::ChecksumMismatch {
+                page,
+                stored,
+                computed,
+            } => format!("{page}{FIELD_SEP}{stored}{FIELD_SEP}{computed}"),
         }
     }
 
@@ -186,6 +224,17 @@ impl PyroError {
             codes::WIRE => PyroError::Wire(detail.into()),
             codes::SERVER_OVERLOADED => PyroError::ServerOverloaded(detail.into()),
             codes::BUDGET_EXCEEDED => PyroError::BudgetExceeded(detail.into()),
+            codes::CHECKSUM_MISMATCH => {
+                let mut parts = detail.split(FIELD_SEP);
+                let mut num = || parts.next().and_then(|p| p.parse().ok()).unwrap_or(0);
+                PyroError::ChecksumMismatch {
+                    page: num(),
+                    stored: num() as u32,
+                    computed: num() as u32,
+                }
+            }
+            codes::IO => PyroError::Io(detail.into()),
+            codes::RECOVERY => PyroError::Recovery(detail.into()),
             unknown => PyroError::Wire(format!("unknown error code {unknown}: {detail}")),
         }
     }
@@ -212,6 +261,17 @@ impl fmt::Display for PyroError {
             PyroError::Wire(m) => write!(f, "wire protocol error: {m}"),
             PyroError::ServerOverloaded(m) => write!(f, "server overloaded: {m}"),
             PyroError::BudgetExceeded(m) => write!(f, "query budget exceeded: {m}"),
+            PyroError::ChecksumMismatch {
+                page,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch on page {page}: stored {stored:#010x}, \
+                 computed {computed:#010x}"
+            ),
+            PyroError::Io(m) => write!(f, "I/O error: {m}"),
+            PyroError::Recovery(m) => write!(f, "recovery error: {m}"),
         }
     }
 }
@@ -243,6 +303,13 @@ mod tests {
             PyroError::Wire("unknown opcode 0x7f".into()),
             PyroError::ServerOverloaded("2 running, 4 queued".into()),
             PyroError::BudgetExceeded("row budget 100 exceeded".into()),
+            PyroError::ChecksumMismatch {
+                page: 42,
+                stored: 0xDEADBEEF,
+                computed: 0x01020304,
+            },
+            PyroError::Io("pwrite data.pyro: No space left on device".into()),
+            PyroError::Recovery("catalog root has bad magic".into()),
         ]
     }
 
@@ -267,12 +334,15 @@ mod tests {
     fn codes_are_stable() {
         // The wire contract: these exact numbers, forever. A failure here
         // means a renumbering that would break deployed clients.
-        let expected: Vec<u16> = (1..=14).collect();
+        let expected: Vec<u16> = (1..=17).collect();
         let actual: Vec<u16> = exemplars().iter().map(PyroError::code).collect();
         assert_eq!(actual, expected);
         assert_eq!(codes::SERVER_OVERLOADED, 13);
         assert_eq!(codes::BUDGET_EXCEEDED, 14);
         assert_eq!(codes::WIRE, 12);
+        assert_eq!(codes::CHECKSUM_MISMATCH, 15);
+        assert_eq!(codes::IO, 16);
+        assert_eq!(codes::RECOVERY, 17);
     }
 
     #[test]

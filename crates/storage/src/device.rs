@@ -1,10 +1,18 @@
-//! The simulated block device.
+//! Block devices: the [`PageDevice`] trait and the simulated in-memory
+//! implementation ([`SimDevice`]).
+//!
+//! Everything above this layer — [`crate::PageStore`], [`crate::BufferPool`],
+//! [`crate::TupleFile`] — talks to a [`DeviceRef`] (`Arc<dyn PageDevice>`),
+//! so the bottom of the stack is swappable: the in-memory [`SimDevice`]
+//! for experiments with exact I/O accounting, the durable
+//! [`crate::FileDevice`] for data that must survive the process, and the
+//! [`crate::FaultDevice`] wrapper for injecting storage failures in tests.
 
 use pyro_common::{PyroError, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-/// Identifier of a page on a [`SimDevice`].
+/// Identifier of a page on a [`PageDevice`].
 pub type PageId = u64;
 
 /// Default block size: 4 KB, as in the paper's experimental setup.
@@ -34,6 +42,58 @@ impl IoSnapshot {
     }
 }
 
+/// The block-device surface every storage backend implements: fixed-size
+/// page allocation, read, write, free, plus exact I/O accounting.
+///
+/// Implementations must be `Send + Sync` — morsel workers scan disjoint
+/// page ranges of one file concurrently, and I/O counters are summed with
+/// relaxed atomics (addition commutes, so totals are interleaving-
+/// independent). The two durability hooks ([`PageDevice::sync`],
+/// [`PageDevice::reclaim_except`]) default to no-ops so purely in-memory
+/// devices need not care.
+pub trait PageDevice: Send + Sync + std::fmt::Debug {
+    /// The device's block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Allocates a page id (no I/O counted until it is written).
+    fn alloc_page(&self) -> PageId;
+
+    /// Writes a block. `data` must not exceed the block size. Counts one
+    /// write.
+    fn write_page(&self, id: PageId, data: &[u8]) -> Result<()>;
+
+    /// Reads a block back exactly as written. Counts one read.
+    fn read_page(&self, id: PageId) -> Result<Vec<u8>>;
+
+    /// Releases a page back to the free list (no I/O counted).
+    fn free_page(&self, id: PageId);
+
+    /// Current I/O counters.
+    fn io(&self) -> IoSnapshot;
+
+    /// Resets I/O counters to zero (between experiment phases).
+    fn reset_io(&self);
+
+    /// Number of currently allocated (non-freed) pages.
+    fn live_pages(&self) -> usize;
+
+    /// Durability barrier: blocks until every completed write is on stable
+    /// storage. A no-op for devices without one (the in-memory
+    /// [`SimDevice`] *is* its own stable storage).
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Recovery hook: frees every written page **not** in `live` (and
+    /// marks the `live` ones allocated). Called once after crash recovery
+    /// has rebuilt the catalog, so pages orphaned by an uncommitted
+    /// mutation are reclaimed instead of leaking forever. No-op by
+    /// default.
+    fn reclaim_except(&self, live: &[PageId]) {
+        let _ = live;
+    }
+}
+
 /// An in-memory block device with exact I/O accounting.
 ///
 /// Pages are allocated, written, read and freed through this interface; the
@@ -51,11 +111,13 @@ pub struct SimDevice {
     writes: AtomicU64,
 }
 
-/// Shared handle to a device.
-pub type DeviceRef = Arc<SimDevice>;
+/// Shared handle to a device — any [`PageDevice`] behind an [`Arc`].
+pub type DeviceRef = Arc<dyn PageDevice>;
 
 impl SimDevice {
     /// Creates a device with the default 4 KB block size.
+    // Returns the shared trait-object handle every caller wants, not Self.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new() -> DeviceRef {
         Self::with_block_size(DEFAULT_BLOCK_SIZE)
     }
@@ -68,9 +130,10 @@ impl SimDevice {
             ..SimDevice::default()
         })
     }
+}
 
-    /// The device's block size in bytes.
-    pub fn block_size(&self) -> usize {
+impl PageDevice for SimDevice {
+    fn block_size(&self) -> usize {
         self.block_size
     }
 
@@ -78,7 +141,7 @@ impl SimDevice {
     ///
     /// The free list and the page table are locked one after the other,
     /// never nested, so allocation cannot deadlock against `free_page`.
-    pub fn alloc_page(&self) -> PageId {
+    fn alloc_page(&self) -> PageId {
         if let Some(id) = self.free_list.lock().expect("free list poisoned").pop() {
             return id;
         }
@@ -87,9 +150,7 @@ impl SimDevice {
         (pages.len() - 1) as PageId
     }
 
-    /// Writes a block. `data` must not exceed the block size. Counts one
-    /// write.
-    pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+    fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
         if data.len() > self.block_size {
             return Err(PyroError::Storage(format!(
                 "page overflow: {} > block size {}",
@@ -106,8 +167,7 @@ impl SimDevice {
         Ok(())
     }
 
-    /// Reads a block. Counts one read.
-    pub fn read_page(&self, id: PageId) -> Result<Vec<u8>> {
+    fn read_page(&self, id: PageId) -> Result<Vec<u8>> {
         let pages = self.pages.read().expect("page table poisoned");
         let slot = pages
             .get(id as usize)
@@ -119,8 +179,7 @@ impl SimDevice {
         Ok(data.to_vec())
     }
 
-    /// Releases a page back to the free list (no I/O counted).
-    pub fn free_page(&self, id: PageId) {
+    fn free_page(&self, id: PageId) {
         {
             let mut pages = self.pages.write().expect("page table poisoned");
             let Some(slot) = pages.get_mut(id as usize) else {
@@ -131,28 +190,38 @@ impl SimDevice {
         self.free_list.lock().expect("free list poisoned").push(id);
     }
 
-    /// Current I/O counters.
-    pub fn io(&self) -> IoSnapshot {
+    fn io(&self) -> IoSnapshot {
         IoSnapshot {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
         }
     }
 
-    /// Resets I/O counters to zero (between experiment phases).
-    pub fn reset_io(&self) {
+    fn reset_io(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
     }
 
-    /// Number of currently allocated (non-freed) pages.
-    pub fn live_pages(&self) -> usize {
+    fn live_pages(&self) -> usize {
         self.pages
             .read()
             .expect("page table poisoned")
             .iter()
             .filter(|p| p.is_some())
             .count()
+    }
+
+    fn reclaim_except(&self, live: &[PageId]) {
+        let keep: std::collections::HashSet<PageId> = live.iter().copied().collect();
+        let ids: Vec<PageId> = {
+            let pages = self.pages.read().expect("page table poisoned");
+            (0..pages.len() as PageId)
+                .filter(|id| pages[*id as usize].is_some() && !keep.contains(id))
+                .collect()
+        };
+        for id in ids {
+            self.free_page(id);
+        }
     }
 }
 

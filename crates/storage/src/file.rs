@@ -47,6 +47,31 @@ impl TupleFile {
         &self.store
     }
 
+    /// The page ids backing this file, in scan order. Catalog persistence
+    /// serializes these so a reopened process can rebuild the file handle
+    /// without rewriting a byte of data.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Reassembles a file handle from persisted parts — the inverse of
+    /// ([`TupleFile::pages`], [`TupleFile::tuple_count`],
+    /// [`TupleFile::byte_count`]). The pages must already hold the file's
+    /// data (crash recovery guarantees this for committed files).
+    pub fn from_parts(
+        store: impl IntoStore,
+        pages: Vec<PageId>,
+        tuple_count: u64,
+        byte_count: u64,
+    ) -> TupleFile {
+        TupleFile {
+            store: store.into_store(),
+            pages,
+            tuple_count,
+            byte_count,
+        }
+    }
+
     /// Sequential scan. Each page read is counted by the device.
     pub fn scan(&self) -> TupleFileScan {
         self.scan_pages(0, self.pages.len())

@@ -24,14 +24,22 @@
 
 #![deny(missing_docs)]
 
+pub mod crc;
 pub mod device;
+pub mod fault;
 pub mod file;
+pub mod file_device;
 pub mod page;
 pub mod pool;
 pub mod store;
+pub mod wal;
 
-pub use device::{DeviceRef, IoSnapshot, PageId, SimDevice};
+pub use crc::crc32;
+pub use device::{DeviceRef, IoSnapshot, PageDevice, PageId, SimDevice};
+pub use fault::{FaultDevice, FaultPlan};
 pub use file::{write_file, TupleFile, TupleFileScan, TupleFileWriter};
+pub use file_device::{FileDevice, FILE_HEADER_LEN, SLOT_HEADER_LEN};
 pub use page::{decode_page, encoded_len, PageBuilder};
-pub use pool::{BufferPool, CacheStats, PinnedPage};
+pub use pool::{BufferPool, CacheStats, PinnedPage, WriteBarrier};
 pub use store::{IntoStore, PageStore, StoreRef};
+pub use wal::{Wal, WalReplay, WAL_HEADER_LEN};

@@ -115,11 +115,19 @@ pub struct BufferPool {
     device: DeviceRef,
     capacity: usize,
     inner: Mutex<PoolInner>,
+    /// Invoked before *any* dirty page reaches the device (eviction or
+    /// flush). Durable stores hang the WAL fsync here: a logged-but-unsynced
+    /// page image must be on stable log storage before the data file can
+    /// change — write-ahead, even for mid-mutation evictions.
+    barrier: Option<WriteBarrier>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
 }
+
+/// The pre-writeback hook type; see [`BufferPool::with_barrier`].
+pub type WriteBarrier = Arc<dyn Fn() -> Result<()> + Send + Sync>;
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -143,10 +151,29 @@ impl BufferPool {
                 hand: 0,
                 next_serial: 0,
             }),
+            barrier: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Like [`BufferPool::new`], with a write barrier called before every
+    /// dirty-page write-back. The durable store passes a WAL-fsync closure
+    /// here, making "log hits disk before data" hold on *every* path a
+    /// page can take to the device — explicit flush and CLOCK eviction
+    /// alike.
+    pub fn with_barrier(device: DeviceRef, capacity: usize, barrier: WriteBarrier) -> BufferPool {
+        let mut pool = BufferPool::new(device, capacity);
+        pool.barrier = Some(barrier);
+        pool
+    }
+
+    fn pre_writeback(&self) -> Result<()> {
+        match &self.barrier {
+            Some(barrier) => barrier(),
+            None => Ok(()),
         }
     }
 
@@ -300,6 +327,9 @@ impl BufferPool {
     /// leaving all frames resident and clean.
     pub fn flush(&self) -> Result<()> {
         let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        if inner.frames.iter().any(|f| f.dirty) {
+            self.pre_writeback()?;
+        }
         for frame in &mut inner.frames {
             if frame.dirty {
                 self.device.write_page(frame.page, &frame.data)?;
@@ -369,6 +399,9 @@ impl BufferPool {
         // Write-back strictly precedes frame reuse: the victim's bytes are
         // on the device before the slot holds the new page.
         {
+            if inner.frames[victim].dirty {
+                self.pre_writeback()?;
+            }
             let v = &mut inner.frames[victim];
             if v.dirty {
                 self.device.write_page(v.page, &v.data)?;

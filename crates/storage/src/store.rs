@@ -21,14 +21,33 @@
 
 use crate::device::{DeviceRef, PageId};
 use crate::pool::{BufferPool, CacheStats, PinnedPage};
+use crate::wal::Wal;
 use pyro_common::Result;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// The durability half of a store: the WAL plus the mutation window.
+///
+/// While the window is open (a catalog mutation in flight), every
+/// [`PageStore::write_page`] appends the page image to the WAL before the
+/// page can reach pool or device — write-ahead by construction. Writes
+/// outside the window (query-time sort spills, whose pages die with the
+/// query) skip the log entirely.
+#[derive(Debug)]
+struct Durable {
+    wal: Arc<Wal>,
+    window: AtomicBool,
+    /// Commit checkpoints (flush + data fsync + log truncate) once the
+    /// log outgrows this many bytes; `u64::MAX` disables auto-checkpoint.
+    checkpoint_bytes: u64,
+}
 
 /// A device plus optional buffer pool; see the module docs.
 #[derive(Debug)]
 pub struct PageStore {
     device: DeviceRef,
     pool: Option<BufferPool>,
+    durable: Option<Durable>,
 }
 
 /// Shared handle to a page store. Every [`crate::TupleFile`] of one catalog
@@ -38,7 +57,11 @@ pub type StoreRef = Arc<PageStore>;
 impl PageStore {
     /// A store that passes every operation straight to `device`.
     pub fn bypass(device: DeviceRef) -> StoreRef {
-        Arc::new(PageStore { device, pool: None })
+        Arc::new(PageStore {
+            device,
+            pool: None,
+            durable: None,
+        })
     }
 
     /// A store that caches pages in a `pages`-frame [`BufferPool`] (floor 1).
@@ -46,7 +69,113 @@ impl PageStore {
         Arc::new(PageStore {
             pool: Some(BufferPool::new(device.clone(), pages)),
             device,
+            durable: None,
         })
+    }
+
+    /// A durable store: `device` should be a [`crate::FileDevice`] (or a
+    /// fault wrapper around one), `wal` its write-ahead log. With
+    /// `pool_pages > 0` the pool's write barrier fsyncs the WAL before
+    /// any dirty page reaches the data file; `checkpoint_bytes` bounds
+    /// log growth (`u64::MAX` to keep the log until an explicit
+    /// [`PageStore::checkpoint`]).
+    pub fn durable(
+        device: DeviceRef,
+        wal: Arc<Wal>,
+        pool_pages: usize,
+        checkpoint_bytes: u64,
+    ) -> StoreRef {
+        let pool = (pool_pages > 0).then(|| {
+            let barrier_wal = wal.clone();
+            BufferPool::with_barrier(
+                device.clone(),
+                pool_pages,
+                Arc::new(move || barrier_wal.sync_pending()),
+            )
+        });
+        Arc::new(PageStore {
+            device,
+            pool,
+            durable: Some(Durable {
+                wal,
+                window: AtomicBool::new(false),
+                checkpoint_bytes,
+            }),
+        })
+    }
+
+    /// Whether this store has a WAL behind it.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The write-ahead log, when durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.durable.as_ref().map(|d| &d.wal)
+    }
+
+    /// Opens the mutation window: until [`PageStore::commit_mutation`] or
+    /// [`PageStore::abort_mutation`], every page write is WAL-logged
+    /// first. Returns the log offset to [`PageStore::abort_mutation`]
+    /// back to. No-op (returns 0) on non-durable stores.
+    pub fn begin_mutation(&self) -> u64 {
+        match &self.durable {
+            Some(d) => {
+                d.window.store(true, Ordering::Release);
+                d.wal.mark()
+            }
+            None => 0,
+        }
+    }
+
+    /// Commits the open mutation: logs `root` (the catalog root image
+    /// that makes the mutation visible), appends the commit marker,
+    /// fsyncs the log — the durability point — then writes the root
+    /// through the normal page path and auto-checkpoints if the log has
+    /// outgrown its threshold. On non-durable stores this is just the
+    /// root write.
+    pub fn commit_mutation(&self, root: PageId, root_image: &[u8]) -> Result<()> {
+        if let Some(d) = &self.durable {
+            d.wal.append_page(root, root_image)?;
+            d.wal.append_commit()?;
+            d.wal.sync()?;
+            d.window.store(false, Ordering::Release);
+        }
+        self.write_page_unlogged(root, root_image)?;
+        if let Some(d) = &self.durable {
+            if d.wal.size() > d.checkpoint_bytes {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Aborts the open mutation, truncating the log back to the
+    /// [`PageStore::begin_mutation`] mark so none of it can ever replay.
+    /// The half-written data pages are reclaimed by the caller (they were
+    /// never referenced by a committed root). No-op on non-durable
+    /// stores.
+    pub fn abort_mutation(&self, mark: u64) -> Result<()> {
+        match &self.durable {
+            Some(d) => {
+                d.window.store(false, Ordering::Release);
+                d.wal.rewind(mark)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Checkpoint: flush the pool (its barrier fsyncs the WAL first),
+    /// fsync the data file, then truncate the log — every committed page
+    /// is now in the data file, so the log's history is redundant. No-op
+    /// on non-durable stores beyond the pool flush.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.flush()?;
+        self.device.sync()?;
+        if let Some(d) = &self.durable {
+            d.wal.truncate()?;
+        }
+        Ok(())
     }
 
     /// The underlying device (exact cold-I/O counters).
@@ -98,8 +227,18 @@ impl PageStore {
 
     /// Writes a page — write-back through the pool when cached (the device
     /// write is deferred to eviction or [`PageStore::flush`]), a direct
-    /// device write otherwise.
+    /// device write otherwise. Inside an open mutation window the page
+    /// image goes to the WAL first (write-ahead).
     pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        if let Some(d) = &self.durable {
+            if d.window.load(Ordering::Acquire) {
+                d.wal.append_page(id, data)?;
+            }
+        }
+        self.write_page_unlogged(id, data)
+    }
+
+    fn write_page_unlogged(&self, id: PageId, data: &[u8]) -> Result<()> {
         match &self.pool {
             Some(pool) => pool.write_page(id, data),
             None => self.device.write_page(id, data),

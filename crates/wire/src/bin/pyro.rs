@@ -5,17 +5,23 @@
 //!            [--cache 256] [--workers 1] [--batch 1024]
 //!            [--max-concurrent 4] [--queue 16] [--queue-timeout-ms 1000]
 //!            [--max-rows N] [--max-bytes N] [--conn-threads 8]
-//!            [--csv name=path[:clustering_col]]...
+//!            [--data-dir PATH] [--csv name=path[:clustering_col]]...
 //! ```
 //!
 //! `serve` builds a shared [`pyro::Session`], loads the TPC-H subset at
 //! `--scale` (skipped with `--scale 0`), registers any `--csv` tables, and
 //! serves the wire protocol until killed. Every knob maps onto
 //! [`pyro_wire::ServerConfig`] / [`pyro::SessionBuilder`].
+//!
+//! With `--data-dir` the session is durable: tables live in
+//! `PATH/data.pyro` behind a write-ahead log, a restart recovers them
+//! (skipping the initial load), and `SIGINT`/`SIGTERM` trigger a graceful
+//! shutdown — stop accepting, drain in-flight queries, checkpoint.
 
 use pyro::{SessionBuilder, SortOrder};
 use pyro_common::Schema;
 use pyro_wire::{AdmissionConfig, ServerConfig, WireServer};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -24,9 +30,32 @@ fn usage() -> ! {
         "usage: pyro serve [--addr HOST:PORT] [--scale SF] [--seed N] [--cache ENTRIES]\n\
          \x20                 [--workers N] [--batch ROWS] [--max-concurrent N] [--queue N]\n\
          \x20                 [--queue-timeout-ms MS] [--max-rows N] [--max-bytes N]\n\
-         \x20                 [--conn-threads N] [--csv name=path[:clustering_col]]..."
+         \x20                 [--conn-threads N] [--data-dir PATH]\n\
+         \x20                 [--csv name=path[:clustering_col]]..."
     );
     std::process::exit(2);
+}
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: a single atomic store; the main loop does the rest.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers via the libc `signal(2)` that is
+/// already linked into every Rust binary — no crate needed.
+fn install_signal_handlers() {
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
 }
 
 struct Flags {
@@ -75,14 +104,22 @@ fn main() {
 
     let scale: f64 = flags.parse("--scale", 0.01);
     let seed: u64 = flags.parse("--seed", pyro::datagen::SEED);
-    let mut session = SessionBuilder::new()
+    let mut builder = SessionBuilder::new()
         .plan_cache_entries(flags.parse("--cache", 256))
         .workers(flags.parse("--workers", 1))
         .batch_size(flags.parse("--batch", 1024))
-        .seed(seed)
-        .build();
+        .seed(seed);
+    if let Some(dir) = flags.get("--data-dir") {
+        builder = builder.data_dir(dir);
+    }
+    let mut session = builder
+        .open()
+        .unwrap_or_else(|e| panic!("open session: {e}"));
 
-    if scale > 0.0 {
+    let recovered = session.catalog().tables().len();
+    if recovered > 0 {
+        println!("recovered {recovered} table(s) from the data directory; skipping load");
+    } else if scale > 0.0 {
         pyro::datagen::tpch::load_with_seed(
             session.catalog_mut(),
             pyro::datagen::tpch::TpchConfig::scaled(scale),
@@ -97,6 +134,10 @@ fn main() {
             Some((p, c)) => (p, Some(c)),
             None => (rest, None),
         };
+        if session.catalog().tables().contains_key(name) {
+            println!("table {name} already present (recovered); skipping {path}");
+            continue;
+        }
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
         // Column names and types are inferred as all-Int single letters
         // only when a header is absent; require a header row instead.
@@ -126,6 +167,7 @@ fn main() {
         max_response_bytes: flags.parse("--max-bytes", 0),
         ..ServerConfig::default()
     };
+    install_signal_handlers();
     let server =
         WireServer::start(Arc::new(session), cfg).unwrap_or_else(|e| panic!("start server: {e}"));
     println!(
@@ -133,7 +175,10 @@ fn main() {
         server.local_addr(),
         pyro_wire::proto::VERSION
     );
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
     }
+    println!("pyro-wire: signal received; draining connections and checkpointing");
+    server.shutdown();
+    println!("pyro-wire: shutdown complete");
 }

@@ -10,8 +10,9 @@
 use crate::frame::{io_err, read_frame, write_frame};
 use crate::proto::{self, op};
 use pyro_common::{PyroError, Result, Schema, Tuple, Value};
-use std::io::Write;
+use std::io::{ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// A complete query response received over the wire.
 #[derive(Debug)]
@@ -50,6 +51,37 @@ impl WireClient {
     /// Connects and completes the protocol handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<WireClient> {
         let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", &e))?;
+        WireClient::handshake(stream)
+    }
+
+    /// Like [`WireClient::connect`], but retries `ConnectionRefused` with
+    /// capped exponential backoff (10 ms doubling to 500 ms) until
+    /// `max_wait` elapses — the idiom for "the server is still binding its
+    /// port". Any other failure, including refusal after the deadline,
+    /// returns immediately.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        max_wait: Duration,
+    ) -> Result<WireClient> {
+        let deadline = Instant::now() + max_wait;
+        let mut backoff = Duration::from_millis(10);
+        loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(stream) => return WireClient::handshake(stream),
+                Err(e) if e.kind() == ErrorKind::ConnectionRefused => {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(io_err("connect (retries exhausted)", &e));
+                    }
+                    std::thread::sleep(backoff.min(left));
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                }
+                Err(e) => return Err(io_err("connect", &e)),
+            }
+        }
+    }
+
+    fn handshake(stream: TcpStream) -> Result<WireClient> {
         let _ = stream.set_nodelay(true);
         let reader = stream.try_clone().map_err(|e| io_err("clone socket", &e))?;
         let mut client = WireClient {

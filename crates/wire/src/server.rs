@@ -84,6 +84,7 @@ impl Default for ServerConfig {
 #[derive(Debug)]
 pub struct WireServer {
     addr: SocketAddr,
+    session: Arc<Session>,
     shutdown: Arc<AtomicBool>,
     gate: Arc<AdmissionGate>,
     accept_thread: Option<JoinHandle<()>>,
@@ -127,6 +128,7 @@ impl WireServer {
 
         Ok(WireServer {
             addr,
+            session,
             shutdown,
             gate,
             accept_thread: Some(accept_thread),
@@ -150,8 +152,10 @@ impl WireServer {
         self.gate.stats()
     }
 
-    /// Stops accepting, disconnects idle workers, and joins every thread.
-    /// Connections mid-query finish their current response first.
+    /// Stops accepting, disconnects idle workers, joins every thread, and
+    /// — once no thread can touch the session anymore — checkpoints a
+    /// durable session so the data directory reopens with nothing to
+    /// replay. Connections mid-query finish their current response first.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -167,6 +171,10 @@ impl WireServer {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // All workers are joined: the flush below races with nothing.
+        if let Err(e) = self.session.checkpoint() {
+            eprintln!("pyro: shutdown checkpoint failed: {e}");
         }
     }
 }

@@ -354,3 +354,96 @@ fn shutdown_is_idempotent_and_joins_cleanly() {
     assert!(client.query("SELECT a FROM t ORDER BY a").is_ok());
     drop(server2); // Drop also shuts down
 }
+
+#[test]
+fn graceful_shutdown_checkpoints_a_durable_session() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("wire_graceful_shutdown");
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    let mut session = SessionBuilder::new()
+        .data_dir(&dir)
+        .buffer_pool_pages(8)
+        .wal_checkpoint_bytes(u64::MAX)
+        .open()
+        .expect("open durable session");
+    session
+        .register_csv(
+            "t",
+            Schema::ints(&["a", "b"]),
+            SortOrder::new(["a"]),
+            "1,10\n2,20\n3,30\n",
+        )
+        .unwrap();
+    // Uncheckpointed: the registration lives in the WAL.
+    assert!(std::fs::metadata(dir.join("wal.pyro")).unwrap().len() > pyro::storage::WAL_HEADER_LEN);
+
+    let server = start(Arc::new(session), ServerConfig::default());
+    let mut client =
+        WireClient::connect_with_retry(server.local_addr(), Duration::from_secs(2)).unwrap();
+    assert_eq!(
+        client
+            .query("SELECT a, b FROM t ORDER BY a")
+            .unwrap()
+            .total_rows,
+        3
+    );
+    server.shutdown();
+
+    // Shutdown drained, flushed and checkpointed: the WAL is back to its
+    // bare header, and a reopen serves the table without any replay.
+    assert_eq!(
+        std::fs::metadata(dir.join("wal.pyro")).unwrap().len(),
+        pyro::storage::WAL_HEADER_LEN
+    );
+    let reopened = SessionBuilder::new().data_dir(&dir).open().expect("reopen");
+    assert_eq!(
+        reopened.sql("SELECT a, b FROM t ORDER BY a").unwrap().len(),
+        3
+    );
+}
+
+#[test]
+fn connect_with_retry_waits_out_a_slow_bind() {
+    // Reserve a port, free it, and bind the server there only after a
+    // delay — the window where plain connect gets ConnectionRefused. The
+    // probe uses 127.0.0.2 so no concurrent test's `127.0.0.1:0` bind can
+    // recycle the freed port out from under us.
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.2:0").unwrap();
+        probe.local_addr().unwrap()
+    };
+    let session = tiny_session();
+    let starter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        start(
+            session,
+            ServerConfig {
+                addr: addr.to_string(),
+                ..ServerConfig::default()
+            },
+        )
+    });
+
+    let mut client =
+        WireClient::connect_with_retry(addr, Duration::from_secs(10)).expect("retry until bind");
+    assert!(client.query("SELECT a FROM t ORDER BY a").is_ok());
+    starter.join().unwrap().shutdown();
+}
+
+#[test]
+fn connect_with_retry_gives_up_after_the_deadline() {
+    // 127.0.0.3: see connect_with_retry_waits_out_a_slow_bind.
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.3:0").unwrap();
+        probe.local_addr().unwrap()
+    };
+    let started = std::time::Instant::now();
+    let err = WireClient::connect_with_retry(addr, Duration::from_millis(200))
+        .expect_err("nobody is listening");
+    assert!(
+        matches!(err, PyroError::Wire(ref m) if m.contains("retries exhausted")),
+        "{err:?}"
+    );
+    assert!(started.elapsed() >= Duration::from_millis(200));
+}

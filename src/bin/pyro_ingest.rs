@@ -1,0 +1,67 @@
+//! Crash-test ingest helper for the kill-9 durability suite
+//! (`tests/durability.rs`).
+//!
+//! ```bash
+//! pyro_ingest DATA_DIR N_TABLES ROWS_PER_TABLE
+//! ```
+//!
+//! Opens a durable session over `DATA_DIR` with a tiny buffer pool (so
+//! evictions exercise the WAL-before-data write barrier) and an
+//! effectively infinite checkpoint threshold (so a reopen must replay the
+//! log rather than read already-flushed pages), then registers tables
+//! `t0..t{N-1}` one commit at a time, printing `committed <i>` on its own
+//! flushed line after each. The test SIGKILLs this process mid-run and
+//! asserts the reopened directory holds exactly the committed prefix,
+//! bit-identical to [`table_rows`].
+
+use pyro::{SessionBuilder, SortOrder};
+use pyro_common::{Schema, Tuple, Value};
+use std::io::Write;
+
+/// Deterministic per-table payload, clustered on `k`. The durability test
+/// regenerates this to check recovered bytes — keep the two in sync.
+fn table_rows(table: usize, rows: usize) -> Vec<Tuple> {
+    (0..rows)
+        .map(|k| {
+            let v = (k as i64)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add(table as i64 * 97)
+                % 100_000;
+            Tuple::new(vec![Value::Int(k as i64), Value::Int(v)])
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 3 {
+        eprintln!("usage: pyro_ingest DATA_DIR N_TABLES ROWS_PER_TABLE");
+        std::process::exit(2);
+    }
+    let n_tables: usize = args[1].parse().expect("N_TABLES must be a number");
+    let rows_per: usize = args[2].parse().expect("ROWS_PER_TABLE must be a number");
+
+    let mut session = SessionBuilder::new()
+        .data_dir(&args[0])
+        .buffer_pool_pages(4)
+        .wal_checkpoint_bytes(u64::MAX)
+        .open()
+        .expect("open durable session");
+
+    let stdout = std::io::stdout();
+    for i in 0..n_tables {
+        session
+            .register_table(
+                &format!("t{i}"),
+                Schema::ints(&["k", "v"]),
+                SortOrder::new(["k"]),
+                &table_rows(i, rows_per),
+            )
+            .expect("register table");
+        // The parent synchronizes on this line: once it appears, table i
+        // is committed and must survive SIGKILL.
+        let mut out = stdout.lock();
+        writeln!(out, "committed {i}").expect("write stdout");
+        out.flush().expect("flush stdout");
+    }
+}

@@ -28,7 +28,9 @@ mod result;
 mod session;
 
 pub use result::{PlanCacheInfo, QueryResult};
-pub use session::{Prepared, QueryStream, Session, SessionBuilder, SharedPrepared};
+pub use session::{
+    Prepared, QueryStream, Session, SessionBuilder, SharedPrepared, DEFAULT_WAL_CHECKPOINT_BYTES,
+};
 
 pub use pyro_catalog as catalog;
 pub use pyro_common as common;

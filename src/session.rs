@@ -26,9 +26,14 @@ use pyro_core::cost::CostParams;
 use pyro_core::{OptimizedPlan, Optimizer, Strategy};
 use pyro_exec::{BoxOp, MetricsRef, DEFAULT_BATCH_SIZE};
 use pyro_ordering::SortOrder;
+use pyro_storage::{FileDevice, PageStore, Wal};
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default WAL size at which a commit triggers a checkpoint (1 MiB).
+pub const DEFAULT_WAL_CHECKPOINT_BYTES: u64 = 1 << 20;
 
 /// Configures and builds a [`Session`].
 ///
@@ -63,6 +68,8 @@ pub struct SessionBuilder {
     seed: Option<u64>,
     buffer_pool_pages: Option<usize>,
     plan_cache_entries: Option<usize>,
+    data_dir: Option<PathBuf>,
+    wal_checkpoint_bytes: Option<u64>,
 }
 
 impl SessionBuilder {
@@ -165,16 +172,76 @@ impl SessionBuilder {
         self
     }
 
-    /// Builds the session over a fresh simulated device.
+    /// Makes the session **durable**: pages live in `dir/data.pyro`
+    /// behind a write-ahead log (`dir/wal.pyro`), catalog mutations
+    /// commit atomically, and reopening the same directory — after a
+    /// clean exit *or* a crash — recovers every committed table. The
+    /// directory is created if missing. Without this knob (the default)
+    /// the session is purely in-memory and bit-identical to earlier
+    /// releases. Durable opens can fail (corruption, I/O); prefer
+    /// [`SessionBuilder::open`] to see the typed error instead of
+    /// [`SessionBuilder::build`]'s panic.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> SessionBuilder {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// WAL size (bytes) above which a commit checkpoints — flushing the
+    /// pool, fsyncing the data file and truncating the log (default
+    /// [`DEFAULT_WAL_CHECKPOINT_BYTES`]). Raise it to make crash-recovery
+    /// replay carry more of the state (tests do); lower it to bound
+    /// recovery time. Ignored without [`SessionBuilder::data_dir`].
+    pub fn wal_checkpoint_bytes(mut self, bytes: u64) -> SessionBuilder {
+        self.wal_checkpoint_bytes = Some(bytes);
+        self
+    }
+
+    /// Builds the session over a fresh simulated device, or — with
+    /// [`SessionBuilder::data_dir`] — panics on a durable-open failure.
+    /// Durable callers who want the typed error use
+    /// [`SessionBuilder::open`].
     pub fn build(self) -> Session {
-        let mut catalog = match self.buffer_pool_pages {
-            Some(pages) if pages > 0 => Catalog::with_buffer_pool(pages),
-            _ => Catalog::new(),
+        self.open()
+            .expect("durable session open failed; use SessionBuilder::open for the typed error")
+    }
+
+    /// Builds the session, surfacing durable-open failures (bad magic,
+    /// checksum mismatches, unreadable catalog) as typed errors. For
+    /// in-memory sessions (no [`SessionBuilder::data_dir`]) this is
+    /// infallible and identical to [`SessionBuilder::build`].
+    pub fn open(self) -> Result<Session> {
+        let mut catalog = match &self.data_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| PyroError::Io(format!("create {}: {e}", dir.display())))?;
+                let data_path = dir.join("data.pyro");
+                let device = if data_path.exists() {
+                    FileDevice::open(&data_path)?
+                } else {
+                    FileDevice::create(&data_path)?
+                };
+                let wal = Arc::new(Wal::open_or_create(dir.join("wal.pyro"))?);
+                // Replay whatever the last process committed but never
+                // wrote back; torn tails are discarded here.
+                wal.recover(&device)?;
+                let store = PageStore::durable(
+                    device.as_device(),
+                    wal,
+                    self.buffer_pool_pages.unwrap_or(0),
+                    self.wal_checkpoint_bytes
+                        .unwrap_or(DEFAULT_WAL_CHECKPOINT_BYTES),
+                );
+                Catalog::open_durable(store)?
+            }
+            None => match self.buffer_pool_pages {
+                Some(pages) if pages > 0 => Catalog::with_buffer_pool(pages),
+                _ => Catalog::new(),
+            },
         };
         if let Some(m) = self.sort_memory_blocks {
             catalog.set_sort_memory_blocks(m);
         }
-        Session {
+        Ok(Session {
             catalog,
             strategy: self.strategy.unwrap_or_else(Strategy::pyro_o),
             cost_params: self.cost_params,
@@ -186,7 +253,7 @@ impl SessionBuilder {
                 Some(entries) if entries > 0 => Some(PlanCache::new(entries)),
                 _ => None,
             },
-        }
+        })
     }
 }
 
@@ -315,6 +382,18 @@ impl Session {
     /// The owned catalog (schemas, statistics, device counters).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Flushes the buffer pool, fsyncs the data file and truncates the
+    /// WAL. A no-op for in-memory sessions. Graceful shutdown calls
+    /// this so a subsequent open replays nothing.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.catalog.checkpoint()
+    }
+
+    /// Whether this session persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.catalog.is_durable()
     }
 
     /// Mutable catalog access, e.g. for `pyro_datagen`'s workload loaders.
