@@ -310,7 +310,20 @@ fn main() {
     let mut results = Vec::new();
 
     let (session, sql) = workloads::scan_filter_project(n, seed);
-    results.push(run_bench(&session, "scan_filter_project", n, sql));
+    let sfp = run_bench(&session, "scan_filter_project", n, sql);
+    if smoke {
+        // CI perf gate: the native batch path (columnar kernels) must not
+        // run slower than the row shim on the vectorization showcase. The
+        // margin absorbs shared-runner noise; real regressions are far
+        // larger than 15%.
+        assert!(
+            sfp.speedup() >= 0.85,
+            "perf gate: native batch fell below the row shim on \
+             scan_filter_project ({:.3}x < 0.85x)",
+            sfp.speedup()
+        );
+    }
+    results.push(sfp);
 
     let (session, sql) = workloads::hash_join(n, seed);
     // The optimizer must actually have picked a hash join, or the numbers
@@ -342,11 +355,14 @@ fn main() {
     // The same workload off the durable FileDevice: cold reopen vs warm.
     let durable_json = run_durable_bench(n, seed, pool_pages);
 
+    // Recorded so archived numbers can be normalized across machines.
+    let cpu_cores = std::thread::available_parallelism().map_or(0, usize::from);
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_batch\",\n  \"mode\": \"{}\",\n  \"batch_size\": {},\n  \"reps\": {},\n{}\n{}\n  \"benches\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"BENCH_batch\",\n  \"mode\": \"{}\",\n  \"batch_size\": {},\n  \"reps\": {},\n  \"cpu_cores\": {},\n{}\n{}\n  \"benches\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         BATCH_SIZE,
         REPS,
+        cpu_cores,
         pool_json,
         durable_json,
         results

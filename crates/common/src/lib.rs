@@ -10,11 +10,13 @@
 
 #![deny(missing_docs)]
 
+pub mod columnar;
 pub mod error;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use columnar::{CellRef, ColumnBuilder, ColumnData, ColumnVec, ColumnarBatch, NullBitmap};
 pub use error::{PyroError, Result};
 pub use schema::{Column, DataType, Schema};
 pub use tuple::{KeySpec, Tuple};

@@ -19,16 +19,17 @@
 //! LRU eviction rather than eager sweeps.
 //!
 //! **Serving-path design.** Entries are `Arc<CachedStatement>`, so the work
-//! done *inside* the mutex is a hash lookup, two `BTreeMap` recency updates
-//! and one `Arc` clone — never a deep clone of the plan tree or the
-//! statement's parameter table. Recency is a monotonic tick ordered in a
-//! `BTreeMap<tick, key>` side index: eviction pops the smallest tick in
-//! `O(log n)` instead of scanning every entry. One cache serves every
-//! thread sharing a `Session`.
+//! done *inside* the mutex is a hash lookup, a few pointer swaps and one
+//! `Arc` clone — never a deep clone of the plan tree or the statement's
+//! parameter table. Recency is an intrusive doubly-linked list threaded
+//! through a slab of nodes (`prev`/`next` are slab indices): a hit splices
+//! its node to the front and eviction pops the tail, both `O(1)` with zero
+//! allocation, so the lock hold time is flat no matter how many plans are
+//! resident. One cache serves every thread sharing a `Session`.
 
 use crate::optimizer::OptimizedPlan;
 use pyro_common::DataType;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// A cached statement: the optimized physical plan and what the frontend
@@ -69,34 +70,129 @@ pub struct PlanCacheStats {
     pub capacity: usize,
 }
 
+/// Sentinel slab index (list end / empty list).
+const NIL: u32 = u32::MAX;
+
+/// One resident plan: the payload plus its links in the recency list.
 #[derive(Debug)]
-struct Entry {
+struct Node {
+    key: PlanKey,
     stmt: Arc<CachedStatement>,
-    last_used: u64,
+    /// Toward the MRU end (`NIL` at the head).
+    prev: u32,
+    /// Toward the LRU end (`NIL` at the tail).
+    next: u32,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
-    map: HashMap<PlanKey, Entry>,
-    /// Recency index: `last_used` tick → key. Ticks are unique (the
-    /// counter is bumped under the same lock), so this is a faithful LRU
-    /// order; the first entry is always the eviction victim.
-    order: BTreeMap<u64, PlanKey>,
-    tick: u64,
+    /// Key → slab slot of its node.
+    map: HashMap<PlanKey, u32>,
+    /// Node storage; `None` slots are free (tracked in `free`). The slab
+    /// never exceeds `capacity` slots, so slot indices stay stable and
+    /// reusable for the cache's whole life.
+    slab: Vec<Option<Node>>,
+    free: Vec<u32>,
+    /// Most recently used node (`NIL` when empty).
+    head: u32,
+    /// Least recently used node — the eviction victim (`NIL` when empty).
+    tail: u32,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
 impl Inner {
-    /// Moves `key`'s recency to a fresh tick, keeping `order` in sync.
-    fn touch(&mut self, key: &PlanKey) {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(entry) = self.map.get_mut(key) {
-            self.order.remove(&entry.last_used);
-            entry.last_used = tick;
-            self.order.insert(tick, key.clone());
+    fn node(&self, slot: u32) -> &Node {
+        self.slab[slot as usize].as_ref().expect("live slot")
+    }
+
+    fn node_mut(&mut self, slot: u32) -> &mut Node {
+        self.slab[slot as usize].as_mut().expect("live slot")
+    }
+
+    /// Detaches `slot` from the recency list (links become dangling).
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let n = self.node(slot);
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.node_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.node_mut(n).prev = prev,
+        }
+    }
+
+    /// Attaches `slot` at the MRU end.
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let n = self.node_mut(slot);
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.node_mut(old_head).prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Splices `slot` to the front of the recency list: two pointer swaps,
+    /// no allocation, no ordering structure to rebalance.
+    fn touch(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    /// Removes the LRU node and returns its slot to the free list.
+    fn evict_tail(&mut self) {
+        let victim = self.tail;
+        if victim == NIL {
+            return;
+        }
+        self.unlink(victim);
+        let node = self.slab[victim as usize].take().expect("live slot");
+        self.map.remove(&node.key);
+        self.free.push(victim);
+        self.evictions += 1;
+    }
+
+    /// Allocates a slab slot for a new node.
+    fn alloc(&mut self, node: Node) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = Some(node);
+                slot
+            }
+            None => {
+                self.slab.push(Some(node));
+                (self.slab.len() - 1) as u32
+            }
         }
     }
 }
@@ -134,39 +230,40 @@ impl PlanCache {
     /// happens inside or outside the lock.
     pub fn lookup(&self, key: &PlanKey) -> Option<Arc<CachedStatement>> {
         let mut inner = self.lock();
-        if inner.map.contains_key(key) {
-            inner.touch(key);
-            inner.hits += 1;
-            inner.map.get(key).map(|e| Arc::clone(&e.stmt))
-        } else {
-            inner.misses += 1;
-            None
+        match inner.map.get(key).copied() {
+            Some(slot) => {
+                inner.touch(slot);
+                inner.hits += 1;
+                Some(Arc::clone(&inner.node(slot).stmt))
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
         }
     }
 
     /// Inserts (or refreshes) an entry, evicting the least-recently-used
-    /// one first when the cache is full.
+    /// one first when the cache is full. `O(1)` either way.
     pub fn insert(&self, key: PlanKey, stmt: Arc<CachedStatement>) {
         let mut inner = self.lock();
-        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
-            if let Some((tick, victim)) = inner.order.pop_first() {
-                debug_assert_eq!(inner.map.get(&victim).map(|e| e.last_used), Some(tick));
-                inner.map.remove(&victim);
-                inner.evictions += 1;
-            }
+        if let Some(slot) = inner.map.get(&key).copied() {
+            // Refresh in place: new payload, fresh recency, no eviction.
+            inner.node_mut(slot).stmt = stmt;
+            inner.touch(slot);
+            return;
         }
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(old) = inner.map.insert(
-            key.clone(),
-            Entry {
-                stmt,
-                last_used: tick,
-            },
-        ) {
-            inner.order.remove(&old.last_used);
+        if inner.map.len() >= self.capacity {
+            inner.evict_tail();
         }
-        inner.order.insert(tick, key);
+        let slot = inner.alloc(Node {
+            key: key.clone(),
+            stmt,
+            prev: NIL,
+            next: NIL,
+        });
+        inner.map.insert(key, slot);
+        inner.push_front(slot);
     }
 
     /// Current counters and occupancy.
@@ -195,7 +292,10 @@ impl PlanCache {
     pub fn clear(&self) {
         let mut inner = self.lock();
         inner.map.clear();
-        inner.order.clear();
+        inner.slab.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
     }
 }
 
@@ -316,6 +416,23 @@ mod tests {
         cache.insert(key("a", 0, 0), stmt(2.0));
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.lookup(&key("a", 0, 0)).unwrap().plan.cost(), 2.0);
+    }
+
+    /// Long insert churn far past capacity: slab slots must recycle (the
+    /// node store never outgrows the capacity) and the survivor set must
+    /// always be the most recent `capacity` keys.
+    #[test]
+    fn slot_reuse_under_churn() {
+        let cache = PlanCache::new(3);
+        for i in 0..100 {
+            cache.insert(key(&format!("q{i}"), 0, 0), stmt(i as f64));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 97);
+        for live in ["q97", "q98", "q99"] {
+            assert!(cache.lookup(&key(live, 0, 0)).is_some(), "{live} resident");
+        }
+        assert!(cache.lookup(&key("q96", 0, 0)).is_none());
     }
 
     #[test]

@@ -103,6 +103,34 @@ pub fn compile_bound(
     ordered_output: bool,
     params: &[Value],
 ) -> Result<Pipeline> {
+    compile_bound_columnar(
+        root,
+        catalog,
+        batch_size,
+        workers,
+        ordered_output,
+        params,
+        true,
+    )
+}
+
+/// [`compile_bound`] with the columnar-execution knob made explicit.
+/// `columnar = true` (the default everywhere above) lets the serial batch
+/// path run Filter / Project / inner HashJoin subtrees over columnar
+/// batches with vectorized kernels; `false` forces the row-at-a-time batch
+/// implementations (the `SessionBuilder::columnar(false)` escape hatch, and
+/// the reference side of A/B parity tests). Either way the row pull
+/// (`next()`), all counters, and the produced rows are identical.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_bound_columnar(
+    root: &Arc<PhysNode>,
+    catalog: &Catalog,
+    batch_size: usize,
+    workers: usize,
+    ordered_output: bool,
+    params: &[Value],
+    columnar: bool,
+) -> Result<Pipeline> {
     let metrics = ExecMetrics::new();
     let ctx = CompileCtx {
         catalog,
@@ -110,6 +138,7 @@ pub fn compile_bound(
         batch: batch_size.max(1),
         workers: workers.max(1),
         params,
+        columnar,
     };
     let op = compile_sub(root, &ctx, ordered_output)?;
     // The pipeline charges the catalog store's buffer-pool counter delta
@@ -124,6 +153,7 @@ pub(crate) struct CompileCtx<'a> {
     pub(crate) batch: usize,
     pub(crate) workers: usize,
     pub(crate) params: &'a [Value],
+    pub(crate) columnar: bool,
 }
 
 /// True iff this operator hands its input sequence through untouched *and*
@@ -138,6 +168,31 @@ fn sequence_insensitive(op: &PhysOp) -> bool {
             | PhysOp::HashJoin { .. }
             | PhysOp::HashDistinct
     )
+}
+
+/// True iff every operator in this subtree produces columnar batches
+/// natively — scans decode pages straight into column vectors, and
+/// Filter / Project / inner HashJoin run vectorized kernels. Only such
+/// subtrees get their roots flagged columnar: a flagged operator pulls its
+/// children via `next_columnar`, so a single row-only operator anywhere
+/// below would force a rows→columns conversion at every batch, which
+/// benchmarking shows loses more than the kernels gain. Pipeline breakers
+/// (sorts, aggregates, merge joins, exchanges) deliberately stay row-based:
+/// their comparison/run-I/O counters are the paper's subject and must stay
+/// bit-identical to the row path.
+fn columnar_capable(node: &PhysNode) -> bool {
+    match &node.op {
+        PhysOp::TableScan { .. }
+        | PhysOp::ClusteredIndexScan { .. }
+        | PhysOp::CoveringIndexScan { .. } => true,
+        PhysOp::Filter { .. } | PhysOp::Project { .. } => columnar_capable(&node.children[0]),
+        PhysOp::HashJoin { kind, .. } => {
+            matches!(kind, pyro_exec::join::JoinKind::Inner)
+                && columnar_capable(&node.children[0])
+                && columnar_capable(&node.children[1])
+        }
+        _ => false,
+    }
 }
 
 /// Compiles a subtree. `exact` records whether some consumer above this
@@ -289,6 +344,12 @@ fn compile_serial(node: &Arc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result
     // A sequence-sensitive serial operator demands its children's exact
     // serial row sequence; a pass-through one just inherits the demand.
     let child_exact = exact || !sequence_insensitive(&node.op);
+    // Columnar kernels only engage on the serial path: with workers > 1
+    // the subtree may have been split into morsel fragments, which exchange
+    // rows. Each qualifying node decides for itself; the check is
+    // recursive, so a flagged parent's children are flagged too (or are
+    // scans, which serve `next_columnar` natively without a flag).
+    let vectorize = ctx.columnar && ctx.workers == 1 && columnar_capable(node);
     let mut op: BoxOp = match &node.op {
         PhysOp::TableScan { table, .. } | PhysOp::ClusteredIndexScan { table, .. } => {
             let handle = ctx.catalog.table(table)?;
@@ -304,7 +365,9 @@ fn compile_serial(node: &Arc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result
         PhysOp::Filter { predicate } => {
             let child = compile_filter_child(&node.children[0], predicate, ctx, child_exact)?;
             let pred = compile_expr_bound(predicate, child.schema(), ctx.params)?;
-            Box::new(Filter::new(child, pred))
+            let mut f = Filter::new(child, pred);
+            f.set_columnar(vectorize);
+            Box::new(f)
         }
         PhysOp::Project { items } => {
             let child = compile_sub(&node.children[0], ctx, child_exact)?;
@@ -312,7 +375,9 @@ fn compile_serial(node: &Arc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result
                 .iter()
                 .map(|it| compile_expr_bound(&it.expr, child.schema(), ctx.params))
                 .collect::<Result<Vec<_>>>()?;
-            Box::new(Project::new(child, exprs, node.schema.clone()))
+            let mut p = Project::new(child, exprs, node.schema.clone());
+            p.set_columnar(vectorize);
+            Box::new(p)
         }
         PhysOp::Sort { target } => {
             let child = compile_sub(&node.children[0], ctx, child_exact)?;
@@ -371,13 +436,15 @@ fn compile_serial(node: &Arc<PhysNode>, ctx: &CompileCtx, exact: bool) -> Result
                 .iter()
                 .map(|p| right.schema().index_of(&p.right))
                 .collect::<Result<Vec<_>>>()?;
-            Box::new(HashJoin::new(
+            let mut j = HashJoin::new(
                 left,
                 right,
                 KeySpec::new(l_cols),
                 KeySpec::new(r_cols),
                 *kind,
-            ))
+            );
+            j.set_columnar(vectorize);
+            Box::new(j)
         }
         PhysOp::NestedLoopsJoin { kind, pairs } => {
             let left = compile_sub(&node.children[0], ctx, child_exact)?;

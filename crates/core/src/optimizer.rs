@@ -200,6 +200,30 @@ impl OptimizedPlan {
         )
     }
 
+    /// [`Self::compile_bound`] with the columnar-execution knob explicit:
+    /// `columnar = false` forces the row-at-a-time batch implementations
+    /// (the `SessionBuilder::columnar(false)` escape hatch and the
+    /// reference side of A/B comparisons); `true` is what every other
+    /// compile entry does.
+    pub fn compile_bound_columnar(
+        &self,
+        catalog: &Catalog,
+        batch_size: usize,
+        workers: usize,
+        params: &[pyro_common::Value],
+        columnar: bool,
+    ) -> Result<pyro_exec::Pipeline> {
+        crate::compile::compile_bound_columnar(
+            &self.root,
+            catalog,
+            batch_size,
+            workers,
+            self.ordered_output,
+            params,
+            columnar,
+        )
+    }
+
     /// Compiles with an explicit batch granularity (rows exchanged per
     /// `next_batch` call throughout the pipeline).
     pub fn compile_with_batch(

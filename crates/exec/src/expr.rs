@@ -25,7 +25,7 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn test(self, ord: std::cmp::Ordering) -> bool {
+    pub(crate) fn test(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         matches!(
             (self, ord),

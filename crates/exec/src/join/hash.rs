@@ -7,7 +7,9 @@
 
 use super::JoinKind;
 use crate::op::{pull_row, BoxOp, Operator, Stash, DEFAULT_BATCH_SIZE};
-use pyro_common::{KeySpec, Result, Schema, Tuple, Value};
+use pyro_common::{
+    ColumnBuilder, ColumnData, ColumnVec, ColumnarBatch, KeySpec, Result, Schema, Tuple, Value,
+};
 use std::collections::HashMap;
 
 /// Hash join; the **left** input is the build side.
@@ -30,12 +32,143 @@ pub struct HashJoin {
     build_stash: Stash,
     probe_stash: Stash,
     batch: usize,
+    /// When set (by the plan compiler, inner joins over fully columnar
+    /// subtrees only) the batch pull runs the vectorized build/probe kernel.
+    columnar: bool,
+    /// Vectorized build state; `None` until the first columnar pull.
+    col_build: Option<ColBuild>,
+    /// The probe batch currently being walked: `(batch, selection, cursor)`.
+    probe_pos: Option<(ColumnarBatch, Vec<u32>, usize)>,
 }
 
 struct BuildState {
     table: HashMap<Vec<Value>, Vec<(Tuple, std::cell::Cell<bool>)>>,
     /// Build rows with NULL keys (never match; emitted by FULL OUTER).
     null_rows: Vec<Tuple>,
+}
+
+/// Result of the columnar build phase.
+enum ColBuild {
+    /// Every build-key column came back integer-typed: tight chained hash
+    /// table over flattened `i64` keys.
+    Vector(VectorTable),
+    /// Non-integer build keys present — the row table (in `state`) is
+    /// authoritative and the columnar pull shims through the row probe.
+    RowFallback,
+}
+
+/// A chained hash table over the concatenated build side, all in flat
+/// vectors: `first[bucket]` heads a chain threaded through `next[row]`.
+/// Rows are inserted in *reverse* arrival order so walking a chain yields
+/// ascending build-arrival order — exactly the bucket order the row path
+/// emits matches in.
+struct VectorTable {
+    /// Concatenated build columns (physical rows, no selection).
+    cols: Vec<ColumnVec>,
+    /// Flattened keys, row-major: `keys[row * k .. row * k + k]`.
+    keys: Vec<i64>,
+    k: usize,
+    first: Vec<u32>,
+    next: Vec<u32>,
+    mask: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// Multiply-xorshift hash over `k` flattened key words (kernel-internal —
+/// nothing about it leaks into row-path semantics).
+#[inline]
+fn hash_keys(keys: &[i64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &x in keys {
+        h ^= x as u64;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    h
+}
+
+impl VectorTable {
+    fn build(cols: Vec<ColumnVec>, key_cols: &[usize]) -> VectorTable {
+        let n = cols.first().map_or(0, ColumnVec::len);
+        let k = key_cols.len();
+        let mut keys = vec![0i64; n * k];
+        // A row with any NULL key word never matches and stays out of the
+        // chains entirely (Inner join drops it).
+        let mut valid = vec![true; n];
+        for (j, &c) in key_cols.iter().enumerate() {
+            let ColumnData::Int(v) = cols[c].data() else {
+                unreachable!("vector table requires integer key columns");
+            };
+            let nulls = cols[c].nulls();
+            for i in 0..n {
+                keys[i * k + j] = v[i];
+                if nulls.get(i) {
+                    valid[i] = false;
+                }
+            }
+        }
+        let cap = (n.max(1) * 2).next_power_of_two();
+        let mut first = vec![NIL; cap];
+        let mut next = vec![NIL; n];
+        for i in (0..n).rev() {
+            if !valid[i] {
+                continue;
+            }
+            let b = (hash_keys(&keys[i * k..i * k + k]) as usize) & (cap - 1);
+            next[i] = first[b];
+            first[b] = i as u32;
+        }
+        VectorTable {
+            cols,
+            keys,
+            k,
+            first,
+            next,
+            mask: cap - 1,
+        }
+    }
+
+    /// Appends the build-row indices matching `key` to `out`, in build
+    /// arrival order.
+    #[inline]
+    fn matches_into(&self, key: &[i64], out: &mut Vec<u32>) {
+        let mut slot = self.first[(hash_keys(key) as usize) & self.mask];
+        while slot != NIL {
+            let i = slot as usize;
+            if self.keys[i * self.k..i * self.k + self.k] == *key {
+                out.push(slot);
+            }
+            slot = self.next[i];
+        }
+    }
+}
+
+/// One probe-side key column, resolved to its fastest access form once per
+/// probe batch.
+enum ProbeKeyCol<'a> {
+    /// Integer column: value + null bit.
+    Int(&'a [i64], &'a pyro_common::NullBitmap),
+    /// Heterogeneous column: only `Value::Int` cells can match.
+    Mixed(&'a [Value]),
+    /// Double/Str typed column: no cell can equal an integer build key
+    /// (join equality is `Value` equality, which never crosses types).
+    Never,
+}
+
+impl ProbeKeyCol<'_> {
+    /// The key word for row `i`, or `None` when the row cannot match.
+    #[inline]
+    fn word(&self, i: usize) -> Option<i64> {
+        match self {
+            ProbeKeyCol::Int(v, nulls) => (!nulls.get(i)).then(|| v[i]),
+            ProbeKeyCol::Mixed(vals) => match &vals[i] {
+                Value::Int(x) => Some(*x),
+                _ => None,
+            },
+            ProbeKeyCol::Never => None,
+        }
+    }
 }
 
 impl HashJoin {
@@ -65,7 +198,18 @@ impl HashJoin {
             build_stash: Stash::new(),
             probe_stash: Stash::new(),
             batch: DEFAULT_BATCH_SIZE,
+            columnar: false,
+            col_build: None,
+            probe_pos: None,
         }
+    }
+
+    /// Routes this operator's batch pull through the vectorized build/probe
+    /// kernel. Only honoured for inner joins (outer pads need the row
+    /// table's seen-bits); set only when both subtrees support native
+    /// columnar pulls.
+    pub fn set_columnar(&mut self, on: bool) {
+        self.columnar = on && matches!(self.kind, JoinKind::Inner);
     }
 
     fn build(&mut self, batched: bool) -> Result<BuildState> {
@@ -155,25 +299,62 @@ impl HashJoin {
         }
         Ok(true)
     }
-}
 
-impl Operator for HashJoin {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn next(&mut self) -> Result<Option<Tuple>> {
-        loop {
-            if let Some(t) = self.pending.next() {
-                return Ok(Some(t));
-            }
-            if !self.step(false)? {
-                return Ok(None);
+    /// Columnar build: drains the left input's columnar stream into one
+    /// concatenated set of owned columns (batch arrival order — identical
+    /// to the row build's pull order), then picks the table form. Integer
+    /// key columns get the flat chained table; anything else materializes
+    /// the same rows into the row table and the probe shims through the
+    /// row path.
+    fn build_columnar(&mut self) -> Result<()> {
+        let mut input = self.build_input.take().expect("build once");
+        let mut builders: Vec<ColumnBuilder> = (0..self.left_schema_len)
+            .map(|_| ColumnBuilder::new())
+            .collect();
+        while let Some(b) = input.next_columnar()? {
+            for (c, builder) in builders.iter_mut().enumerate() {
+                builder.append_column(b.column(c), b.sel());
             }
         }
+        let cols: Vec<ColumnVec> = builders.into_iter().map(ColumnBuilder::finish).collect();
+        let all_int = self
+            .left_key
+            .cols()
+            .iter()
+            .all(|&c| matches!(cols[c].data(), ColumnData::Int(_)));
+        if all_int {
+            self.col_build = Some(ColBuild::Vector(VectorTable::build(
+                cols,
+                self.left_key.cols(),
+            )));
+            return Ok(());
+        }
+        // Row fallback: rebuild the exact row stream and hand it to the row
+        // table so match semantics (Value equality, NULL handling) cannot
+        // diverge from the row path.
+        let n = cols.first().map_or(0, ColumnVec::len);
+        let mut table: HashMap<Vec<Value>, Vec<(Tuple, std::cell::Cell<bool>)>> = HashMap::new();
+        let mut null_rows = Vec::new();
+        for i in 0..n {
+            let t = Tuple::new(cols.iter().map(|c| c.value_at(i)).collect());
+            let key = t.key(self.left_key.cols());
+            if key.iter().any(Value::is_null) {
+                null_rows.push(t);
+            } else {
+                table
+                    .entry(key)
+                    .or_default()
+                    .push((t, std::cell::Cell::new(false)));
+            }
+        }
+        self.state = Some(BuildState { table, null_rows });
+        self.col_build = Some(ColBuild::RowFallback);
+        Ok(())
     }
 
-    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+    /// The row-granularity batch pull (original path); also serves the
+    /// columnar pull's row fallback.
+    fn next_batch_rows(&mut self) -> Result<Option<Vec<Tuple>>> {
         // Leftovers from the row path or the unmatched-rows drain.
         let mut out: Vec<Tuple> = Vec::new();
         while out.len() < self.batch {
@@ -216,12 +397,178 @@ impl Operator for HashJoin {
         Ok(if out.is_empty() { None } else { Some(out) })
     }
 
+    /// Walks the current probe batch from `cursor`, appending matched
+    /// `(build_row, probe_row)` index pairs until the output would reach
+    /// the batch size (each probe row's match set lands whole — the
+    /// overshoot the trait contract allows). Returns the new cursor.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_kernel(
+        table: &VectorTable,
+        batch: &ColumnarBatch,
+        sel: &[u32],
+        mut cursor: usize,
+        key_cols: &[usize],
+        target: usize,
+        build_idx: &mut Vec<u32>,
+        probe_idx: &mut Vec<u32>,
+    ) -> usize {
+        let key_views: Vec<ProbeKeyCol<'_>> = key_cols
+            .iter()
+            .map(|&c| {
+                let col = batch.column(c);
+                match col.data() {
+                    ColumnData::Int(v) => ProbeKeyCol::Int(v, col.nulls()),
+                    ColumnData::Mixed(vals) => ProbeKeyCol::Mixed(vals),
+                    ColumnData::Double(_) | ColumnData::Str(_) => ProbeKeyCol::Never,
+                }
+            })
+            .collect();
+        let mut key = vec![0i64; key_cols.len()];
+        'rows: while cursor < sel.len() {
+            if build_idx.len() >= target {
+                break;
+            }
+            let row = sel[cursor] as usize;
+            cursor += 1;
+            for (slot, view) in key.iter_mut().zip(&key_views) {
+                match view.word(row) {
+                    Some(w) => *slot = w,
+                    None => continue 'rows,
+                }
+            }
+            let before = build_idx.len();
+            table.matches_into(&key, build_idx);
+            for _ in before..build_idx.len() {
+                probe_idx.push(row as u32);
+            }
+        }
+        cursor
+    }
+
+    /// Gathers the matched rows column-at-a-time: build columns indexed by
+    /// `build_idx`, probe columns by `probe_idx`.
+    fn gather_output(
+        &self,
+        table: &VectorTable,
+        probe: &ColumnarBatch,
+        build_idx: &[u32],
+        probe_idx: &[u32],
+    ) -> ColumnarBatch {
+        let mut builders: Vec<ColumnBuilder> = (0..self.schema.len())
+            .map(|_| ColumnBuilder::new())
+            .collect();
+        for (c, builder) in builders.iter_mut().enumerate().take(self.left_schema_len) {
+            builder.append_column(&table.cols[c], Some(build_idx));
+        }
+        for (c, builder) in builders.iter_mut().enumerate().skip(self.left_schema_len) {
+            builder.append_column(probe.column(c - self.left_schema_len), Some(probe_idx));
+        }
+        ColumnarBatch::from_builders(builders)
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.next() {
+                return Ok(Some(t));
+            }
+            if !self.step(false)? {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        if self.columnar {
+            return Ok(self.next_columnar()?.map(|b| b.to_rows()));
+        }
+        self.next_batch_rows()
+    }
+
+    /// Vectorized inner join. Build concatenates the left stream's columns
+    /// once; probing extracts integer key words per probe batch, walks the
+    /// flat chains, and gathers output column-at-a-time. Emission order is
+    /// the row path's exactly: probe stream order, matches per probe row in
+    /// build arrival order. Non-integer build keys shim through the row
+    /// probe (`RowFallback`).
+    fn next_columnar(&mut self) -> Result<Option<ColumnarBatch>> {
+        if !matches!(self.kind, JoinKind::Inner) {
+            // Outer pads need the row table's seen-bits; shim.
+            return Ok(self
+                .next_batch_rows()?
+                .map(|b| ColumnarBatch::from_rows(&b)));
+        }
+        if self.col_build.is_none() {
+            self.build_columnar()?;
+        }
+        // Detach the build state so the probe loop can borrow `self`
+        // mutably (pulling the right child) while reading the table.
+        let built = self.col_build.take().expect("built");
+        let result = self.probe_columnar(&built);
+        self.col_build = Some(built);
+        result
+    }
+
     fn batch_size(&self) -> usize {
         self.batch
     }
 
     fn set_batch_size(&mut self, rows: usize) {
         self.batch = rows.max(1);
+    }
+}
+
+impl HashJoin {
+    fn probe_columnar(&mut self, built: &ColBuild) -> Result<Option<ColumnarBatch>> {
+        let table = match built {
+            ColBuild::RowFallback => {
+                return Ok(self
+                    .next_batch_rows()?
+                    .map(|b| ColumnarBatch::from_rows(&b)));
+            }
+            ColBuild::Vector(t) => t,
+        };
+        let mut build_idx: Vec<u32> = Vec::new();
+        let mut probe_idx: Vec<u32> = Vec::new();
+        loop {
+            if let Some((pb, sel, cursor)) = self.probe_pos.take() {
+                let new_cursor = Self::probe_kernel(
+                    table,
+                    &pb,
+                    &sel,
+                    cursor,
+                    self.right_key.cols(),
+                    self.batch,
+                    &mut build_idx,
+                    &mut probe_idx,
+                );
+                let exhausted = new_cursor >= sel.len();
+                if !exhausted {
+                    // More rows remain in this batch; the output target was
+                    // reached. Gather before putting the batch back.
+                    let out = self.gather_output(table, &pb, &build_idx, &probe_idx);
+                    self.probe_pos = Some((pb, sel, new_cursor));
+                    return Ok(Some(out));
+                }
+                if !build_idx.is_empty() {
+                    return Ok(Some(self.gather_output(table, &pb, &build_idx, &probe_idx)));
+                }
+                // Batch fully probed with no matches: fall through to pull
+                // the next one.
+            }
+            match self.right.next_columnar()? {
+                Some(pb) => {
+                    let sel = pb.sel_vec();
+                    self.probe_pos = Some((pb, sel, 0));
+                }
+                None => return Ok(None),
+            }
+        }
     }
 }
 
@@ -301,5 +648,135 @@ mod tests {
     fn duplicate_keys_cross() {
         let out = join(&[(1, 1), (1, 2)], &[(1, 3), (1, 4)], JoinKind::Inner);
         assert_eq!(out.len(), 4);
+    }
+
+    /// The vectorized columnar pull must emit the row batch pull's rows in
+    /// the row batch pull's order — duplicate keys, NULL keys, multi-column
+    /// keys, and sub-batch-size output slices included.
+    #[test]
+    fn columnar_pull_matches_row_pull() {
+        use crate::op::collect_batched;
+
+        let left_rows: Vec<Tuple> = (0..200)
+            .map(|i| {
+                Tuple::new(vec![
+                    if i % 17 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i % 23)
+                    },
+                    Value::Int(i),
+                ])
+            })
+            .collect();
+        let right_rows: Vec<Tuple> = (0..150)
+            .map(|i| {
+                Tuple::new(vec![
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i % 29)
+                    },
+                    Value::Int(1000 + i),
+                ])
+            })
+            .collect();
+        let make = |columnar: bool, batch: usize| {
+            let left = ValuesOp::new(Schema::ints(&["a", "b"]), left_rows.clone());
+            let right = ValuesOp::new(Schema::ints(&["c", "d"]), right_rows.clone());
+            let mut op = HashJoin::new(
+                Box::new(left),
+                Box::new(right),
+                KeySpec::new(vec![0]),
+                KeySpec::new(vec![0]),
+                JoinKind::Inner,
+            );
+            op.set_columnar(columnar);
+            op.set_batch_size(batch);
+            Box::new(op)
+        };
+        let reference = collect_batched(make(false, 1024)).unwrap();
+        assert!(!reference.is_empty());
+        for batch in [1usize, 7, 1024] {
+            let out = collect_batched(make(true, batch)).unwrap();
+            assert_eq!(reference, out, "batch size {batch}");
+        }
+    }
+
+    /// Non-integer build keys take the row-table fallback inside the
+    /// columnar pull and must still match the row path exactly.
+    #[test]
+    fn columnar_fallback_on_string_keys_matches_row_pull() {
+        use crate::op::collect_batched;
+        use pyro_common::{Column, DataType};
+
+        let schema = |a: &str, b: &str| {
+            Schema::new(vec![
+                Column::new(a, DataType::Str),
+                Column::new(b, DataType::Int),
+            ])
+        };
+        let left_rows: Vec<Tuple> = (0..40)
+            .map(|i| {
+                Tuple::new(vec![
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Str(format!("k{}", i % 9))
+                    },
+                    Value::Int(i),
+                ])
+            })
+            .collect();
+        let right_rows: Vec<Tuple> = (0..30)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Str(format!("k{}", i % 12)),
+                    Value::Int(100 + i),
+                ])
+            })
+            .collect();
+        let make = |columnar: bool| {
+            let left = ValuesOp::new(schema("a", "b"), left_rows.clone());
+            let right = ValuesOp::new(schema("c", "d"), right_rows.clone());
+            let mut op = HashJoin::new(
+                Box::new(left),
+                Box::new(right),
+                KeySpec::new(vec![0]),
+                KeySpec::new(vec![0]),
+                JoinKind::Inner,
+            );
+            op.set_columnar(columnar);
+            Box::new(op)
+        };
+        let reference = collect_batched(make(false)).unwrap();
+        assert!(!reference.is_empty());
+        assert_eq!(reference, collect_batched(make(true)).unwrap());
+    }
+
+    /// Int build keys never match Double/Str probe cells (`Value` equality
+    /// is typed), and the vectorized probe must agree.
+    #[test]
+    fn columnar_probe_type_mismatch_never_matches() {
+        use crate::op::collect_batched;
+
+        let left = ValuesOp::new(Schema::ints(&["a", "b"]), rows(&[(1, 10), (2, 20)]));
+        let right_rows = vec![
+            Tuple::new(vec![Value::Double(1.0), Value::Int(0)]),
+            Tuple::new(vec![Value::Int(2), Value::Int(1)]),
+            Tuple::new(vec![Value::Null, Value::Int(2)]),
+        ];
+        let right = ValuesOp::new(Schema::ints(&["c", "d"]), right_rows);
+        let mut op = HashJoin::new(
+            Box::new(left),
+            Box::new(right),
+            KeySpec::new(vec![0]),
+            KeySpec::new(vec![0]),
+            JoinKind::Inner,
+        );
+        op.set_columnar(true);
+        let out = collect_batched(Box::new(op)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0), &Value::Int(2));
     }
 }

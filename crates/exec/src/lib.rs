@@ -36,6 +36,7 @@ pub mod project;
 pub mod scan;
 pub mod sort;
 pub mod union;
+pub mod vector;
 
 pub use exchange::{hash_key, repartition, Fragment, Gather, GatherMerge, PartitionSource};
 pub use expr::{CmpOp, Expr};
@@ -44,3 +45,4 @@ pub use op::{
     collect, collect_batched, BoxOp, Operator, Pipeline, Rows, Stash, ValuesOp, DEFAULT_BATCH_SIZE,
 };
 pub use scan::{FileScan, MorselScan, MorselSource};
+pub use vector::{eval_column, VecPredicate};

@@ -18,7 +18,7 @@
 //! buffered input that the row path does not see.
 
 use crate::metrics::MetricsRef;
-use pyro_common::{Result, Schema, Tuple};
+use pyro_common::{ColumnarBatch, Result, Schema, Tuple};
 use pyro_storage::StoreRef;
 
 /// Default number of rows per batch (the `SessionBuilder::batch_size`
@@ -87,6 +87,24 @@ pub trait Operator {
             }
         }
         Ok(if out.is_empty() { None } else { Some(out) })
+    }
+
+    /// Pulls roughly one batch of output in columnar (SoA) layout. Same
+    /// contract as [`Operator::next_batch`]: `Ok(None)` only at end of
+    /// stream, short batches carry no meaning, overshoot by one natural
+    /// production unit is allowed, and the pull styles must not be
+    /// interleaved on one operator.
+    ///
+    /// The default shims the row batch through
+    /// [`ColumnarBatch::from_rows`], so any operator can sit under a
+    /// vectorized parent; the hot operators (scan, filter, project, hash
+    /// join) override it with kernels that never box a row. None of those
+    /// operators charge `ExecMetrics`, which is why the columnar path is
+    /// outside the counter-parity contract's blast radius: converters only
+    /// change *how* cells are laid out, never what work the metered
+    /// operators do.
+    fn next_columnar(&mut self) -> Result<Option<ColumnarBatch>> {
+        Ok(self.next_batch()?.map(|b| ColumnarBatch::from_rows(&b)))
     }
 
     /// The operator's configured batch granularity in rows.
@@ -171,6 +189,24 @@ impl Stash {
                 None => return Ok(None),
             }
         }
+    }
+
+    /// The next whole chunk of input: buffered rows first (the remainder of
+    /// a batch partially consumed row-wise), then a fresh child batch.
+    /// Bulk consumers (sort ingest) use this to move rows by `Vec` append
+    /// instead of one iterator step per row.
+    pub fn next_chunk(&mut self, child: &mut BoxOp) -> Result<Option<Vec<Tuple>>> {
+        if self.buf.len() > 0 {
+            return Ok(Some(self.buf.by_ref().collect()));
+        }
+        child.next_batch()
+    }
+
+    /// Puts unconsumed rows back so the next pull (row- or chunk-wise)
+    /// returns them first. The stash must be empty.
+    pub fn preload(&mut self, rows: Vec<Tuple>) {
+        debug_assert_eq!(self.buf.len(), 0, "preload over buffered rows");
+        self.buf = rows.into_iter();
     }
 }
 

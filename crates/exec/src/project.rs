@@ -2,7 +2,8 @@
 
 use crate::expr::Expr;
 use crate::op::{BoxOp, Operator};
-use pyro_common::{Result, Schema, Tuple, Value};
+use crate::vector::eval_column;
+use pyro_common::{ColumnarBatch, Result, Schema, Tuple, Value};
 
 /// Evaluates one expression per output column.
 pub struct Project {
@@ -14,6 +15,10 @@ pub struct Project {
     /// reused scratch buffer instead of interpreting expressions.
     cols: Option<Vec<usize>>,
     scratch: Vec<Value>,
+    /// When set (by the plan compiler, for fully columnar subtrees) the
+    /// batch pull runs the columnar kernel and materializes rows at this
+    /// seam; the row pull (`next`) is unaffected.
+    columnar: bool,
 }
 
 impl Project {
@@ -34,6 +39,7 @@ impl Project {
             schema,
             cols,
             scratch: Vec::new(),
+            columnar: false,
         }
     }
 
@@ -42,6 +48,12 @@ impl Project {
         let schema = child.schema().project(indices);
         let exprs = indices.iter().map(|&i| Expr::Col(i)).collect();
         Project::new(child, exprs, schema)
+    }
+
+    /// Routes this operator's batch pull through the columnar kernel. Set
+    /// only when the whole subtree below supports native columnar pulls.
+    pub fn set_columnar(&mut self, on: bool) {
+        self.columnar = on;
     }
 
     fn project_row(&self, t: &Tuple) -> Result<Tuple> {
@@ -66,6 +78,9 @@ impl Operator for Project {
     }
 
     fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        if self.columnar {
+            return Ok(self.next_columnar()?.map(|b| b.to_rows()));
+        }
         let Some(mut batch) = self.child.next_batch()? else {
             return Ok(None);
         };
@@ -85,6 +100,33 @@ impl Operator for Project {
         Ok(Some(batch))
     }
 
+    /// Native columnar projection: plain column references are a refcount
+    /// bump (column shuffling), arithmetic runs column-at-a-time, and the
+    /// child's selection vector passes through untouched. Expressions the
+    /// kernel can't vectorize project a materialized copy of the batch.
+    fn next_columnar(&mut self) -> Result<Option<ColumnarBatch>> {
+        let Some(batch) = self.child.next_columnar()? else {
+            return Ok(None);
+        };
+        let mut columns = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            match eval_column(e, &batch) {
+                Some(c) => columns.push(c),
+                None => {
+                    // Row fallback for this batch: evaluate with the
+                    // interpreter, then convert back.
+                    let rows = batch.to_rows();
+                    let mut out = Vec::with_capacity(rows.len());
+                    for t in &rows {
+                        out.push(self.project_row(t)?);
+                    }
+                    return Ok(Some(ColumnarBatch::from_rows(&out)));
+                }
+            }
+        }
+        Ok(Some(batch.with_columns(columns)))
+    }
+
     fn batch_size(&self) -> usize {
         self.child.batch_size()
     }
@@ -102,7 +144,7 @@ impl Operator for Project {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::{collect, ValuesOp};
+    use crate::op::{collect, collect_batched, ValuesOp};
     use pyro_common::{Column, DataType, Value};
 
     #[test]
@@ -130,5 +172,46 @@ mod tests {
         );
         let out = collect(Box::new(p)).unwrap();
         assert_eq!(out[0], Tuple::new(vec![Value::Int(12)]));
+    }
+
+    /// The columnar batch pull must emit exactly what the row batch pull
+    /// emits for column keeps, arithmetic, and literal columns.
+    #[test]
+    fn columnar_pull_matches_row_pull() {
+        let rows: Vec<Tuple> = (0..50)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    if i % 4 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Double(i as f64 / 4.0)
+                    },
+                ])
+            })
+            .collect();
+        let cases: Vec<(Vec<Expr>, Schema)> = vec![
+            (vec![Expr::col(1), Expr::col(0)], Schema::ints(&["b", "a"])),
+            (
+                vec![Expr::mul(Expr::col(0), Expr::col(1)), Expr::lit(7i64)],
+                Schema::ints(&["m", "k"]),
+            ),
+        ];
+        for (exprs, schema) in cases {
+            let reference = collect_batched(Box::new(Project::new(
+                Box::new(ValuesOp::new(Schema::ints(&["a", "b"]), rows.clone())),
+                exprs.clone(),
+                schema.clone(),
+            )))
+            .unwrap();
+            let mut columnar = Project::new(
+                Box::new(ValuesOp::new(Schema::ints(&["a", "b"]), rows.clone())),
+                exprs.clone(),
+                schema,
+            );
+            columnar.set_columnar(true);
+            let out = collect_batched(Box::new(columnar)).unwrap();
+            assert_eq!(reference, out, "exprs {exprs:?}");
+        }
     }
 }

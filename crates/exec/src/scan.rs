@@ -7,7 +7,7 @@
 //! device).
 
 use crate::op::{Operator, DEFAULT_BATCH_SIZE};
-use pyro_common::{Result, Schema, Tuple, Value};
+use pyro_common::{ColumnBuilder, ColumnarBatch, Result, Schema, Tuple, Value};
 use pyro_storage::{TupleFile, TupleFileScan};
 use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -91,6 +91,25 @@ impl Operator for FileScan {
         };
         self.emitted += out.len();
         Ok(Some(out))
+    }
+
+    /// Native columnar scan: pages decode straight into typed column
+    /// vectors — no `Tuple` is boxed. May overshoot the batch size by the
+    /// tail of the last decoded page (allowed by the batch contract).
+    fn next_columnar(&mut self) -> Result<Option<ColumnarBatch>> {
+        debug_assert!(
+            self.pending.is_empty(),
+            "columnar and row batch pulls must not interleave on a scan"
+        );
+        let mut builders: Vec<ColumnBuilder> = (0..self.schema.len())
+            .map(|_| ColumnBuilder::new())
+            .collect();
+        if !self.scan.fill_columns(&mut builders, self.batch)? {
+            return Ok(None);
+        }
+        let batch = ColumnarBatch::from_builders(builders);
+        self.emitted += batch.num_rows();
+        Ok(Some(batch))
     }
 
     fn batch_size(&self) -> usize {

@@ -162,13 +162,34 @@ impl PartialSort {
         Ok(())
     }
 
+    /// Admits one tuple into the current segment's buffer, spilling first
+    /// when the byte budget would overflow. Shared by both ingest paths so
+    /// spill boundaries (and the charged comparisons behind them) are
+    /// identical row-wise and batch-wise.
+    fn admit(&mut self, t: Tuple) -> Result<()> {
+        if self.buffer_bytes + t.byte_size() > self.budget.bytes() && !self.buffer.is_empty() {
+            self.spill_buffer()?;
+        }
+        self.buffer_bytes += t.byte_size();
+        self.buffer.push(t);
+        Ok(())
+    }
+
     /// Accumulates input until the current segment ends (or input does).
     /// Returns `true` if a segment was closed.
     fn fill_segment(&mut self, batched: bool) -> Result<bool> {
+        if batched {
+            self.fill_segment_batched()
+        } else {
+            self.fill_segment_rows()
+        }
+    }
+
+    fn fill_segment_rows(&mut self) -> Result<bool> {
         loop {
             let t = match self.pending.take() {
                 Some(t) => Some(t),
-                None => pull_row(&mut self.child, &mut self.stash, batched)?,
+                None => pull_row(&mut self.child, &mut self.stash, false)?,
             };
             let Some(t) = t else {
                 self.input_done = true;
@@ -191,11 +212,49 @@ impl PartialSort {
                 }
                 Some(_) => {} // empty prefix: one segment spans the input
             }
-            if self.buffer_bytes + t.byte_size() > self.budget.bytes() && !self.buffer.is_empty() {
-                self.spill_buffer()?;
+            self.admit(t)?;
+        }
+    }
+
+    /// Batch-granularity ingest: walks whole child batches instead of
+    /// issuing a per-row pull. At a segment boundary the unconsumed tail of
+    /// the batch is stashed for the next segment. Boundary checks, charged
+    /// comparisons and spill points are per-row exactly as in
+    /// [`Self::fill_segment_rows`].
+    fn fill_segment_batched(&mut self) -> Result<bool> {
+        // The row deferred at the previous boundary opens this segment; it
+        // can never itself be a boundary (the key was just cleared).
+        if let Some(t) = self.pending.take() {
+            debug_assert!(self.segment_key.is_none(), "pending row mid-segment");
+            self.segment_key = Some(self.prefix_key_of(&t));
+            self.admit(t)?;
+        }
+        loop {
+            let Some(chunk) = self.stash.next_chunk(&mut self.child)? else {
+                self.input_done = true;
+                if !self.buffer.is_empty() || !self.segment_runs.is_empty() {
+                    self.close_segment()?;
+                    return Ok(true);
+                }
+                return Ok(false);
+            };
+            let mut it = chunk.into_iter();
+            while let Some(t) = it.next() {
+                match &self.segment_key {
+                    None => self.segment_key = Some(self.prefix_key_of(&t)),
+                    Some(key) if !self.prefix.is_empty() => {
+                        let key = key.clone();
+                        if !self.matches_segment(&key, &t) {
+                            self.pending = Some(t);
+                            self.stash.preload(it.collect());
+                            self.close_segment()?;
+                            return Ok(true);
+                        }
+                    }
+                    Some(_) => {} // empty prefix: one segment spans the input
+                }
+                self.admit(t)?;
             }
-            self.buffer_bytes += t.byte_size();
-            self.buffer.push(t);
         }
     }
 }

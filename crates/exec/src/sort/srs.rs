@@ -78,17 +78,38 @@ impl StandardReplacementSort {
         let mut child = self.child.take().expect("build called once");
         let budget_bytes = self.budget.bytes();
 
-        // Buffer until the budget overflows or input ends.
+        // Buffer until the budget overflows or input ends. The batched path
+        // ingests whole child batches (one Vec move per batch instead of a
+        // per-row pull); byte accounting and the overflow boundary are
+        // per-row in both paths, so the buffered prefix — and therefore
+        // every downstream comparison and run counter — is identical.
         let mut buffer: Vec<Tuple> = Vec::new();
         let mut bytes = 0usize;
         let mut overflow: Option<Tuple> = None;
-        while let Some(t) = pull_row(&mut child, &mut self.stash, batched)? {
-            if bytes + t.byte_size() > budget_bytes && !buffer.is_empty() {
-                overflow = Some(t);
-                break;
+        if batched {
+            'ingest: while let Some(chunk) = self.stash.next_chunk(&mut child)? {
+                let mut it = chunk.into_iter();
+                while let Some(t) = it.next() {
+                    if bytes + t.byte_size() > budget_bytes && !buffer.is_empty() {
+                        overflow = Some(t);
+                        // Unconsumed rows feed the replacement-selection
+                        // refill loop below.
+                        self.stash.preload(it.collect());
+                        break 'ingest;
+                    }
+                    bytes += t.byte_size();
+                    buffer.push(t);
+                }
             }
-            bytes += t.byte_size();
-            buffer.push(t);
+        } else {
+            while let Some(t) = pull_row(&mut child, &mut self.stash, false)? {
+                if bytes + t.byte_size() > budget_bytes && !buffer.is_empty() {
+                    overflow = Some(t);
+                    break;
+                }
+                bytes += t.byte_size();
+                buffer.push(t);
+            }
         }
 
         if overflow.is_none() {

@@ -1,0 +1,508 @@
+//! Vectorized expression kernels over [`ColumnarBatch`]es.
+//!
+//! Two entry points:
+//!
+//! * [`VecPredicate`] compiles the pushed-down filter shape (conjunctions of
+//!   comparisons over columns and literals) into per-column loops that
+//!   *refine a selection vector* — no row is materialized and no `Value` is
+//!   cloned. Semantics are bit-identical to [`Expr::compile_predicate`] /
+//!   `Expr::eval_bool`: a comparison with a NULL operand is not-true, and
+//!   mixed-type comparisons follow [`Value`]'s total order (numerics compare
+//!   numerically, any numeric sorts before any string, NULLs last).
+//! * [`eval_column`] evaluates a projection expression column-at-a-time,
+//!   returning a shared column (`Expr::Col` is a refcount bump) or a freshly
+//!   computed one for arithmetic.
+//!
+//! Anything outside these shapes returns `None` and the calling operator
+//! falls back to its row implementation for that batch — a correctness
+//! escape hatch, not an error.
+
+use crate::expr::{CmpOp, Expr};
+use pyro_common::columnar::StrArena;
+use pyro_common::{ColumnBuilder, ColumnData, ColumnVec, ColumnarBatch, NullBitmap, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// One conjunct of a compiled vectorized predicate.
+enum Term {
+    /// `col <op> lit` (or the mirrored `lit <op> col` with `swapped`).
+    ColLit {
+        col: usize,
+        op: CmpOp,
+        lit: Value,
+        swapped: bool,
+    },
+    /// `col <op> col`.
+    ColCol { a: usize, b: usize, op: CmpOp },
+    /// A constant conjunct (`Lit` truthiness, NULL literals, lit-lit).
+    Const(bool),
+}
+
+/// A filter predicate compiled to selection-vector refinement loops.
+pub struct VecPredicate {
+    terms: Vec<Term>,
+}
+
+impl VecPredicate {
+    /// Compiles `expr` if it is a conjunction of comparisons over columns
+    /// and literals (the shape every pushed-down filter in this engine
+    /// has). Returns `None` when any conjunct needs the row interpreter.
+    pub fn compile(expr: &Expr) -> Option<VecPredicate> {
+        let mut terms = Vec::new();
+        collect_terms(expr, &mut terms)?;
+        Some(VecPredicate { terms })
+    }
+
+    /// Refines `sel` (ascending physical row indices into `batch`) to the
+    /// rows every conjunct accepts, in place.
+    pub fn refine(&self, batch: &ColumnarBatch, sel: &mut Vec<u32>) {
+        for term in &self.terms {
+            if sel.is_empty() {
+                return;
+            }
+            match term {
+                Term::Const(true) => {}
+                Term::Const(false) => {
+                    sel.clear();
+                    return;
+                }
+                Term::ColLit {
+                    col,
+                    op,
+                    lit,
+                    swapped,
+                } => refine_col_lit(batch.column(*col), *op, lit, *swapped, sel),
+                Term::ColCol { a, b, op } => {
+                    refine_col_col(batch.column(*a), batch.column(*b), *op, sel)
+                }
+            }
+        }
+    }
+}
+
+fn collect_terms(expr: &Expr, out: &mut Vec<Term>) -> Option<()> {
+    match expr {
+        Expr::And(a, b) => {
+            collect_terms(a, out)?;
+            collect_terms(b, out)
+        }
+        Expr::Cmp(op, a, b) => {
+            let term = match (&**a, &**b) {
+                (Expr::Col(i), Expr::Lit(v)) => {
+                    if v.is_null() {
+                        Term::Const(false)
+                    } else {
+                        Term::ColLit {
+                            col: *i,
+                            op: *op,
+                            lit: v.clone(),
+                            swapped: false,
+                        }
+                    }
+                }
+                (Expr::Lit(v), Expr::Col(i)) => {
+                    if v.is_null() {
+                        Term::Const(false)
+                    } else {
+                        Term::ColLit {
+                            col: *i,
+                            op: *op,
+                            lit: v.clone(),
+                            swapped: true,
+                        }
+                    }
+                }
+                (Expr::Col(i), Expr::Col(j)) => Term::ColCol {
+                    a: *i,
+                    b: *j,
+                    op: *op,
+                },
+                (Expr::Lit(v), Expr::Lit(w)) => {
+                    Term::Const(!v.is_null() && !w.is_null() && op.test(v.cmp(w)))
+                }
+                _ => return None,
+            };
+            out.push(term);
+            Some(())
+        }
+        Expr::Lit(v) => {
+            let truthy = match v {
+                Value::Null => false,
+                Value::Int(i) => *i != 0,
+                Value::Double(d) => *d != 0.0,
+                Value::Str(s) => !s.is_empty(),
+            };
+            out.push(Term::Const(truthy));
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+/// Applies `op` to the cell-vs-literal ordering, honoring operand order.
+#[inline]
+fn test(op: CmpOp, cell_vs_lit: Ordering, swapped: bool) -> bool {
+    // `lit.cmp(cell)` is the reverse of `cell.cmp(lit)` under a total order.
+    op.test(if swapped {
+        cell_vs_lit.reverse()
+    } else {
+        cell_vs_lit
+    })
+}
+
+/// Keeps the selected rows where `col <op> lit` holds (NULL cells never
+/// pass). One typed dispatch, then a tight loop.
+fn refine_col_lit(col: &Arc<ColumnVec>, op: CmpOp, lit: &Value, swapped: bool, sel: &mut Vec<u32>) {
+    let nulls = col.nulls();
+    match (col.data(), lit) {
+        (ColumnData::Int(v), Value::Int(k)) => {
+            let k = *k;
+            sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.get(i) && test(op, v[i].cmp(&k), swapped)
+            });
+        }
+        (ColumnData::Int(v), Value::Double(d)) => {
+            let d = *d;
+            sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.get(i) && test(op, (v[i] as f64).total_cmp(&d), swapped)
+            });
+        }
+        (ColumnData::Double(v), Value::Int(k)) => {
+            let d = *k as f64;
+            sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.get(i) && test(op, v[i].total_cmp(&d), swapped)
+            });
+        }
+        (ColumnData::Double(v), Value::Double(d)) => {
+            let d = *d;
+            sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.get(i) && test(op, v[i].total_cmp(&d), swapped)
+            });
+        }
+        (ColumnData::Str(a), Value::Str(s)) => {
+            let s = s.as_bytes();
+            sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.get(i) && test(op, a.bytes_at(i).cmp(s), swapped)
+            });
+        }
+        // Cross-type rank comparisons are constant per `Value`'s total
+        // order: any numeric < any string.
+        (ColumnData::Int(_) | ColumnData::Double(_), Value::Str(_)) => {
+            retain_rank(nulls, op, Ordering::Less, swapped, sel);
+        }
+        (ColumnData::Str(_), Value::Int(_) | Value::Double(_)) => {
+            retain_rank(nulls, op, Ordering::Greater, swapped, sel);
+        }
+        (ColumnData::Mixed(vals), lit) => {
+            sel.retain(|&i| {
+                let x = &vals[i as usize];
+                !x.is_null() && test(op, x.cmp(lit), swapped)
+            });
+        }
+        // A NULL literal was already folded to `Const(false)`.
+        (_, Value::Null) => sel.clear(),
+    }
+}
+
+/// Rank-based cross-type case: every non-NULL cell compares `rank` against
+/// the literal, so the verdict only depends on the null bit.
+fn retain_rank(nulls: &NullBitmap, op: CmpOp, rank: Ordering, swapped: bool, sel: &mut Vec<u32>) {
+    if test(op, rank, swapped) {
+        if nulls.any() {
+            sel.retain(|&i| !nulls.get(i as usize));
+        }
+    } else {
+        sel.clear();
+    }
+}
+
+/// Keeps the selected rows where `a <op> b` holds (a NULL on either side
+/// never passes).
+fn refine_col_col(a: &Arc<ColumnVec>, b: &Arc<ColumnVec>, op: CmpOp, sel: &mut Vec<u32>) {
+    let (an, bn) = (a.nulls(), b.nulls());
+    match (a.data(), b.data()) {
+        (ColumnData::Int(x), ColumnData::Int(y)) => {
+            sel.retain(|&i| {
+                let i = i as usize;
+                !an.get(i) && !bn.get(i) && op.test(x[i].cmp(&y[i]))
+            });
+        }
+        (ColumnData::Double(x), ColumnData::Double(y)) => {
+            sel.retain(|&i| {
+                let i = i as usize;
+                !an.get(i) && !bn.get(i) && op.test(x[i].total_cmp(&y[i]))
+            });
+        }
+        (ColumnData::Int(x), ColumnData::Double(y)) => {
+            sel.retain(|&i| {
+                let i = i as usize;
+                !an.get(i) && !bn.get(i) && op.test((x[i] as f64).total_cmp(&y[i]))
+            });
+        }
+        (ColumnData::Double(x), ColumnData::Int(y)) => {
+            sel.retain(|&i| {
+                let i = i as usize;
+                !an.get(i) && !bn.get(i) && op.test(x[i].total_cmp(&(y[i] as f64)))
+            });
+        }
+        (ColumnData::Str(x), ColumnData::Str(y)) => {
+            sel.retain(|&i| {
+                let i = i as usize;
+                !an.get(i) && !bn.get(i) && op.test(x.bytes_at(i).cmp(y.bytes_at(i)))
+            });
+        }
+        _ => {
+            sel.retain(|&i| {
+                let i = i as usize;
+                !an.get(i) && !bn.get(i) && op.test(a.cell(i).order(b.cell(i)))
+            });
+        }
+    }
+}
+
+/// Evaluates a projection expression over a batch, column-at-a-time.
+///
+/// `Col` shares the input column; `Lit` materializes a constant column;
+/// `Add`/`Sub`/`Mul` compute over every *physical* row (values at
+/// unselected indices are real decoded cells, so computing them is safe and
+/// keeps the loops branch-free) with semantics identical to [`Value::add`]
+/// and friends: NULL propagates, `Int × Int` wraps, mixed numerics widen to
+/// `Double`, strings yield NULL. Returns `None` for shapes the Project
+/// kernel doesn't vectorize (comparisons inside a SELECT list).
+pub fn eval_column(expr: &Expr, batch: &ColumnarBatch) -> Option<Arc<ColumnVec>> {
+    match expr {
+        Expr::Col(i) => Some(Arc::clone(batch.column(*i))),
+        Expr::Lit(v) => Some(Arc::new(const_column(v, batch.num_rows()))),
+        Expr::Add(a, b) => numeric_kernel(a, b, batch, |x, y| x + y, i64::wrapping_add),
+        Expr::Sub(a, b) => numeric_kernel(a, b, batch, |x, y| x - y, i64::wrapping_sub),
+        Expr::Mul(a, b) => numeric_kernel(a, b, batch, |x, y| x * y, i64::wrapping_mul),
+        Expr::Cmp(..) | Expr::And(..) => None,
+    }
+}
+
+/// A column holding `v` at every row.
+fn const_column(v: &Value, n: usize) -> ColumnVec {
+    let mut nulls = NullBitmap::new();
+    let data = match v {
+        Value::Null => {
+            return ColumnVec::new(ColumnData::Int(vec![0; n]), NullBitmap::all_null(n));
+        }
+        Value::Int(k) => ColumnData::Int(vec![*k; n]),
+        Value::Double(d) => ColumnData::Double(vec![*d; n]),
+        Value::Str(s) => {
+            let mut a = StrArena::new();
+            for _ in 0..n {
+                a.push(s);
+            }
+            ColumnData::Str(a)
+        }
+    };
+    for _ in 0..n {
+        nulls.push(false);
+    }
+    ColumnVec::new(data, nulls)
+}
+
+/// `a <op> b` over two evaluated columns with `numeric_binop` semantics.
+fn numeric_kernel(
+    a: &Expr,
+    b: &Expr,
+    batch: &ColumnarBatch,
+    f_f: impl Fn(f64, f64) -> f64,
+    f_i: impl Fn(i64, i64) -> i64,
+) -> Option<Arc<ColumnVec>> {
+    let a = eval_column(a, batch)?;
+    let b = eval_column(b, batch)?;
+    let n = batch.num_rows();
+    let (an, bn) = (a.nulls(), b.nulls());
+    let col = match (a.data(), b.data()) {
+        (ColumnData::Int(x), ColumnData::Int(y)) => {
+            let mut nulls = NullBitmap::new();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                nulls.push(an.get(i) || bn.get(i));
+                out.push(f_i(x[i], y[i]));
+            }
+            ColumnVec::new(ColumnData::Int(out), nulls)
+        }
+        (
+            ColumnData::Int(_) | ColumnData::Double(_),
+            ColumnData::Int(_) | ColumnData::Double(_),
+        ) => {
+            let (x, y) = (as_f64_view(a.data()), as_f64_view(b.data()));
+            let mut nulls = NullBitmap::new();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                nulls.push(an.get(i) || bn.get(i));
+                out.push(f_f(x.get(i), y.get(i)));
+            }
+            ColumnVec::new(ColumnData::Double(out), nulls)
+        }
+        // Strings or mixed columns: defer to `Value` arithmetic cell-wise,
+        // so the result (including Str -> NULL) matches the row path bit
+        // for bit.
+        _ => {
+            let mut builder = ColumnBuilder::new();
+            for i in 0..n {
+                let (va, vb) = (cell_value(&a, i), cell_value(&b, i));
+                builder.push_value(&apply_value(&va, &vb, &f_f, &f_i));
+            }
+            builder.finish()
+        }
+    };
+    Some(Arc::new(col))
+}
+
+/// Borrow-cheap f64 view over an Int or Double column (kernel-internal).
+enum F64View<'a> {
+    Int(&'a [i64]),
+    Double(&'a [f64]),
+}
+
+impl F64View<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            F64View::Int(v) => v[i] as f64,
+            F64View::Double(v) => v[i],
+        }
+    }
+}
+
+fn as_f64_view(data: &ColumnData) -> F64View<'_> {
+    match data {
+        ColumnData::Int(v) => F64View::Int(v),
+        ColumnData::Double(v) => F64View::Double(v),
+        _ => unreachable!("numeric view over non-numeric column"),
+    }
+}
+
+fn cell_value(col: &ColumnVec, i: usize) -> Value {
+    col.value_at(i)
+}
+
+fn apply_value(
+    a: &Value,
+    b: &Value,
+    f_f: &impl Fn(f64, f64) -> f64,
+    f_i: &impl Fn(i64, i64) -> i64,
+) -> Value {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Value::Null,
+        (Value::Int(x), Value::Int(y)) => Value::Int(f_i(*x, *y)),
+        _ => match (a.as_double(), b.as_double()) {
+            (Some(x), Some(y)) => Value::Double(f_f(x, y)),
+            _ => Value::Null,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyro_common::Tuple;
+
+    /// Rows mixing every type in column 0, Ints in column 1, a second Int
+    /// column with NULL holes in column 2.
+    fn test_batch() -> (Vec<Tuple>, ColumnarBatch) {
+        let rows: Vec<Tuple> = (0..40)
+            .map(|i| {
+                let c0 = match i % 5 {
+                    0 => Value::Int(i),
+                    1 => Value::Double(i as f64 / 2.0),
+                    2 => Value::Str(format!("s{i}")),
+                    3 => Value::Null,
+                    _ => Value::Int(-i),
+                };
+                let c2 = if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 11)
+                };
+                rows_row(c0, i, c2)
+            })
+            .collect();
+        let batch = ColumnarBatch::from_rows(&rows);
+        (rows, batch)
+    }
+
+    fn rows_row(c0: Value, i: i64, c2: Value) -> Tuple {
+        Tuple::new(vec![c0, Value::Int(i), c2])
+    }
+
+    fn check_parity(expr: &Expr, rows: &[Tuple], batch: &ColumnarBatch) {
+        let pred = VecPredicate::compile(expr).expect("compilable shape");
+        let mut sel = batch.sel_vec();
+        pred.refine(batch, &mut sel);
+        let expect: Vec<u32> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| expr.eval_bool(t).unwrap())
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(sel, expect, "selection diverged for {expr:?}");
+    }
+
+    #[test]
+    fn predicate_matches_row_interpreter() {
+        let (rows, batch) = test_batch();
+        let exprs = [
+            Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit(10i64)),
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(7i64)),
+            Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit(Value::Double(3.0))),
+            Expr::cmp(CmpOp::Ne, Expr::col(0), Expr::lit(Value::Str("s2".into()))),
+            Expr::cmp(CmpOp::Gt, Expr::lit(20i64), Expr::col(1)),
+            Expr::cmp(CmpOp::Le, Expr::col(2), Expr::col(1)),
+            Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::Lit(Value::Null)),
+            Expr::And(
+                Box::new(Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit(5i64))),
+                Box::new(Expr::cmp(CmpOp::Ne, Expr::col(2), Expr::lit(3i64))),
+            ),
+            Expr::Lit(Value::Int(1)),
+            Expr::Lit(Value::Int(0)),
+            Expr::cmp(CmpOp::Lt, Expr::lit(1i64), Expr::lit(2i64)),
+        ];
+        for e in &exprs {
+            check_parity(e, &rows, &batch);
+        }
+    }
+
+    #[test]
+    fn uncompilable_shapes_return_none() {
+        let arith_inside = Expr::cmp(
+            CmpOp::Lt,
+            Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1))),
+            Expr::lit(5i64),
+        );
+        assert!(VecPredicate::compile(&arith_inside).is_none());
+    }
+
+    #[test]
+    fn eval_column_matches_row_eval() {
+        let (rows, batch) = test_batch();
+        let exprs = [
+            Expr::col(1),
+            Expr::lit(5i64),
+            Expr::Lit(Value::Null),
+            Expr::Lit(Value::Str("k".into())),
+            Expr::Add(Box::new(Expr::col(1)), Box::new(Expr::col(2))),
+            Expr::Sub(Box::new(Expr::col(1)), Box::new(Expr::lit(3i64))),
+            Expr::mul(Expr::col(0), Expr::col(1)),
+            Expr::mul(Expr::col(1), Expr::lit(Value::Double(0.5))),
+        ];
+        for e in &exprs {
+            let col = eval_column(e, &batch).expect("vectorizable shape");
+            for (i, t) in rows.iter().enumerate() {
+                assert_eq!(col.value_at(i), e.eval(t).unwrap(), "row {i} of {e:?}");
+            }
+        }
+        assert!(
+            eval_column(&Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit(1i64)), &batch).is_none()
+        );
+    }
+}

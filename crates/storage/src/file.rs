@@ -8,7 +8,7 @@
 use crate::device::{DeviceRef, PageId};
 use crate::page::{decode_page, PageBuilder};
 use crate::store::{IntoStore, StoreRef};
-use pyro_common::{Result, Tuple};
+use pyro_common::{ColumnBuilder, Result, Tuple};
 
 /// An immutable sequence of tuples stored across pages of a device,
 /// accessed through a [`crate::PageStore`] (so reads and writes are cached
@@ -233,6 +233,27 @@ impl TupleFileScan {
             crate::page::decode_page_into(&data, out)?;
         }
         Ok(out.len() > start)
+    }
+
+    /// Decodes pages straight into per-column builders until at least
+    /// `target` rows have been appended or the scanned range ends — the
+    /// vectorized scan path: no `Tuple` is ever boxed. Rows buffered by a
+    /// previous `next_tuple` call are appended first, so the pull styles
+    /// compose. Returns `true` iff any rows were appended.
+    pub fn fill_columns(&mut self, builders: &mut [ColumnBuilder], target: usize) -> Result<bool> {
+        let mut appended = 0usize;
+        for t in self.buffer.by_ref() {
+            for (b, v) in builders.iter_mut().zip(t.values()) {
+                b.push_value(v);
+            }
+            appended += 1;
+        }
+        while appended < target && self.page_idx < self.end_page {
+            let data = self.file.store.read_page(self.file.pages[self.page_idx])?;
+            self.page_idx += 1;
+            appended += crate::page::decode_page_into_builders(&data, builders)?;
+        }
+        Ok(appended > 0)
     }
 }
 

@@ -6,7 +6,7 @@
 //! Simple, compact, and deliberately *real* — the sort experiments must pay
 //! genuine serialization CPU, like the systems the paper measured.
 
-use pyro_common::{PyroError, Result, Tuple, Value};
+use pyro_common::{ColumnBuilder, PyroError, Result, Tuple, Value};
 
 const TAG_NULL: u8 = 0;
 const TAG_INT: u8 = 1;
@@ -154,6 +154,52 @@ pub fn decode_page_into(data: &[u8], out: &mut Vec<Tuple>) -> Result<()> {
         out.push(Tuple::new(values));
     }
     Ok(())
+}
+
+/// Decodes a page straight into per-column [`ColumnBuilder`]s — the
+/// columnar scan path skips `Tuple` boxing entirely: integer and double
+/// payloads land in typed vectors, string bytes go into the arena after
+/// one UTF-8 validation.
+///
+/// Every tuple on the page must have arity `builders.len()`; returns the
+/// number of rows decoded.
+pub fn decode_page_into_builders(data: &[u8], builders: &mut [ColumnBuilder]) -> Result<usize> {
+    let mut pos = 0usize;
+    let count = read_u16(data, &mut pos)? as usize;
+    for _ in 0..count {
+        let arity = read_u16(data, &mut pos)? as usize;
+        if arity != builders.len() {
+            return Err(PyroError::Storage(format!(
+                "page tuple arity {arity} does not match column count {}",
+                builders.len()
+            )));
+        }
+        for b in builders.iter_mut() {
+            let tag = *data
+                .get(pos)
+                .ok_or_else(|| PyroError::Storage("truncated page: missing tag".into()))?;
+            pos += 1;
+            match tag {
+                TAG_NULL => b.push_null(),
+                TAG_INT => b.push_int(i64::from_le_bytes(read_arr(data, &mut pos)?)),
+                TAG_DOUBLE => b.push_double(f64::from_le_bytes(read_arr(data, &mut pos)?)),
+                TAG_STR => {
+                    let len = read_u16(data, &mut pos)? as usize;
+                    let bytes = data
+                        .get(pos..pos + len)
+                        .ok_or_else(|| PyroError::Storage("truncated page: short string".into()))?;
+                    pos += len;
+                    std::str::from_utf8(bytes)
+                        .map_err(|e| PyroError::Storage(format!("bad utf8: {e}")))?;
+                    b.push_str_bytes(bytes);
+                }
+                other => {
+                    return Err(PyroError::Storage(format!("unknown value tag {other}")));
+                }
+            }
+        }
+    }
+    Ok(count)
 }
 
 fn read_u16(data: &[u8], pos: &mut usize) -> Result<u16> {

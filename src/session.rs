@@ -65,6 +65,7 @@ pub struct SessionBuilder {
     sort_memory_blocks: Option<u64>,
     batch_size: Option<usize>,
     workers: Option<usize>,
+    columnar: Option<bool>,
     seed: Option<u64>,
     buffer_pool_pages: Option<usize>,
     plan_cache_entries: Option<usize>,
@@ -131,6 +132,18 @@ impl SessionBuilder {
     /// as multisets); only wall-clock changes.
     pub fn workers(mut self, workers: usize) -> SessionBuilder {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Enables or disables columnar execution (default: enabled). When on,
+    /// serial Filter / Project / inner-hash-join subtrees over base-table
+    /// scans exchange columnar (structure-of-arrays) batches and run
+    /// vectorized kernels; rows materialize only at the subtree root. Rows
+    /// and all `ExecMetrics` counters are columnar-invariant — the knob
+    /// changes CPU efficiency, never results — so `false` exists as an
+    /// escape hatch and for A/B measurement, not correctness.
+    pub fn columnar(mut self, enable: bool) -> SessionBuilder {
+        self.columnar = Some(enable);
         self
     }
 
@@ -248,6 +261,7 @@ impl SessionBuilder {
             hash_operators: self.hash_operators.unwrap_or(true),
             batch_size: self.batch_size.unwrap_or(DEFAULT_BATCH_SIZE).max(1),
             workers: self.workers.unwrap_or(1).max(1),
+            columnar: self.columnar.unwrap_or(true),
             seed: self.seed.unwrap_or(pyro_datagen::SEED),
             plan_cache: match self.plan_cache_entries {
                 Some(entries) if entries > 0 => Some(PlanCache::new(entries)),
@@ -296,6 +310,7 @@ pub struct Session {
     hash_operators: bool,
     batch_size: usize,
     workers: usize,
+    columnar: bool,
     seed: u64,
     plan_cache: Option<PlanCache>,
 }
@@ -472,6 +487,18 @@ impl Session {
     /// the serial engine).
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = workers.max(1);
+    }
+
+    /// Whether columnar execution is enabled; see
+    /// [`SessionBuilder::columnar`].
+    pub fn columnar(&self) -> bool {
+        self.columnar
+    }
+
+    /// Enables or disables columnar execution; see
+    /// [`SessionBuilder::columnar`].
+    pub fn set_columnar(&mut self, enable: bool) {
+        self.columnar = enable;
     }
 
     /// The RNG seed for data generators driven through this session.
@@ -669,7 +696,13 @@ impl Session {
         cache: Option<PlanCacheInfo>,
     ) -> Result<QueryResult> {
         let start = Instant::now();
-        let pipeline = plan.compile_bound(&self.catalog, self.batch_size, self.workers, params)?;
+        let pipeline = plan.compile_bound_columnar(
+            &self.catalog,
+            self.batch_size,
+            self.workers,
+            params,
+            self.columnar,
+        )?;
         let schema = pipeline.schema().clone();
         let out = pipeline.run()?;
         Ok(QueryResult {
@@ -691,7 +724,13 @@ impl Session {
         params: &[Value],
         cache: Option<PlanCacheInfo>,
     ) -> Result<QueryStream> {
-        let pipeline = plan.compile_bound(&self.catalog, self.batch_size, self.workers, params)?;
+        let pipeline = plan.compile_bound_columnar(
+            &self.catalog,
+            self.batch_size,
+            self.workers,
+            params,
+            self.columnar,
+        )?;
         let schema = pipeline.schema().clone();
         let (op, metrics) = pipeline.into_parts();
         Ok(QueryStream {
@@ -729,6 +768,7 @@ impl Session {
         self.catalog.sort_memory_blocks().hash(&mut h);
         self.batch_size.hash(&mut h);
         self.workers.hash(&mut h);
+        self.columnar.hash(&mut h);
         self.catalog.store().pool_pages().unwrap_or(0).hash(&mut h);
         h.finish()
     }

@@ -1,6 +1,8 @@
 //! Batch/row parity: every operator must produce identical rows AND
 //! identical `ExecMetrics` totals whether a pipeline is drained
-//! tuple-at-a-time or batch-at-a-time, at batch sizes {1, 3, 1024}.
+//! tuple-at-a-time or batch-at-a-time, at batch sizes {1, 3, 1024} — and,
+//! on the batch path, with columnar (vectorized-kernel) execution both on
+//! and off.
 //!
 //! This is the invariant that lets the batch engine claim the paper's
 //! Experiment A figures unchanged: batching may only change CPU
@@ -25,7 +27,8 @@ use pyro::{Session, Strategy};
 const BATCH_SIZES: [usize; 3] = [1, 3, 1024];
 
 /// Runs `sql` tuple-at-a-time as the reference, then batch-at-a-time at
-/// every probe batch size, asserting identical rows and counters.
+/// every probe batch size with columnar kernels both enabled and disabled,
+/// asserting identical rows and counters in every combination.
 fn assert_sql_parity(session: &Session, sql: &str) {
     let plan = session.plan(sql).unwrap();
     let reference = plan
@@ -34,16 +37,23 @@ fn assert_sql_parity(session: &Session, sql: &str) {
         .run_tuple_at_a_time()
         .unwrap();
     for &bs in &BATCH_SIZES {
-        let out = plan
-            .compile_with_batch(session.catalog(), bs)
-            .unwrap()
-            .run()
-            .unwrap();
-        assert_eq!(
-            reference.rows, out.rows,
-            "rows diverged (batch={bs}): {sql}"
-        );
-        assert_metrics_eq(&reference.metrics, &out.metrics, bs, sql);
+        for columnar in [true, false] {
+            let out = plan
+                .compile_bound_columnar(session.catalog(), bs, 1, &[], columnar)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(
+                reference.rows, out.rows,
+                "rows diverged (batch={bs}, columnar={columnar}): {sql}"
+            );
+            assert_metrics_eq(
+                &reference.metrics,
+                &out.metrics,
+                bs,
+                &format!("{sql} (columnar={columnar})"),
+            );
+        }
     }
 }
 
