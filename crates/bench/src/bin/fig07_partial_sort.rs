@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         root: degrade_partial_sorts(&plan.root),
         strategy: plan.strategy,
         ordered_output: plan.ordered_output,
+        planning: plan.planning,
     };
     let srs = run_pipeline(degraded.compile(session.catalog())?, session.catalog())?;
 

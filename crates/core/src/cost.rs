@@ -20,6 +20,23 @@
 use crate::stats::NodeStats;
 use pyro_ordering::SortOrder;
 
+/// Enumeration accounting for one optimization run: how much of the plan
+/// space the search actually touched. Totals are deterministic functions
+/// of the logical plan, the strategy and the knob settings — never of
+/// wall-clock or cost constants — so equal-knob runs report equal stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Memo groups solved: distinct `(node, rep-normalized order)` goals.
+    pub groups: u64,
+    /// Physical candidates enumerated across all solved goals.
+    pub candidates: u64,
+    /// Interesting-order goals the bottom-up prefill declined to collect
+    /// because a node was already at its cap (see
+    /// [`crate::memo::DEFAULT_INTERESTING_ORDER_CAP`]); such goals are
+    /// still solved exactly on demand, so truncation never changes plans.
+    pub truncated: u64,
+}
+
 /// Tunable constants of the cost model.
 #[derive(Debug, Clone, Copy)]
 pub struct CostParams {

@@ -18,6 +18,10 @@
 //! * **Plan refinement** (§5.2.2 / §4.2): a post-optimization phase that
 //!   reworks the *free attributes* of adjacent merge joins with the
 //!   2-approximate tree algorithm so they share sort-order prefixes.
+//! * **Scalable enumeration** (beyond the paper): a memo-based bottom-up
+//!   enumerator over the same goal space ([`memo`]), an explicit join
+//!   graph ([`joingraph`]), and a cardinality-free big-join re-shape
+//!   gated by the `join_enum_threshold` knob — see `DESIGN.md` §13.
 //!
 //! Entry point: [`Optimizer`]. Logical plans are built with
 //! [`logical::LogicalPlan`] (or via `pyro-sql`), optimized into a
@@ -29,7 +33,9 @@ pub mod compile;
 pub mod cost;
 pub mod equiv;
 pub mod favorable;
+pub mod joingraph;
 pub mod logical;
+pub mod memo;
 pub mod optimizer;
 mod parallel;
 pub mod plan;
@@ -39,7 +45,9 @@ pub mod stats;
 pub mod strategy;
 
 pub use cache::{CachedStatement, PlanCache, PlanCacheStats, PlanKey};
+pub use cost::SearchStats;
 pub use logical::{AggSpec, JoinPair, LogicalPlan, NExpr, NodeId, ProjItem};
-pub use optimizer::{OptimizedPlan, Optimizer};
+pub use memo::EnumStrategy;
+pub use optimizer::{OptimizedPlan, Optimizer, PlanningInfo};
 pub use plan::{PhysNode, PhysOp};
 pub use strategy::Strategy;

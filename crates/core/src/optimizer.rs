@@ -7,20 +7,21 @@
 //! interesting orders tried at merge joins and sort aggregates come from the
 //! configured [`Strategy`].
 
-use crate::cost::CostParams;
+use crate::cost::{CostParams, SearchStats};
 use crate::equiv::EquivMap;
 use crate::favorable::{compute_afm, lcp_with_set_equiv};
-use crate::logical::{LogicalOp, LogicalPlan, NExpr, NodeId};
+use crate::logical::{JoinPair, LogicalOp, LogicalPlan, NExpr, NodeId};
+use crate::memo::{EnumStrategy, DEFAULT_INTERESTING_ORDER_CAP, DEFAULT_JOIN_ENUM_THRESHOLD};
 use crate::plan::{PhysNode, PhysOp};
 use crate::stats::{derive_stats, NodeStats};
 use crate::strategy::Strategy;
 use pyro_catalog::Catalog;
 use pyro_common::{PyroError, Result, Schema};
-use pyro_exec::CmpOp;
 use pyro_ordering::{AttrSet, SortOrder};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The optimizer facade.
 pub struct Optimizer<'a> {
@@ -28,6 +29,9 @@ pub struct Optimizer<'a> {
     strategy: Strategy,
     params: CostParams,
     enable_hash: bool,
+    enum_strategy: EnumStrategy,
+    join_enum_threshold: usize,
+    interesting_cap: usize,
 }
 
 impl<'a> Optimizer<'a> {
@@ -47,6 +51,9 @@ impl<'a> Optimizer<'a> {
             strategy: Strategy::pyro_o(),
             params,
             enable_hash: true,
+            enum_strategy: EnumStrategy::default(),
+            join_enum_threshold: DEFAULT_JOIN_ENUM_THRESHOLD,
+            interesting_cap: DEFAULT_INTERESTING_ORDER_CAP,
         }
     }
 
@@ -72,8 +79,57 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Selects the plan-space enumerator (default: [`EnumStrategy::Memo`]).
+    /// Orthogonal to [`Optimizer::with_strategy`]: every enumerator runs
+    /// the same goal solver over the same candidate orders.
+    pub fn with_enum_strategy(mut self, enum_strategy: EnumStrategy) -> Self {
+        self.enum_strategy = enum_strategy;
+        self
+    }
+
+    /// Inner-join region size (in leaf inputs) above which the memo
+    /// enumerator re-shapes the region with the cardinality-free heuristic
+    /// instead of enumerating the given shape (default:
+    /// [`DEFAULT_JOIN_ENUM_THRESHOLD`]). Ignored by
+    /// [`EnumStrategy::Exhaustive`].
+    pub fn with_join_enum_threshold(mut self, threshold: usize) -> Self {
+        self.join_enum_threshold = threshold;
+        self
+    }
+
+    /// Caps the non-ε interesting orders the bottom-up prefill collects per
+    /// memo group (default: [`DEFAULT_INTERESTING_ORDER_CAP`]); overflow is
+    /// counted in [`SearchStats::truncated`], never changes plans.
+    pub fn with_interesting_cap(mut self, cap: usize) -> Self {
+        self.interesting_cap = cap;
+        self
+    }
+
     /// Optimizes a logical plan into a physical plan.
     pub fn optimize(&self, plan: &LogicalPlan) -> Result<OptimizedPlan> {
+        let start = Instant::now();
+        // Memo / Heuristic may re-shape oversized inner-join regions first;
+        // `reorder_joins` returns None when nothing qualifies, keeping the
+        // original plan — and its exact plans, costs and counters.
+        let mut reordered_joins = 0u64;
+        let owned;
+        let plan = match self.enum_strategy {
+            EnumStrategy::Exhaustive => plan,
+            EnumStrategy::Memo | EnumStrategy::Heuristic => {
+                let threshold = match self.enum_strategy {
+                    EnumStrategy::Heuristic => 2,
+                    _ => self.join_enum_threshold,
+                };
+                match crate::joingraph::reorder_joins(plan, self.catalog, threshold)? {
+                    Some((p, n)) => {
+                        reordered_joins = n;
+                        owned = p;
+                        &owned
+                    }
+                    None => plan,
+                }
+            }
+        };
         let mut ctx = Ctx::build(
             plan,
             self.catalog,
@@ -82,17 +138,30 @@ impl<'a> Optimizer<'a> {
             HashMap::new(),
         )?;
         ctx.enable_hash = self.enable_hash;
+        ctx.interesting_cap = self.interesting_cap;
         let ctx = ctx;
+        if !matches!(self.enum_strategy, EnumStrategy::Exhaustive) {
+            crate::memo::prefill(&ctx, plan.root(), &SortOrder::empty())?;
+        }
         let mut best = best_plan(&ctx, plan.root(), &SortOrder::empty())?;
         if self.strategy.refine {
             if let Some(better) = crate::refine::refine(&ctx, self, plan, &best)? {
                 best = better;
             }
         }
+        let search = *ctx.search.borrow();
         Ok(OptimizedPlan {
             root: best,
             strategy: self.strategy,
             ordered_output: output_is_ordered(plan),
+            planning: PlanningInfo {
+                enumerator: self.enum_strategy,
+                groups: search.groups,
+                candidates: search.candidates,
+                truncated: search.truncated,
+                reordered_joins,
+                elapsed: start.elapsed(),
+            },
         })
     }
 
@@ -106,10 +175,13 @@ impl<'a> Optimizer<'a> {
         let mut ctx = Ctx::build(plan, self.catalog, self.strategy, self.params, forced)?;
         ctx.enable_hash = self.enable_hash;
         let best = best_plan(&ctx, plan.root(), &SortOrder::empty())?;
+        // Internal re-search: refinement only reads root + cost, so the
+        // accounting stays default (the caller keeps its own).
         Ok(OptimizedPlan {
             root: best,
             strategy: self.strategy,
             ordered_output: output_is_ordered(plan),
+            planning: PlanningInfo::default(),
         })
     }
 }
@@ -129,6 +201,42 @@ fn output_is_ordered(plan: &LogicalPlan) -> bool {
     }
 }
 
+/// How one plan was found: the enumerator that planned it, the search's
+/// enumeration accounting, and the planning wall-clock. Rides on every
+/// [`OptimizedPlan`]; a plan served from the plan cache carries the info
+/// of the run that originally produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanningInfo {
+    /// The enumerator that planned the query.
+    pub enumerator: EnumStrategy,
+    /// Memo groups solved (see [`SearchStats::groups`]).
+    pub groups: u64,
+    /// Physical candidates enumerated (see [`SearchStats::candidates`]).
+    pub candidates: u64,
+    /// Interesting-order goals dropped from the prefill by the per-group
+    /// cap (see [`SearchStats::truncated`]); plans are unaffected.
+    pub truncated: u64,
+    /// Join nodes rebuilt by the cardinality-free re-shape (0 when the
+    /// plan kept its given shape).
+    pub reordered_joins: u64,
+    /// Planning wall-clock, including refinement. Excluded from rendered
+    /// explain text so equal plans explain identically.
+    pub elapsed: Duration,
+}
+
+impl Default for PlanningInfo {
+    fn default() -> PlanningInfo {
+        PlanningInfo {
+            enumerator: EnumStrategy::default(),
+            groups: 0,
+            candidates: 0,
+            truncated: 0,
+            reordered_joins: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
 /// Result of optimization.
 #[derive(Debug, Clone)]
 pub struct OptimizedPlan {
@@ -141,6 +249,9 @@ pub struct OptimizedPlan {
     /// set, and is free to gather in arrival order when it is not — even if
     /// the chosen plan incidentally guarantees an order.
     pub ordered_output: bool,
+    /// How the plan was found: enumerator, search accounting, planning
+    /// time.
+    pub planning: PlanningInfo,
 }
 
 impl OptimizedPlan {
@@ -253,6 +364,11 @@ pub(crate) struct Ctx<'a> {
     pub strategy: Strategy,
     pub forced: HashMap<NodeId, SortOrder>,
     pub enable_hash: bool,
+    /// Per-memo-group cap on non-ε interesting orders collected by the
+    /// bottom-up prefill (see [`crate::memo`]).
+    pub interesting_cap: usize,
+    /// Enumeration accounting for this run.
+    pub search: RefCell<SearchStats>,
     memo: RefCell<Memo>,
 }
 
@@ -268,18 +384,7 @@ impl<'a> Ctx<'a> {
         forced: HashMap<NodeId, SortOrder>,
     ) -> Result<Ctx<'a>> {
         // Equivalences from join pairs and col=col equality filters.
-        let mut equiv = EquivMap::new();
-        for id in 0..plan.len() {
-            match plan.node(id) {
-                LogicalOp::Join { pairs, .. } => {
-                    for p in pairs {
-                        equiv.union(&p.left, &p.right);
-                    }
-                }
-                LogicalOp::Filter { predicate, .. } => collect_filter_equivs(predicate, &mut equiv),
-                _ => {}
-            }
-        }
+        let equiv = crate::joingraph::collect_equivs(plan);
         // Columns referenced per alias (covering-index checks).
         let mut referenced: HashMap<String, AttrSet> = HashMap::new();
         for col in plan.referenced_columns() {
@@ -309,6 +414,8 @@ impl<'a> Ctx<'a> {
             strategy,
             forced,
             enable_hash: true,
+            interesting_cap: DEFAULT_INTERESTING_ORDER_CAP,
+            search: RefCell::new(SearchStats::default()),
             memo: RefCell::new(HashMap::new()),
         })
     }
@@ -323,27 +430,11 @@ impl<'a> Ctx<'a> {
                 .all(|(n, h)| self.equiv.same(n, h))
     }
 
-    fn memo_key(&self, id: NodeId, required: &SortOrder) -> (NodeId, Vec<String>) {
+    pub(crate) fn memo_key(&self, id: NodeId, required: &SortOrder) -> (NodeId, Vec<String>) {
         (
             id,
             required.attrs().iter().map(|a| self.equiv.rep(a)).collect(),
         )
-    }
-}
-
-fn collect_filter_equivs(pred: &NExpr, equiv: &mut EquivMap) {
-    match pred {
-        NExpr::And(terms) => {
-            for t in terms {
-                collect_filter_equivs(t, equiv);
-            }
-        }
-        NExpr::Cmp(CmpOp::Eq, a, b) => {
-            if let (NExpr::Col(x), NExpr::Col(y)) = (a.as_ref(), b.as_ref()) {
-                equiv.union(x, y);
-            }
-        }
-        _ => {}
     }
 }
 
@@ -372,6 +463,11 @@ pub(crate) fn best_plan(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<A
         return Ok(hit.clone());
     }
     let candidates = gen_candidates(ctx, id, required)?;
+    {
+        let mut search = ctx.search.borrow_mut();
+        search.groups += 1;
+        search.candidates += candidates.len() as u64;
+    }
     let mut best: Option<Arc<PhysNode>> = None;
     for cand in candidates {
         let finished = enforce(ctx, id, cand, required);
@@ -573,11 +669,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Arc
         LogicalOp::Project { input, items } => {
             // Pass-through column names survive the projection; an order is
             // preserved up to its first dropped column.
-            let kept: AttrSet = items
-                .iter()
-                .filter(|it| matches!(&it.expr, NExpr::Col(c) if c == &it.name))
-                .map(|it| it.name.clone())
-                .collect();
+            let kept = project_kept(items);
             for goal in child_goals(ctx, *input, &required.lcp_with_set(&kept)) {
                 let child = best_plan(ctx, *input, &goal)?;
                 let schema = Schema::new(
@@ -610,51 +702,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Arc
             kind,
             pairs,
         } => {
-            let s: AttrSet = pairs.iter().map(|p| ctx.equiv.rep(&p.left)).collect();
-            // Favorable prefixes: afm(el, S) ∪ afm(er, S) ∪ {o ∧ S}.
-            let mut prefixes: Vec<SortOrder> = ctx.afm[*left]
-                .iter()
-                .chain(ctx.afm[*right].iter())
-                .map(|o| lcp_with_set_equiv(o, &s, &ctx.equiv))
-                .filter(|o| !o.is_empty())
-                .collect();
-            let req_prefix = lcp_with_set_equiv(required, &s, &ctx.equiv);
-            if !req_prefix.is_empty() {
-                prefixes.push(req_prefix);
-            }
-            prefixes.sort();
-            prefixes.dedup();
-            let orders = match ctx.forced.get(&id) {
-                Some(o) => vec![o.clone()],
-                None => ctx.strategy.candidate_orders(&s, &prefixes),
-            };
-            // Map each representative attribute back to the concrete pair
-            // columns: goals are then guaranteed to resolve on both sides.
-            let rep_to_pair: HashMap<String, &crate::logical::JoinPair> = pairs
-                .iter()
-                .map(|pr| (ctx.equiv.rep(&pr.left), pr))
-                .collect();
-            for p in orders {
-                let mut l_attrs = Vec::with_capacity(p.len());
-                let mut r_attrs = Vec::with_capacity(p.len());
-                let mut ok = true;
-                for a in p.attrs() {
-                    match rep_to_pair.get(a) {
-                        Some(pair) => {
-                            l_attrs.push(pair.left.clone());
-                            r_attrs.push(pair.right.clone());
-                        }
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if !ok {
-                    continue;
-                }
-                let l_goal = SortOrder::new(l_attrs);
-                let r_goal = SortOrder::new(r_attrs);
+            for (l_goal, r_goal) in join_merge_goals(ctx, id, *left, *right, pairs, required) {
                 let lchild = best_plan(ctx, *left, &l_goal)?;
                 let rchild = best_plan(ctx, *right, &r_goal)?;
                 let cost = lchild.cost
@@ -679,8 +727,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Arc
             // joins — SYS2 had to rewrite FO joins as a union of two left
             // outer joins — and the coordinated-order findings of
             // Experiment B2 rest on that reality.
-            let hashable = ctx.enable_hash && !matches!(kind, pyro_exec::join::JoinKind::FullOuter);
-            if !ctx.forced.contains_key(&id) && hashable {
+            if !ctx.forced.contains_key(&id) && join_hashable(ctx, kind) {
                 // Hash join (build = left).
                 let lchild = best_plan(ctx, *left, &SortOrder::empty())?;
                 let rchild = best_plan(ctx, *right, &SortOrder::empty())?;
@@ -733,18 +780,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Arc
             aggs,
         } => {
             let l: AttrSet = group_by.iter().cloned().collect();
-            let mut prefixes: Vec<SortOrder> = ctx.afm[*input]
-                .iter()
-                .map(|o| project_order_to_names(o, &l, &ctx.equiv))
-                .filter(|o| !o.is_empty())
-                .collect();
-            let req_prefix = project_order_to_names(required, &l, &ctx.equiv);
-            if !req_prefix.is_empty() {
-                prefixes.push(req_prefix);
-            }
-            prefixes.sort();
-            prefixes.dedup();
-            for q in ctx.strategy.candidate_orders(&l, &prefixes) {
+            for q in grouping_goal_orders(ctx, *input, &l, required) {
                 let child = best_plan(ctx, *input, &q)?;
                 out.push(Arc::new(PhysNode {
                     op: PhysOp::SortAggregate {
@@ -790,18 +826,7 @@ fn gen_candidates(ctx: &Ctx, id: NodeId, required: &SortOrder) -> Result<Vec<Arc
             // columns works for the streaming implementation — the same
             // factorial space as merge joins (paper §1).
             let l: AttrSet = ctx.schemas[id].names().into_iter().collect();
-            let mut prefixes: Vec<SortOrder> = ctx.afm[*input]
-                .iter()
-                .map(|o| project_order_to_names(o, &l, &ctx.equiv))
-                .filter(|o| !o.is_empty())
-                .collect();
-            let req_prefix = project_order_to_names(required, &l, &ctx.equiv);
-            if !req_prefix.is_empty() {
-                prefixes.push(req_prefix);
-            }
-            prefixes.sort();
-            prefixes.dedup();
-            for q in ctx.strategy.candidate_orders(&l, &prefixes) {
+            for q in grouping_goal_orders(ctx, *input, &l, required) {
                 let child = best_plan(ctx, *input, &q)?;
                 out.push(Arc::new(PhysNode {
                     op: PhysOp::SortDistinct { order: q.clone() },
@@ -870,6 +895,175 @@ fn child_goals(ctx: &Ctx, child: NodeId, required: &SortOrder) -> Vec<SortOrder>
         seen.insert(key)
     });
     goals
+}
+
+/// Column names a projection passes through unchanged; an order survives
+/// the projection up to its first dropped column.
+fn project_kept(items: &[crate::logical::ProjItem]) -> AttrSet {
+    items
+        .iter()
+        .filter(|it| matches!(&it.expr, NExpr::Col(c) if c == &it.name))
+        .map(|it| it.name.clone())
+        .collect()
+}
+
+/// Whether hash/nested-loops alternatives apply to a join of `kind` under
+/// this run's configuration. Full outer joins are merge-only (see the
+/// comment at the Join arm of [`gen_candidates`]).
+fn join_hashable(ctx: &Ctx, kind: &pyro_exec::join::JoinKind) -> bool {
+    ctx.enable_hash && !matches!(kind, pyro_exec::join::JoinKind::FullOuter)
+}
+
+/// The merge-join goal pairs `(left goal, right goal)` for join `id` —
+/// one per candidate interesting order, with each representative mapped
+/// back to concrete pair columns so the goals resolve on both sides.
+/// Shared by [`gen_candidates`] and the bottom-up prefill
+/// ([`crate::memo::prefill`]), so both traversals see the identical goal
+/// closure.
+fn join_merge_goals(
+    ctx: &Ctx,
+    id: NodeId,
+    left: NodeId,
+    right: NodeId,
+    pairs: &[JoinPair],
+    required: &SortOrder,
+) -> Vec<(SortOrder, SortOrder)> {
+    let s: AttrSet = pairs.iter().map(|p| ctx.equiv.rep(&p.left)).collect();
+    // Favorable prefixes: afm(el, S) ∪ afm(er, S) ∪ {o ∧ S}.
+    let mut prefixes: Vec<SortOrder> = ctx.afm[left]
+        .iter()
+        .chain(ctx.afm[right].iter())
+        .map(|o| lcp_with_set_equiv(o, &s, &ctx.equiv))
+        .filter(|o| !o.is_empty())
+        .collect();
+    let req_prefix = lcp_with_set_equiv(required, &s, &ctx.equiv);
+    if !req_prefix.is_empty() {
+        prefixes.push(req_prefix);
+    }
+    prefixes.sort();
+    prefixes.dedup();
+    let orders = match ctx.forced.get(&id) {
+        Some(o) => vec![o.clone()],
+        None => ctx.strategy.candidate_orders(&s, &prefixes),
+    };
+    // Map each representative attribute back to the concrete pair
+    // columns: goals are then guaranteed to resolve on both sides.
+    let rep_to_pair: HashMap<String, &JoinPair> = pairs
+        .iter()
+        .map(|pr| (ctx.equiv.rep(&pr.left), pr))
+        .collect();
+    let mut out = Vec::with_capacity(orders.len());
+    for p in orders {
+        let mut l_attrs = Vec::with_capacity(p.len());
+        let mut r_attrs = Vec::with_capacity(p.len());
+        let mut ok = true;
+        for a in p.attrs() {
+            match rep_to_pair.get(a) {
+                Some(pair) => {
+                    l_attrs.push(pair.left.clone());
+                    r_attrs.push(pair.right.clone());
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            out.push((SortOrder::new(l_attrs), SortOrder::new(r_attrs)));
+        }
+    }
+    out
+}
+
+/// The candidate input orders for a sort-based grouping operator (sort
+/// aggregate / sort distinct) over grouping set `l` — favorable orders and
+/// the requirement projected into the grouping columns, expanded by the
+/// strategy. Shared by [`gen_candidates`] and the bottom-up prefill.
+fn grouping_goal_orders(
+    ctx: &Ctx,
+    input: NodeId,
+    l: &AttrSet,
+    required: &SortOrder,
+) -> Vec<SortOrder> {
+    let mut prefixes: Vec<SortOrder> = ctx.afm[input]
+        .iter()
+        .map(|o| project_order_to_names(o, l, &ctx.equiv))
+        .filter(|o| !o.is_empty())
+        .collect();
+    let req_prefix = project_order_to_names(required, l, &ctx.equiv);
+    if !req_prefix.is_empty() {
+        prefixes.push(req_prefix);
+    }
+    prefixes.sort();
+    prefixes.dedup();
+    ctx.strategy.candidate_orders(l, &prefixes)
+}
+
+/// The child goals solving `(id, required)` will request — exactly the
+/// recursive `best_plan` calls [`gen_candidates`] makes, computed without
+/// building any plans. This is what lets [`crate::memo::prefill`] collect
+/// the goal closure top-down and then solve it bottom-up with results
+/// identical to the on-demand recursion.
+pub(crate) fn child_goal_requests(
+    ctx: &Ctx,
+    id: NodeId,
+    required: &SortOrder,
+) -> Result<Vec<(NodeId, SortOrder)>> {
+    let mut out: Vec<(NodeId, SortOrder)> = Vec::new();
+    match ctx.plan.node(id) {
+        LogicalOp::Scan { .. } => {}
+        LogicalOp::Filter { input, .. } | LogicalOp::Limit { input, .. } => {
+            for goal in child_goals(ctx, *input, required) {
+                out.push((*input, goal));
+            }
+        }
+        LogicalOp::Project { input, items } => {
+            let kept = project_kept(items);
+            for goal in child_goals(ctx, *input, &required.lcp_with_set(&kept)) {
+                out.push((*input, goal));
+            }
+        }
+        LogicalOp::Join {
+            left,
+            right,
+            kind,
+            pairs,
+        } => {
+            for (l_goal, r_goal) in join_merge_goals(ctx, id, *left, *right, pairs, required) {
+                out.push((*left, l_goal));
+                out.push((*right, r_goal));
+            }
+            if !ctx.forced.contains_key(&id) && join_hashable(ctx, kind) {
+                out.push((*left, SortOrder::empty()));
+                out.push((*right, SortOrder::empty()));
+            }
+        }
+        LogicalOp::Aggregate {
+            input, group_by, ..
+        } => {
+            let l: AttrSet = group_by.iter().cloned().collect();
+            for q in grouping_goal_orders(ctx, *input, &l, required) {
+                out.push((*input, q));
+            }
+            if ctx.enable_hash {
+                out.push((*input, SortOrder::empty()));
+            }
+        }
+        LogicalOp::Sort { input, order } => {
+            out.push((*input, order.clone()));
+        }
+        LogicalOp::Distinct { input } => {
+            let l: AttrSet = ctx.schemas[id].names().into_iter().collect();
+            for q in grouping_goal_orders(ctx, *input, &l, required) {
+                out.push((*input, q));
+            }
+            if ctx.enable_hash {
+                out.push((*input, SortOrder::empty()));
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -5,7 +5,12 @@
 //! explicit `FULL OUTER JOIN`s from their `ON` clauses. Single-table filters
 //! are pushed below the joins. All column references are fully qualified
 //! against the catalog so the optimizer's equivalence and favorable-order
-//! machinery sees one consistent name space.
+//! machinery sees one consistent name space. Full qualification also
+//! upholds the join-graph contract (`pyro_core::joingraph`): every
+//! equi-join pair's columns resolve into exactly one leaf schema each, so
+//! the optimizer's region extraction can attribute edges and — above the
+//! session's `join_enum_threshold` — reorder the left-deep tree this
+//! lowering produced.
 
 use crate::ast::{Query, SelectItem, SqlExpr, TableRef};
 use pyro_catalog::Catalog;

@@ -42,5 +42,5 @@ pub use pyro_sql as sql;
 pub use pyro_storage as storage;
 
 pub use pyro_common::{PyroError, Result};
-pub use pyro_core::Strategy;
+pub use pyro_core::{EnumStrategy, PlanningInfo, Strategy};
 pub use pyro_ordering::SortOrder;

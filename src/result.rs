@@ -2,7 +2,7 @@
 
 use pyro_common::{Schema, Tuple};
 use pyro_core::cache::PlanCacheStats;
-use pyro_core::{OptimizedPlan, Strategy};
+use pyro_core::{OptimizedPlan, PlanningInfo, Strategy};
 use pyro_exec::MetricsRef;
 use std::time::Duration;
 
@@ -46,11 +46,26 @@ pub struct QueryResult {
     pub(crate) plan_cache: Option<PlanCacheInfo>,
 }
 
-/// Renders a costed plan header + tree — the `explain` text both
-/// [`crate::Session::explain`] and [`QueryResult::explain`] return.
+/// Renders a costed plan header + search line + tree — the `explain` text
+/// both [`crate::Session::explain`] and [`QueryResult::explain`] return.
+/// The search line reports which enumerator planned the query and how much
+/// of the plan space it touched; planning wall-clock is deliberately *not*
+/// rendered (it lives in [`QueryResult::planning`]) so equal plans explain
+/// identically.
 pub(crate) fn render_plan(plan: &OptimizedPlan) -> String {
+    let p = &plan.planning;
+    let mut search = format!(
+        "search: {} enumerator, {} groups, {} candidates",
+        p.enumerator, p.groups, p.candidates
+    );
+    if p.reordered_joins > 0 {
+        search.push_str(&format!(", {} joins reordered", p.reordered_joins));
+    }
+    if p.truncated > 0 {
+        search.push_str(&format!(", {} goals truncated", p.truncated));
+    }
     format!(
-        "{} plan, estimated cost {:.1} I/O units\n{}",
+        "{} plan, estimated cost {:.1} I/O units\n{search}\n{}",
         plan.strategy.name(),
         plan.cost(),
         plan.explain()
@@ -103,6 +118,15 @@ impl QueryResult {
     /// The executed [`OptimizedPlan`], for structural inspection.
     pub fn plan(&self) -> &OptimizedPlan {
         &self.plan
+    }
+
+    /// How the plan was found: the enumerator, the search's memo
+    /// group/candidate/truncation accounting, and the planning wall-clock.
+    /// A plan served from the plan cache reports the run that originally
+    /// produced it (planning was skipped for this call —
+    /// [`QueryResult::plan_cache`] says so).
+    pub fn planning(&self) -> &PlanningInfo {
+        &self.plan.planning
     }
 
     /// The executed physical plan, pretty-printed with its cost header —

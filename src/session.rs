@@ -23,7 +23,7 @@ use pyro_catalog::Catalog;
 use pyro_common::{DataType, PyroError, Result, Schema, Tuple, Value};
 use pyro_core::cache::{CachedStatement, PlanCache, PlanCacheStats, PlanKey};
 use pyro_core::cost::CostParams;
-use pyro_core::{OptimizedPlan, Optimizer, Strategy};
+use pyro_core::{EnumStrategy, OptimizedPlan, Optimizer, Strategy};
 use pyro_exec::{BoxOp, MetricsRef, DEFAULT_BATCH_SIZE};
 use pyro_ordering::SortOrder;
 use pyro_storage::{FileDevice, PageStore, Wal};
@@ -60,6 +60,8 @@ pub const DEFAULT_WAL_CHECKPOINT_BYTES: u64 = 1 << 20;
 #[derive(Debug, Default)]
 pub struct SessionBuilder {
     strategy: Option<Strategy>,
+    enum_strategy: Option<EnumStrategy>,
+    join_enum_threshold: Option<usize>,
     cost_params: Option<CostParams>,
     hash_operators: Option<bool>,
     sort_memory_blocks: Option<u64>,
@@ -89,6 +91,34 @@ impl SessionBuilder {
     /// `"pyro-o"`, `"pyro-o-"`); for CLI flags and config files.
     pub fn strategy_name(self, name: &str) -> Result<SessionBuilder> {
         Ok(self.strategy(Strategy::from_name(name)?))
+    }
+
+    /// Sets the plan-space enumerator (default: [`EnumStrategy::Memo`]).
+    /// Orthogonal to [`SessionBuilder::strategy`]: `exhaustive` is the
+    /// legacy on-demand recursion, `memo` fills the same memo bottom-up
+    /// and re-shapes inner-join regions larger than
+    /// [`SessionBuilder::join_enum_threshold`] with the cardinality-free
+    /// heuristic, `heuristic` forces the re-shape for every region of
+    /// three or more inputs. At or below the threshold, `memo` and
+    /// `exhaustive` choose identical plans with identical counters.
+    pub fn enum_strategy(mut self, enum_strategy: EnumStrategy) -> SessionBuilder {
+        self.enum_strategy = Some(enum_strategy);
+        self
+    }
+
+    /// Sets the enumerator by name (`"exhaustive"`, `"memo"`,
+    /// `"heuristic"`); for CLI flags and config files.
+    pub fn enum_strategy_name(self, name: &str) -> Result<SessionBuilder> {
+        Ok(self.enum_strategy(EnumStrategy::from_name(name)?))
+    }
+
+    /// Inner-join region size (leaf inputs) above which the `memo`
+    /// enumerator re-shapes the region instead of enumerating the given
+    /// join shape (default:
+    /// [`pyro_core::memo::DEFAULT_JOIN_ENUM_THRESHOLD`]).
+    pub fn join_enum_threshold(mut self, threshold: usize) -> SessionBuilder {
+        self.join_enum_threshold = Some(threshold);
+        self
     }
 
     /// Overrides the cost-model's CPU-translation constants (`cmp_io`,
@@ -257,6 +287,10 @@ impl SessionBuilder {
         Ok(Session {
             catalog,
             strategy: self.strategy.unwrap_or_else(Strategy::pyro_o),
+            enum_strategy: self.enum_strategy.unwrap_or_default(),
+            join_enum_threshold: self
+                .join_enum_threshold
+                .unwrap_or(pyro_core::memo::DEFAULT_JOIN_ENUM_THRESHOLD),
             cost_params: self.cost_params,
             hash_operators: self.hash_operators.unwrap_or(true),
             batch_size: self.batch_size.unwrap_or(DEFAULT_BATCH_SIZE).max(1),
@@ -306,6 +340,8 @@ impl SessionBuilder {
 pub struct Session {
     catalog: Catalog,
     strategy: Strategy,
+    enum_strategy: EnumStrategy,
+    join_enum_threshold: usize,
     cost_params: Option<CostParams>,
     hash_operators: bool,
     batch_size: usize,
@@ -430,6 +466,28 @@ impl Session {
     pub fn set_strategy_name(&mut self, name: &str) -> Result<()> {
         self.strategy = Strategy::from_name(name)?;
         Ok(())
+    }
+
+    /// The session's current plan-space enumerator.
+    pub fn enum_strategy(&self) -> EnumStrategy {
+        self.enum_strategy
+    }
+
+    /// Switches the plan-space enumerator for subsequent queries; see
+    /// [`SessionBuilder::enum_strategy`].
+    pub fn set_enum_strategy(&mut self, enum_strategy: EnumStrategy) {
+        self.enum_strategy = enum_strategy;
+    }
+
+    /// The current join-enumeration threshold; see
+    /// [`SessionBuilder::join_enum_threshold`].
+    pub fn join_enum_threshold(&self) -> usize {
+        self.join_enum_threshold
+    }
+
+    /// Sets the join-enumeration threshold for subsequent queries.
+    pub fn set_join_enum_threshold(&mut self, threshold: usize) {
+        self.join_enum_threshold = threshold;
     }
 
     /// Enables or disables hash operator alternatives for subsequent
@@ -669,7 +727,9 @@ impl Session {
         let (logical, params) = pyro_sql::plan_with_params(sql, &self.catalog)?;
         let mut optimizer = Optimizer::new(&self.catalog)
             .with_strategy(self.strategy)
-            .with_hash(self.hash_operators);
+            .with_hash(self.hash_operators)
+            .with_enum_strategy(self.enum_strategy)
+            .with_join_enum_threshold(self.join_enum_threshold);
         if let Some(params) = self.cost_params {
             // block_size and sort_mem_blocks are facts of the session (the
             // device and the executor's budget), not tunables: keep them in
@@ -744,13 +804,16 @@ impl Session {
     }
 
     /// Hashes every knob that can change what plan the optimizer produces
-    /// (or how it is compiled): strategy, hash-operator toggle, cost-param
-    /// overrides, sort memory budget, batch size, worker count and
-    /// buffer-pool capacity. Part of the plan-cache key, so flipping any of
-    /// them can never serve a stale plan.
+    /// (or how it is compiled): strategy, plan-space enumerator, join-enum
+    /// threshold, hash-operator toggle, cost-param overrides, sort memory
+    /// budget, batch size, worker count and buffer-pool capacity. Part of
+    /// the plan-cache key, so flipping any of them can never serve a stale
+    /// plan.
     fn knob_fingerprint(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.strategy.hash(&mut h);
+        self.enum_strategy.hash(&mut h);
+        self.join_enum_threshold.hash(&mut h);
         self.hash_operators.hash(&mut h);
         match self.cost_params {
             None => false.hash(&mut h),

@@ -7,7 +7,7 @@
 
 use pyro::common::{DataType, PyroError, Schema, Value};
 use pyro::core::cost::CostParams;
-use pyro::{Session, SortOrder, Strategy};
+use pyro::{EnumStrategy, Session, SortOrder, Strategy};
 
 fn load(session: &mut Session) {
     let rows: String = (0..500)
@@ -173,6 +173,21 @@ fn every_knob_flip_misses() {
     }));
     assert_miss_then_hit(&mut session, "set_cost_params");
     session.set_cost_params(None);
+
+    // Satellite (memo optimizer): an enumerator or threshold flip must
+    // never re-hit a plan the other enumerator produced.
+    session.set_enum_strategy(EnumStrategy::Exhaustive);
+    let out = assert_miss_then_hit(&mut session, "set_enum_strategy");
+    assert_eq!(
+        out.planning().enumerator,
+        EnumStrategy::Exhaustive,
+        "the NEW enumerator planned the query"
+    );
+    session.set_enum_strategy(EnumStrategy::Memo);
+
+    session.set_join_enum_threshold(2);
+    assert_miss_then_hit(&mut session, "set_join_enum_threshold");
+    session.set_join_enum_threshold(pyro::core::memo::DEFAULT_JOIN_ENUM_THRESHOLD);
 
     // Restoring each knob makes the original key reachable again: the very
     // first entry is still live (capacity 32) and must hit, proving the
